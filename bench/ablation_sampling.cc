@@ -1,0 +1,59 @@
+// Ablation: feature-extraction sampling stride (extends paper Sec. V-F1).
+//
+// The paper compares stride-4 (~1.5% of points) against a full scan and
+// finds near-identical accuracy at ~1/20 the analysis time. This ablation
+// sweeps strides 1/2/4/8 and reports estimation error and per-estimate
+// analysis time.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/compressors/compressor.h"
+#include "src/core/augmentation.h"
+#include "src/core/pipeline.h"
+#include "src/data/generators/catalog.h"
+#include "src/data/sampling.h"
+
+int main() {
+  using namespace fxrz;
+  using namespace fxrz_bench;
+  PrintHeader("Ablation: feature sampling stride", "Sec. V-F1 extension");
+
+  const CatalogOptions copts = BenchCatalogOptions();
+  const TrainTestBundle nyx = MakeNyxBundle("baryon_density", copts);
+  const TrainTestBundle hurricane = MakeHurricaneBundle("TC", copts);
+
+  std::printf("%-8s %10s %16s %16s %14s\n", "stride", "sampled", "Nyx err",
+              "Hurricane err", "analysis");
+  for (size_t stride : {1u, 2u, 4u, 8u}) {
+    double errors[2] = {0, 0};
+    double analysis_ms = 0.0;
+    int idx = 0;
+    for (const TrainTestBundle* bundle : {&nyx, &hurricane}) {
+      FxrzTrainingOptions opts;
+      opts.features.stride = stride;
+      Fxrz fxrz(MakeCompressor("sz"), opts);
+      fxrz.Train(Pointers(bundle->train));
+      const Tensor& test = bundle->test[0].data;
+      const auto probe = MakeCompressor("sz");
+      int n = 0;
+      for (double tcr : ProbeValidTargetRatios(*probe, test, 6)) {
+        const auto result = fxrz.CompressToRatio(test, tcr);
+        errors[idx] += EstimationError(tcr, result.measured_ratio);
+        analysis_ms += result.analysis_seconds * 1e3;
+        ++n;
+      }
+      errors[idx] /= n;
+      ++idx;
+    }
+    std::printf("%-8zu %9.2f%% %15.1f%% %15.1f%% %12.2fms\n", stride,
+                100.0 * StrideSampleFraction(nyx.test[0].data, stride),
+                100.0 * errors[0], 100.0 * errors[1], analysis_ms / 12.0);
+  }
+  std::printf(
+      "\nShape check: accuracy stays roughly flat while analysis time drops\n"
+      "sharply with stride (the paper's 1.5%%-sampling result).\n");
+  return 0;
+}

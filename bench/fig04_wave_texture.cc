@@ -1,0 +1,72 @@
+// Fig. 4: the wave textures of RTM data, which the MSD (spline) feature is
+// designed to detect.
+//
+// Renders an ASCII heat map of a horizontal slice through the simulated
+// wavefield at two time steps (expanding wavefronts), and contrasts the MSD
+// feature of RTM against a non-wave dataset.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/features.h"
+#include "src/data/generators/nyx.h"
+#include "src/data/generators/rtm.h"
+#include "src/data/statistics.h"
+
+namespace {
+
+void RenderSlice(const fxrz::Tensor& t, size_t x_plane) {
+  const size_t nz = t.dim(0), ny = t.dim(1);
+  const char* shades = " .:-=+*#%@";
+  float peak = 1e-12f;
+  for (size_t z = 0; z < nz; ++z) {
+    for (size_t y = 0; y < ny; ++y) {
+      peak = std::max(peak, std::fabs(t.at({z, y, x_plane})));
+    }
+  }
+  const size_t step_z = std::max<size_t>(1, nz / 30);
+  const size_t step_y = std::max<size_t>(1, ny / 60);
+  for (size_t z = 0; z < nz; z += step_z) {
+    std::printf("  ");
+    for (size_t y = 0; y < ny; y += step_y) {
+      const double mag = std::fabs(t.at({z, y, x_plane})) / peak;
+      const int shade = std::min(9, static_cast<int>(std::sqrt(mag) * 10.0));
+      std::putchar(shades[shade]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace fxrz;
+  using namespace fxrz_bench;
+  PrintHeader("RTM wave textures and the MSD feature", "Fig. 4");
+
+  RtmConfig config = RtmSmallScaleConfig();
+  const std::vector<Tensor> snaps = SimulateRtmSnapshots(config, {120, 300});
+
+  std::printf("\nwavefield |p|, mid-x slice, time step 120:\n");
+  RenderSlice(snaps[0], config.nx / 2);
+  std::printf("\nwavefield |p|, mid-x slice, time step 300:\n");
+  RenderSlice(snaps[1], config.nx / 2);
+
+  // Wave textures are locally spline-predictable: RTM's MSD is orders of
+  // magnitude below its value range, unlike spiky cosmology data.
+  const FeatureVector rtm_f = ExtractFeatures(snaps[1]);
+  const Tensor nyx = GenerateNyxField(NyxConfig1(), "baryon_density", 3);
+  const FeatureVector nyx_f = ExtractFeatures(nyx);
+  std::printf("\n%-14s %14s %14s %16s\n", "dataset", "MSD", "range",
+              "MSD/range");
+  std::printf("%-14s %14.4g %14.4g %16.5f\n", "RTM", rtm_f.msd,
+              rtm_f.value_range, rtm_f.msd / rtm_f.value_range);
+  std::printf("%-14s %14.4g %14.4g %16.5f\n", "Nyx baryon", nyx_f.msd,
+              nyx_f.value_range, nyx_f.msd / nyx_f.value_range);
+  std::printf(
+      "\nShape check: concentric wavefronts in the renders; RTM's relative\n"
+      "MSD far below Nyx's (the paper's motivation for the MSD feature).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 8 & 9: train-vs-test dataset variability.
+//
+// Shows that training and testing data differ materially: value
+// distributions (ASCII histograms) for Hurricane QCLOUD and Nyx baryon
+// density, and per-snapshot standard deviations -- the paper's evidence
+// that FXRZ is not just memorizing one dataset.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/data/generators/catalog.h"
+#include "src/data/statistics.h"
+
+namespace {
+
+void PrintHistogram(const char* label, const fxrz::Tensor& t) {
+  const std::vector<size_t> counts = fxrz::Histogram(t, 12);
+  const size_t peak = *std::max_element(counts.begin(), counts.end());
+  const fxrz::SummaryStats st = fxrz::ComputeSummary(t);
+  std::printf("%s  (min %.4g, max %.4g)\n", label, st.min, st.max);
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const int bar =
+        peak ? static_cast<int>(40.0 * counts[b] / static_cast<double>(peak))
+             : 0;
+    std::printf("  bin %2zu |%-40s| %zu\n", b,
+                std::string(bar, '#').c_str(), counts[b]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace fxrz;
+  using namespace fxrz_bench;
+  PrintHeader("Train vs test dataset variability", "Fig. 8 and Fig. 9");
+
+  const CatalogOptions copts = BenchCatalogOptions();
+
+  {
+    const TrainTestBundle b = MakeHurricaneBundle("QCLOUD", copts);
+    std::printf("\nHurricane QCLOUD distribution\n");
+    PrintHistogram("train t=5 ", b.train.front().data);
+    PrintHistogram("test  t=48", b.test.front().data);
+  }
+  {
+    const TrainTestBundle b = MakeNyxBundle("baryon_density", copts);
+    std::printf("\nNyx baryon density distribution\n");
+    PrintHistogram("train Nyx-1", b.train.front().data);
+    PrintHistogram("test  Nyx-2", b.test.front().data);
+  }
+
+  std::printf("\nStandard deviation per snapshot (Fig. 9)\n");
+  std::printf("%-28s %14s\n", "dataset", "stddev");
+  for (const auto& bundle :
+       {MakeHurricaneBundle("QCLOUD", copts),
+        MakeNyxBundle("baryon_density", copts)}) {
+    for (const auto& d : bundle.train) {
+      std::printf("%-28s %14.5g\n", d.name.c_str(),
+                  ComputeSummary(d.data).stddev);
+    }
+    for (const auto& d : bundle.test) {
+      std::printf("%-28s %14.5g  <- test\n", d.name.c_str(),
+                  ComputeSummary(d.data).stddev);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the kernels underneath FXRZ:
+// compressor throughput, feature extraction, entropy coders, FFT/GRF.
+// Not tied to a specific paper table; used to track performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/compressors/compressor.h"
+#include "src/core/compressibility.h"
+#include "src/core/features.h"
+#include "src/data/fft.h"
+#include "src/data/generators/grf.h"
+#include "src/encoding/huffman.h"
+#include "src/encoding/zlite.h"
+#include "src/util/random.h"
+
+namespace {
+
+using namespace fxrz;
+
+const Tensor& TestField() {
+  static const Tensor* field =
+      new Tensor(GaussianRandomField3D(32, 32, 32, 3.0, 77));
+  return *field;
+}
+
+void BM_Compress(benchmark::State& state, const std::string& name) {
+  const auto comp = MakeCompressor(name);
+  const Tensor& data = TestField();
+  const ConfigSpace space = comp->config_space(data);
+  const double config = space.integer ? 16 : std::sqrt(space.min * space.max);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp->Compress(data, config));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size_bytes());
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& name) {
+  const auto comp = MakeCompressor(name);
+  const Tensor& data = TestField();
+  const ConfigSpace space = comp->config_space(data);
+  const double config = space.integer ? 16 : std::sqrt(space.min * space.max);
+  const std::vector<uint8_t> bytes = comp->Compress(data, config);
+  Tensor out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp->Decompress(bytes.data(), bytes.size(), &out));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size_bytes());
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const Tensor& data = TestField();
+  FeatureOptions opts;
+  opts.stride = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractFeatures(data, opts));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size_bytes());
+}
+
+void BM_ConstantBlockScan(benchmark::State& state) {
+  const Tensor& data = TestField();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanConstantBlocks(data));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size_bytes());
+}
+
+void BM_Huffman(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint32_t> symbols(1 << 16);
+  for (auto& s : symbols) {
+    s = rng.NextDouble() < 0.9 ? 32768u
+                               : static_cast<uint32_t>(rng.NextBelow(65536));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HuffmanEncode(symbols));
+  }
+  state.SetBytesProcessed(state.iterations() * symbols.size() * 4);
+}
+
+void BM_Zlite(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<uint8_t> input(1 << 18);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<uint8_t>((i / 64) % 7 + rng.NextBelow(3));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZliteCompress(input));
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+
+void BM_Fft3D(benchmark::State& state) {
+  std::vector<std::complex<double>> data(32 * 32 * 32);
+  Rng rng(3);
+  for (auto& c : data) c = {rng.NextGaussian(), rng.NextGaussian()};
+  for (auto _ : state) {
+    auto copy = data;
+    Fft3D(&copy, 32, 32, 32, false);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+
+void BM_GrfSynthesis(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GaussianRandomField3D(32, 32, 32, 3.0, seed++));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Compress, sz, "sz");
+BENCHMARK_CAPTURE(BM_Compress, zfp, "zfp");
+BENCHMARK_CAPTURE(BM_Compress, fpzip, "fpzip");
+BENCHMARK_CAPTURE(BM_Compress, mgard, "mgard");
+BENCHMARK_CAPTURE(BM_Decompress, sz, "sz");
+BENCHMARK_CAPTURE(BM_Decompress, zfp, "zfp");
+BENCHMARK_CAPTURE(BM_Decompress, fpzip, "fpzip");
+BENCHMARK_CAPTURE(BM_Decompress, mgard, "mgard");
+BENCHMARK(BM_FeatureExtraction)->Arg(1)->Arg(4);
+BENCHMARK(BM_ConstantBlockScan);
+BENCHMARK(BM_Huffman);
+BENCHMARK(BM_Zlite);
+BENCHMARK(BM_Fft3D);
+BENCHMARK(BM_GrfSynthesis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Sec. V-H: end-to-end parallel data dumping on a simulated supercomputer.
+//
+// Ranks (64 -> 4096) dump blocks of Nyx and Hurricane fields at a fixed
+// target ratio through a shared ~2 GB/s filesystem. Per-rank compute is
+// measured on real threads; I/O contention is modeled. Paper: FXRZ beats
+// FRaZ by 1.18x - 8.71x overall (the gap shrinks as I/O, which both pay
+// equally, starts to dominate).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/compressors/compressor.h"
+#include "src/core/augmentation.h"
+#include "src/core/pipeline.h"
+#include "src/data/bricks.h"
+#include "src/data/generators/catalog.h"
+#include "src/parallel/dump.h"
+
+int main() {
+  using namespace fxrz;
+  using namespace fxrz_bench;
+  PrintHeader("Parallel data dumping: FXRZ vs FRaZ", "Sec. V-H");
+
+  const CatalogOptions copts = BenchCatalogOptions();
+  struct Scenario {
+    const char* label;
+    TrainTestBundle bundle;
+    const char* comp;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      {"Nyx baryon + SZ", MakeNyxBundle("baryon_density", copts), "sz"});
+  scenarios.push_back(
+      {"Hurricane TC + ZFP", MakeHurricaneBundle("TC", copts), "zfp"});
+
+  for (const auto& sc : scenarios) {
+    Fxrz fxrz(MakeCompressor(sc.comp));
+    fxrz.Train(Pointers(sc.bundle.train));
+    const double target =
+        ProbeValidTargetRatios(fxrz.compressor(), sc.bundle.test[0].data, 1)[0];
+
+    // Rank variants: domain-decomposed bricks of the test snapshot -- each
+    // simulated rank holds one sub-brick, like a real parallel dump.
+    const std::vector<Tensor> bricks =
+        SplitIntoBricks(sc.bundle.test[0].data, {2, 2, 2});
+    std::vector<const Tensor*> variants;
+    for (const Tensor& b : bricks) variants.push_back(&b);
+
+    std::printf("\n%s, target ratio %.1f\n", sc.label, target);
+    std::printf("%8s %-7s %14s %14s %14s %14s %10s\n", "ranks", "io-model",
+                "FXRZ total(s)", "FRaZ total(s)", "FXRZ IO(s)", "FRaZ IO(s)",
+                "speedup");
+    for (int ranks : {64, 256, 1024, 4096}) {
+      for (bool event_driven : {false, true}) {
+        DumpExperimentOptions opts;
+        opts.num_ranks = ranks;
+        opts.target_ratio = target;
+        opts.event_driven_io = event_driven;
+        ParallelDumpExperiment experiment(&fxrz.compressor(), opts);
+        const DumpMethodResult fx = experiment.RunFxrz(fxrz.model(), variants);
+        FrazOptions fraz15;
+        fraz15.total_max_iterations = 15;
+        const DumpMethodResult fr = experiment.RunFraz(fraz15, variants);
+        std::printf("%8d %-7s %14.3f %14.3f %14.3f %14.3f %9.2fx\n", ranks,
+                    event_driven ? "event" : "phased",
+                    fx.timing.total_seconds, fr.timing.total_seconds,
+                    fx.timing.io_seconds, fr.timing.io_seconds,
+                    fr.timing.total_seconds / fx.timing.total_seconds);
+      }
+    }
+  }
+  std::printf(
+      "\nShape check: speedups in the 1.2x-9x band, shrinking as rank count\n"
+      "(and hence shared-I/O time) grows -- matching the paper's 1.18-8.71x.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "src/compressors/chunked.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/encoding/bit_stream.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+constexpr uint32_t kMagic = 0x43484B31;  // "CHK1"
+}  // namespace
+
+ChunkedCompressor::ChunkedCompressor(std::unique_ptr<Compressor> base,
+                                     size_t target_chunk_elems)
+    : base_(std::move(base)), target_chunk_elems_(target_chunk_elems) {
+  FXRZ_CHECK(base_ != nullptr);
+  FXRZ_CHECK_GT(target_chunk_elems_, 0u);
+}
+
+std::vector<uint8_t> ChunkedCompressor::Compress(const Tensor& data,
+                                                 double config) const {
+  FXRZ_CHECK(!data.empty());
+  const size_t row_elems = data.size() / data.dim(0);
+  const size_t rows_per_chunk =
+      std::max<size_t>(1, target_chunk_elems_ / row_elems);
+  const size_t num_chunks =
+      (data.dim(0) + rows_per_chunk - 1) / rows_per_chunk;
+
+  std::vector<uint8_t> out;
+  compressor_internal::AppendHeader(&out, kMagic, data);
+  AppendUint32(&out, static_cast<uint32_t>(num_chunks));
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t row_lo = c * rows_per_chunk;
+    const size_t rows = std::min(rows_per_chunk, data.dim(0) - row_lo);
+    std::vector<size_t> slab_dims = data.dims();
+    slab_dims[0] = rows;
+    std::vector<float> values(rows * row_elems);
+    std::memcpy(values.data(), data.data() + row_lo * row_elems,
+                values.size() * sizeof(float));
+    const std::vector<uint8_t> chunk =
+        base_->Compress(Tensor(std::move(slab_dims), std::move(values)),
+                        config);
+    AppendUint64(&out, chunk.size());
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+size_t ChunkedCompressor::ChunkCount(const uint8_t* data, size_t size) const {
+  std::vector<size_t> dims;
+  size_t pos = 0;
+  if (!compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos).ok())
+    return 0;
+  if (pos + 4 > size) return 0;
+  return ReadUint32(data + pos);
+}
+
+Status ChunkedCompressor::DecompressChunk(const uint8_t* data, size_t size,
+                                          size_t index, Tensor* out) const {
+  FXRZ_CHECK(out != nullptr);
+  std::vector<size_t> dims;
+  size_t pos = 0;
+  FXRZ_RETURN_IF_ERROR(
+      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+  if (pos + 4 > size) return Status::Corruption("chunked: short header");
+  const uint32_t num_chunks = ReadUint32(data + pos);
+  pos += 4;
+  if (index >= num_chunks) return Status::InvalidArgument("chunk index");
+
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    if (pos + 8 > size) return Status::Corruption("chunked: truncated index");
+    const uint64_t chunk_size = ReadUint64(data + pos);
+    pos += 8;
+    if (pos + chunk_size > size) {
+      return Status::Corruption("chunked: truncated chunk");
+    }
+    if (c == index) {
+      return base_->Decompress(data + pos, chunk_size, out);
+    }
+    pos += chunk_size;
+  }
+  return Status::Internal("unreachable");
+}
+
+Status ChunkedCompressor::Decompress(const uint8_t* data, size_t size,
+                                     Tensor* out) const {
+  FXRZ_CHECK(out != nullptr);
+  std::vector<size_t> dims;
+  size_t pos = 0;
+  FXRZ_RETURN_IF_ERROR(
+      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+  if (pos + 4 > size) return Status::Corruption("chunked: short header");
+  const uint32_t num_chunks = ReadUint32(data + pos);
+  if (num_chunks == 0) return Status::Corruption("chunked: no chunks");
+
+  Tensor result(dims);
+  size_t row = 0;
+  const size_t row_elems = result.size() / result.dim(0);
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    Tensor slab;
+    FXRZ_RETURN_IF_ERROR(DecompressChunk(data, size, c, &slab));
+    if (slab.rank() != result.rank() || row + slab.dim(0) > result.dim(0)) {
+      return Status::Corruption("chunked: slab shape mismatch");
+    }
+    for (size_t d = 1; d < result.rank(); ++d) {
+      if (slab.dim(d) != result.dim(d)) {
+        return Status::Corruption("chunked: slab shape mismatch");
+      }
+    }
+    std::memcpy(result.data() + row * row_elems, slab.data(),
+                slab.size() * sizeof(float));
+    row += slab.dim(0);
+  }
+  if (row != result.dim(0)) return Status::Corruption("chunked: missing rows");
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,49 @@
+// Chunked compression adapter for bounded-memory and random-access use.
+//
+// The paper's in-memory use case (Sec. III-B) compresses state that gets
+// reconstructed piecewise during the run. This decorator splits a tensor
+// into contiguous slabs along its first dimension, compresses each slab
+// independently with the base compressor, and frames them with an index --
+// so decompression can target a single slab without touching the rest, and
+// peak memory stays bounded by one slab.
+
+#ifndef FXRZ_COMPRESSORS_CHUNKED_H_
+#define FXRZ_COMPRESSORS_CHUNKED_H_
+
+#include <memory>
+
+#include "src/compressors/compressor.h"
+
+namespace fxrz {
+
+class ChunkedCompressor : public Compressor {
+ public:
+  // Slabs are sized to at most `target_chunk_elems` elements (rounded to
+  // whole rows of the first dimension; a slab holds at least one row).
+  explicit ChunkedCompressor(std::unique_ptr<Compressor> base,
+                             size_t target_chunk_elems = size_t{1} << 18);
+
+  std::string name() const override { return base_->name() + "-chunked"; }
+  ConfigSpace config_space(const Tensor& data) const override {
+    return base_->config_space(data);
+  }
+  std::vector<uint8_t> Compress(const Tensor& data,
+                                double config) const override;
+  Status Decompress(const uint8_t* data, size_t size,
+                    Tensor* out) const override;
+
+  // Number of slabs in a compressed stream (0 on malformed input).
+  size_t ChunkCount(const uint8_t* data, size_t size) const;
+
+  // Decompresses only slab `index` (its own smaller tensor).
+  Status DecompressChunk(const uint8_t* data, size_t size, size_t index,
+                         Tensor* out) const;
+
+ private:
+  std::unique_ptr<Compressor> base_;
+  size_t target_chunk_elems_;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_COMPRESSORS_CHUNKED_H_

@@ -1,0 +1,80 @@
+#include "src/compressors/compressor.h"
+
+#include "src/compressors/fpzip.h"
+#include "src/compressors/mgard.h"
+#include "src/compressors/sz.h"
+#include "src/compressors/sz3.h"
+#include "src/compressors/zfp.h"
+#include "src/encoding/bit_stream.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+double Compressor::MeasureCompressionRatio(const Tensor& data,
+                                           double config) const {
+  const std::vector<uint8_t> compressed = Compress(data, config);
+  FXRZ_CHECK(!compressed.empty());
+  return static_cast<double>(data.size_bytes()) /
+         static_cast<double>(compressed.size());
+}
+
+std::unique_ptr<Compressor> MakeCompressor(const std::string& name) {
+  if (name == "sz") return std::make_unique<SzCompressor>();
+  if (name == "sz3") return std::make_unique<Sz3Compressor>();
+  if (name == "zfp") return std::make_unique<ZfpCompressor>();
+  if (name == "fpzip") return std::make_unique<FpzipCompressor>();
+  if (name == "mgard") return std::make_unique<MgardCompressor>();
+  FXRZ_CHECK(false) << "unknown compressor: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> AllCompressorNames() {
+  // The four compressors of the paper's evaluation. "sz3" (interpolation-
+  // based, see src/compressors/sz3.h) is additionally available through
+  // MakeCompressor and ExtendedCompressorNames.
+  return {"sz", "zfp", "fpzip", "mgard"};
+}
+
+std::vector<std::string> ExtendedCompressorNames() {
+  return {"sz", "sz3", "zfp", "fpzip", "mgard"};
+}
+
+namespace compressor_internal {
+
+void AppendHeader(std::vector<uint8_t>* out, uint32_t magic,
+                  const Tensor& data) {
+  AppendUint32(out, magic);
+  AppendUint32(out, static_cast<uint32_t>(data.rank()));
+  for (size_t i = 0; i < data.rank(); ++i) {
+    AppendUint64(out, data.dim(i));
+  }
+}
+
+Status ParseHeader(const uint8_t* data, size_t size, uint32_t magic,
+                   std::vector<size_t>* dims, size_t* pos) {
+  FXRZ_CHECK(dims != nullptr && pos != nullptr);
+  if (size < 8) return Status::Corruption("short header");
+  if (ReadUint32(data) != magic) return Status::Corruption("bad magic");
+  const uint32_t rank = ReadUint32(data + 4);
+  if (rank == 0 || rank > Tensor::kMaxRank) {
+    return Status::Corruption("bad rank");
+  }
+  if (size < 8 + 8ull * rank) return Status::Corruption("truncated dims");
+  dims->resize(rank);
+  size_t total = 1;
+  for (uint32_t i = 0; i < rank; ++i) {
+    (*dims)[i] = ReadUint64(data + 8 + 8ull * i);
+    if ((*dims)[i] == 0) return Status::Corruption("zero dim");
+    // Guard against corrupt headers demanding absurd allocations.
+    if ((*dims)[i] > (1ull << 32) || total > (1ull << 33) / (*dims)[i]) {
+      return Status::Corruption("implausible dims");
+    }
+    total *= (*dims)[i];
+  }
+  *pos = 8 + 8ull * rank;
+  return Status::Ok();
+}
+
+}  // namespace compressor_internal
+
+}  // namespace fxrz

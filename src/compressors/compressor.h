@@ -1,0 +1,81 @@
+// Error-controlled lossy compressor interface.
+//
+// Every compressor exposes a single scalar control knob ("config"): an
+// absolute error bound for SZ/ZFP/MGARD, an integer precision for FPZIP.
+// The ConfigSpace descriptor tells FXRZ and FRaZ how to search/interpolate
+// the knob (log vs linear scale, integer vs continuous, and whether the
+// compression ratio increases or decreases with the knob) -- this is what
+// makes the framework genuinely compressor-agnostic.
+
+#ifndef FXRZ_COMPRESSORS_COMPRESSOR_H_
+#define FXRZ_COMPRESSORS_COMPRESSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/tensor.h"
+#include "src/util/status.h"
+
+namespace fxrz {
+
+// How a compressor's control knob behaves.
+struct ConfigSpace {
+  double min = 0.0;          // smallest sensible knob value
+  double max = 0.0;          // largest sensible knob value
+  bool log_scale = true;     // search/interpolate in log10 of the knob
+  bool integer = false;      // knob must be rounded to an integer
+  bool ratio_increases = true;  // CR grows with the knob (false for FPZIP)
+};
+
+// Abstract error-controlled lossy compressor.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  // Short identifier: "sz", "zfp", "fpzip", "mgard".
+  virtual std::string name() const = 0;
+
+  // Sensible knob range for this dataset (depends on its value range).
+  virtual ConfigSpace config_space(const Tensor& data) const = 0;
+
+  // Compresses `data` under knob value `config` into a self-describing
+  // stream (shape is embedded). `config` must lie inside config_space.
+  virtual std::vector<uint8_t> Compress(const Tensor& data,
+                                        double config) const = 0;
+
+  // Reconstructs a tensor from a stream produced by Compress.
+  virtual Status Decompress(const uint8_t* data, size_t size,
+                            Tensor* out) const = 0;
+
+  // Convenience: compresses and returns original_bytes / compressed_bytes.
+  double MeasureCompressionRatio(const Tensor& data, double config) const;
+};
+
+// Creates a compressor by name; aborts on unknown names (use
+// AllCompressorNames() to enumerate).
+std::unique_ptr<Compressor> MakeCompressor(const std::string& name);
+
+// {"sz", "zfp", "fpzip", "mgard"} -- the paper's evaluation set.
+std::vector<std::string> AllCompressorNames();
+
+// The evaluation set plus "sz3" (interpolation-based SZ3-like design).
+std::vector<std::string> ExtendedCompressorNames();
+
+// Shared helpers for stream headers (magic + shape).
+namespace compressor_internal {
+
+// Appends magic (4 bytes) + rank + dims.
+void AppendHeader(std::vector<uint8_t>* out, uint32_t magic,
+                  const Tensor& data);
+
+// Parses a header; on success sets dims and advances *pos.
+Status ParseHeader(const uint8_t* data, size_t size, uint32_t magic,
+                   std::vector<size_t>* dims, size_t* pos);
+
+}  // namespace compressor_internal
+
+}  // namespace fxrz
+
+#endif  // FXRZ_COMPRESSORS_COMPRESSOR_H_

@@ -1,0 +1,244 @@
+#include "src/compressors/fpzip.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "src/encoding/arith.h"
+#include "src/encoding/bit_stream.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x46505A31;  // "FPZ1"
+
+// Monotone map float -> uint32: ordered integers compare like the floats.
+uint32_t FloatToOrdered(float f) {
+  uint32_t u = std::bit_cast<uint32_t>(f);
+  return (u & 0x80000000u) ? ~u : (u | 0x80000000u);
+}
+
+float OrderedToFloat(uint32_t o) {
+  const uint32_t u = (o & 0x80000000u) ? (o & 0x7FFFFFFFu) : ~o;
+  return std::bit_cast<float>(u);
+}
+
+// Precision reduction: keep the top `p` bits of the ordered representation.
+uint32_t Truncate(uint32_t o, int p) {
+  if (p >= 32) return o;
+  const uint32_t mask = ~((1u << (32 - p)) - 1u);
+  return o & mask;
+}
+
+// Context set for residual coding: one bit tree over the 6-bit magnitude
+// class (leading-bit position), plus a sign context per class.
+struct ResidualModel {
+  // 63 nodes of a binary tree over 6 bits (indices 1..63).
+  BitContext klass[64];
+  BitContext sign[33];
+};
+
+void EncodeResidual(ArithEncoder* enc, ResidualModel* m, int64_t r) {
+  const uint64_t mag = static_cast<uint64_t>(r < 0 ? -r : r);
+  // k = number of significant bits of |r| (0 for r == 0), k <= 33.
+  const int k = mag == 0 ? 0 : 64 - std::countl_zero(mag);
+  FXRZ_DCHECK(k <= 33);
+  // Binary-tree coding of k as 6 bits, MSB first, with per-node contexts.
+  uint32_t node = 1;
+  for (int b = 5; b >= 0; --b) {
+    const uint32_t bit = (static_cast<uint32_t>(k) >> b) & 1u;
+    enc->EncodeBit(&m->klass[node], bit);
+    node = node * 2 + bit;
+    if (node > 63) node = 63;  // keep in range for k=33 (needs 6 bits: <=63)
+  }
+  if (k == 0) return;
+  enc->EncodeBit(&m->sign[std::min(k, 32)], r < 0 ? 1u : 0u);
+  if (k > 1) {
+    // Bits below the implicit leading 1.
+    enc->EncodeRaw(mag & ((1ull << (k - 1)) - 1ull), k - 1);
+  }
+}
+
+int64_t DecodeResidual(ArithDecoder* dec, ResidualModel* m) {
+  uint32_t node = 1;
+  uint32_t k = 0;
+  for (int b = 5; b >= 0; --b) {
+    const uint32_t bit = dec->DecodeBit(&m->klass[node]);
+    k = (k << 1) | bit;
+    node = node * 2 + bit;
+    if (node > 63) node = 63;
+  }
+  if (k == 0) return 0;
+  const uint32_t sign = dec->DecodeBit(&m->sign[std::min<uint32_t>(k, 32)]);
+  uint64_t mag = 1ull << (k - 1);
+  if (k > 1) mag |= dec->DecodeRaw(k - 1);
+  const int64_t r = static_cast<int64_t>(mag);
+  return sign ? -r : r;
+}
+
+// Lorenzo prediction in ordered-integer space over the last <=3 dims.
+struct SliceLayout {
+  size_t num_slices = 1;
+  size_t slice_elems = 1;
+  size_t nd = 0;
+  size_t dims[3] = {1, 1, 1};
+  size_t strides[3] = {1, 1, 1};
+};
+
+SliceLayout MakeSliceLayout(const std::vector<size_t>& dims) {
+  SliceLayout lay;
+  const size_t rank = dims.size();
+  lay.nd = std::min<size_t>(rank, 3);
+  const size_t lead = rank - lay.nd;
+  for (size_t i = 0; i < lead; ++i) lay.num_slices *= dims[i];
+  for (size_t i = 0; i < lay.nd; ++i) {
+    lay.dims[i] = dims[lead + i];
+    lay.slice_elems *= lay.dims[i];
+  }
+  lay.strides[lay.nd - 1] = 1;
+  for (size_t i = lay.nd - 1; i-- > 0;) {
+    lay.strides[i] = lay.strides[i + 1] * lay.dims[i + 1];
+  }
+  return lay;
+}
+
+int64_t PredictOrdered(const uint32_t* slice, const SliceLayout& lay,
+                       const size_t* idx, size_t linear) {
+  auto value = [&](size_t dz, size_t dy, size_t dx) -> int64_t {
+    const size_t offs[3] = {dz, dy, dx};
+    size_t lin = linear;
+    for (size_t d = 0; d < lay.nd; ++d) {
+      const size_t back = offs[3 - lay.nd + d];
+      if (back == 0) continue;
+      if (idx[d] < back) return static_cast<int64_t>(FloatToOrdered(0.0f));
+      lin -= back * lay.strides[d];
+    }
+    return static_cast<int64_t>(slice[lin]);
+  };
+  int64_t pred;
+  switch (lay.nd) {
+    case 1:
+      pred = value(0, 0, 1);
+      break;
+    case 2:
+      pred = value(0, 0, 1) + value(0, 1, 0) - value(0, 1, 1);
+      break;
+    default:
+      pred = value(0, 0, 1) + value(0, 1, 0) + value(1, 0, 0) -
+             value(0, 1, 1) - value(1, 0, 1) - value(1, 1, 0) + value(1, 1, 1);
+      break;
+  }
+  // Clamp into the representable ordered range.
+  return std::clamp<int64_t>(pred, 0, 0xFFFFFFFFll);
+}
+
+}  // namespace
+
+ConfigSpace FpzipCompressor::config_space(const Tensor& data) const {
+  (void)data;
+  ConfigSpace space;
+  space.min = kMinPrecision;
+  space.max = kMaxPrecision;
+  space.log_scale = false;
+  space.integer = true;
+  space.ratio_increases = false;  // higher precision => lower ratio
+  return space;
+}
+
+std::vector<uint8_t> FpzipCompressor::Compress(const Tensor& data,
+                                               double config) const {
+  FXRZ_CHECK(!data.empty());
+  const int p = static_cast<int>(std::lround(config));
+  FXRZ_CHECK(p >= kMinPrecision && p <= kMaxPrecision) << "precision " << p;
+
+  // Precision-reduce the whole field first; both sides of the codec then
+  // agree on the exact integer stream.
+  std::vector<uint32_t> ordered(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ordered[i] = Truncate(FloatToOrdered(data[i]), p);
+  }
+
+  ArithEncoder enc;
+  ResidualModel model;
+  const SliceLayout lay = MakeSliceLayout(data.dims());
+  for (size_t s = 0; s < lay.num_slices; ++s) {
+    const uint32_t* slice = ordered.data() + s * lay.slice_elems;
+    size_t idx[3] = {0, 0, 0};
+    for (size_t i = 0; i < lay.slice_elems; ++i) {
+      const int64_t pred = PredictOrdered(slice, lay, idx, i);
+      const int64_t actual = static_cast<int64_t>(slice[i]);
+      // Residual in units of the truncation step keeps magnitudes small.
+      const int64_t step = 1ll << (32 - p);
+      const int64_t r = (actual - Truncate(static_cast<uint32_t>(pred), p)) /
+                        step;
+      EncodeResidual(&enc, &model, r);
+      for (size_t d = lay.nd; d-- > 0;) {
+        if (++idx[d] < lay.dims[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+
+  std::vector<uint8_t> out;
+  compressor_internal::AppendHeader(&out, kMagic, data);
+  out.push_back(static_cast<uint8_t>(p));
+  const std::vector<uint8_t> payload = std::move(enc).Finish();
+  AppendUint64(&out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status FpzipCompressor::Decompress(const uint8_t* data, size_t size,
+                                   Tensor* out) const {
+  FXRZ_CHECK(out != nullptr);
+  std::vector<size_t> dims;
+  size_t pos = 0;
+  FXRZ_RETURN_IF_ERROR(
+      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+  if (pos + 9 > size) return Status::Corruption("fpzip: short header");
+  const int p = data[pos];
+  if (p < kMinPrecision || p > kMaxPrecision) {
+    return Status::Corruption("fpzip: bad precision");
+  }
+  const uint64_t payload_size = ReadUint64(data + pos + 1);
+  pos += 9;
+  if (pos + payload_size > size) return Status::Corruption("fpzip: truncated");
+
+  Tensor result(dims);
+  std::vector<uint32_t> ordered(result.size());
+
+  ArithDecoder dec(data + pos, payload_size);
+  ResidualModel model;
+  const SliceLayout lay = MakeSliceLayout(dims);
+  for (size_t s = 0; s < lay.num_slices; ++s) {
+    uint32_t* slice = ordered.data() + s * lay.slice_elems;
+    size_t idx[3] = {0, 0, 0};
+    for (size_t i = 0; i < lay.slice_elems; ++i) {
+      const int64_t pred = PredictOrdered(slice, lay, idx, i);
+      const int64_t r = DecodeResidual(&dec, &model);
+      const int64_t step = 1ll << (32 - p);
+      const int64_t actual =
+          static_cast<int64_t>(Truncate(static_cast<uint32_t>(pred), p)) +
+          r * step;
+      if (actual < 0 || actual > 0xFFFFFFFFll || dec.overrun()) {
+        return Status::Corruption("fpzip: bad residual stream");
+      }
+      slice[i] = static_cast<uint32_t>(actual);
+      for (size_t d = lay.nd; d-- > 0;) {
+        if (++idx[d] < lay.dims[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < result.size(); ++i) {
+    result[i] = OrderedToFloat(ordered[i]);
+  }
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,225 @@
+#include "src/compressors/mgard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/data/statistics.h"
+#include "src/encoding/bit_stream.h"
+#include "src/encoding/huffman.h"
+#include "src/encoding/zlite.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4D475231;  // "MGR1"
+
+int NumLevels(const std::vector<size_t>& dims) {
+  // Levels are limited by the smallest extent > 2 and capped at 4.
+  int levels = 4;
+  for (size_t d : dims) {
+    if (d < 3) continue;
+    int l = 0;
+    while ((1u << (l + 1)) < d) ++l;
+    levels = std::min(levels, l);
+  }
+  return std::max(levels, 1);
+}
+
+// Dimension-by-dimension multilevel lifting. Values are processed in
+// double precision held in `v`. `forward` subtracts the interpolation
+// prediction from detail points; the inverse adds it back. The exact same
+// traversal order on both sides makes the pair an exact inverse (up to the
+// quantization applied between them).
+class MultilevelTransform {
+ public:
+  MultilevelTransform(std::vector<double>* v, const std::vector<size_t>& dims)
+      : v_(v), dims_(dims), rank_(dims.size()) {
+    strides_.assign(rank_, 1);
+    for (size_t i = rank_; i-- > 1;) {
+      strides_[i - 1] = strides_[i] * dims_[i];
+    }
+    n_ = 1;
+    for (size_t d : dims_) n_ *= d;
+  }
+
+  void Forward(int levels) {
+    for (int l = 1; l <= levels; ++l) {
+      for (size_t axis = 0; axis < rank_; ++axis) {
+        LiftAxis(l, axis, /*forward=*/true);
+      }
+    }
+  }
+
+  void Inverse(int levels) {
+    for (int l = levels; l >= 1; --l) {
+      for (size_t axis = rank_; axis-- > 0;) {
+        LiftAxis(l, axis, /*forward=*/false);
+      }
+    }
+  }
+
+ private:
+  // Applies the predict step along `axis` at level `l` to every detail
+  // point: coordinates of processed axes (b < axis) on the coarse grid
+  // (% step == 0), later axes (b > axis) still on the fine grid (% half == 0),
+  // and this axis' coordinate at % step == half.
+  void LiftAxis(int l, size_t axis, bool forward) {
+    const size_t step = 1ull << l;
+    const size_t half = step >> 1;
+    if (dims_[axis] <= half) return;
+
+    std::vector<size_t> idx(rank_, 0);
+    for (size_t lin = 0; lin < n_;) {
+      // Check membership of this point as a detail point for (l, axis).
+      bool detail = idx[axis] % step == half;
+      if (detail) {
+        for (size_t b = 0; b < rank_ && detail; ++b) {
+          if (b == axis) continue;
+          const size_t mod = b < axis ? step : half;
+          if (idx[b] % mod != 0) detail = false;
+        }
+      }
+      if (detail) {
+        const size_t coord = idx[axis];
+        double pred;
+        const bool has_right = coord + half < dims_[axis];
+        const double left = (*v_)[lin - half * strides_[axis]];
+        if (has_right) {
+          pred = 0.5 * (left + (*v_)[lin + half * strides_[axis]]);
+        } else {
+          pred = left;
+        }
+        if (forward) {
+          (*v_)[lin] -= pred;
+        } else {
+          (*v_)[lin] += pred;
+        }
+      }
+      // Advance the odometer.
+      size_t d = rank_;
+      for (; d-- > 0;) {
+        if (++idx[d] < dims_[d]) break;
+        idx[d] = 0;
+      }
+      ++lin;
+    }
+  }
+
+  std::vector<double>* v_;
+  std::vector<size_t> dims_;
+  size_t rank_;
+  std::vector<size_t> strides_;
+  size_t n_ = 0;
+};
+
+}  // namespace
+
+ConfigSpace MgardCompressor::config_space(const Tensor& data) const {
+  const SummaryStats s = ComputeSummary(data);
+  ConfigSpace space;
+  const double range = s.value_range > 0 ? s.value_range : 1.0;
+  space.min = 1e-6 * range;
+  space.max = 0.3 * range;
+  space.log_scale = true;
+  space.integer = false;
+  space.ratio_increases = true;
+  return space;
+}
+
+std::vector<uint8_t> MgardCompressor::Compress(const Tensor& data,
+                                               double eb) const {
+  FXRZ_CHECK(!data.empty());
+  FXRZ_CHECK_GT(eb, 0.0);
+
+  const SummaryStats stats = ComputeSummary(data);
+  const double offset = stats.min;
+
+  std::vector<double> v(data.size());
+  for (size_t i = 0; i < data.size(); ++i) v[i] = data[i] - offset;
+
+  const int levels = NumLevels(data.dims());
+  MultilevelTransform transform(&v, data.dims());
+  transform.Forward(levels);
+
+  // Worst-case error accumulation: each of (levels * rank) predict passes
+  // can add one quantization error; +1 for the point's own code.
+  const double q =
+      2.0 * eb / (static_cast<double>(levels) * data.rank() + 1.0);
+
+  std::vector<uint32_t> codes(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    const double code_d = std::round(v[i] / q);
+    FXRZ_CHECK(std::fabs(code_d) < 1e9)
+        << "mgard: quantization overflow; eb too small for this data";
+    const int64_t code = static_cast<int64_t>(code_d);
+    codes[i] = static_cast<uint32_t>(code >= 0 ? 2 * code : -2 * code - 1);
+  }
+
+  std::vector<uint8_t> body;
+  AppendDouble(&body, eb);
+  AppendDouble(&body, offset);
+  body.push_back(static_cast<uint8_t>(levels));
+  const std::vector<uint8_t> huff = HuffmanEncode(codes);
+  AppendUint64(&body, huff.size());
+  body.insert(body.end(), huff.begin(), huff.end());
+
+  const std::vector<uint8_t> packed = ZliteCompress(body);
+  std::vector<uint8_t> out;
+  compressor_internal::AppendHeader(&out, kMagic, data);
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+Status MgardCompressor::Decompress(const uint8_t* data, size_t size,
+                                   Tensor* out) const {
+  FXRZ_CHECK(out != nullptr);
+  std::vector<size_t> dims;
+  size_t pos = 0;
+  FXRZ_RETURN_IF_ERROR(
+      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+
+  std::vector<uint8_t> body;
+  FXRZ_RETURN_IF_ERROR(ZliteDecompress(data + pos, size - pos, &body));
+  if (body.size() < 25) return Status::Corruption("mgard: short body");
+
+  const double eb = ReadDouble(body.data());
+  const double offset = ReadDouble(body.data() + 8);
+  const int levels = body[16];
+  if (!(eb > 0.0) || levels < 1 || levels > 16) {
+    return Status::Corruption("mgard: bad parameters");
+  }
+  const uint64_t huff_size = ReadUint64(body.data() + 17);
+  if (25 + huff_size > body.size()) return Status::Corruption("mgard: trunc");
+
+  std::vector<uint32_t> codes;
+  FXRZ_RETURN_IF_ERROR(HuffmanDecode(body.data() + 25, huff_size, &codes));
+
+  Tensor result(dims);
+  if (codes.size() != result.size()) {
+    return Status::Corruption("mgard: code count mismatch");
+  }
+
+  const double q =
+      2.0 * eb / (static_cast<double>(levels) * dims.size() + 1.0);
+  std::vector<double> v(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    const int64_t code = (codes[i] & 1)
+                             ? -static_cast<int64_t>((codes[i] + 1) / 2)
+                             : static_cast<int64_t>(codes[i] / 2);
+    v[i] = static_cast<double>(code) * q;
+  }
+
+  MultilevelTransform transform(&v, dims);
+  transform.Inverse(levels);
+
+  for (size_t i = 0; i < result.size(); ++i) {
+    result[i] = static_cast<float>(v[i] + offset);
+  }
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,45 @@
+#include "src/compressors/relative.h"
+
+#include <algorithm>
+
+#include "src/data/statistics.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+RelativeErrorCompressor::RelativeErrorCompressor(
+    std::unique_ptr<Compressor> base)
+    : base_(std::move(base)) {
+  FXRZ_CHECK(base_ != nullptr);
+}
+
+ConfigSpace RelativeErrorCompressor::config_space(const Tensor& data) const {
+  const ConfigSpace base_space = base_->config_space(data);
+  FXRZ_CHECK(!base_space.integer)
+      << "relative adapter needs a continuous error-bound knob";
+  ConfigSpace space;
+  space.min = 1e-6;
+  space.max = 0.3;
+  space.log_scale = true;
+  space.integer = false;
+  space.ratio_increases = base_space.ratio_increases;
+  return space;
+}
+
+std::vector<uint8_t> RelativeErrorCompressor::Compress(const Tensor& data,
+                                                       double config) const {
+  FXRZ_CHECK_GT(config, 0.0);
+  const SummaryStats stats = ComputeSummary(data);
+  const double range = stats.value_range > 0 ? stats.value_range : 1.0;
+  const ConfigSpace base_space = base_->config_space(data);
+  const double abs_eb =
+      std::clamp(config * range, base_space.min, base_space.max);
+  return base_->Compress(data, abs_eb);
+}
+
+Status RelativeErrorCompressor::Decompress(const uint8_t* data, size_t size,
+                                           Tensor* out) const {
+  return base_->Decompress(data, size, out);
+}
+
+}  // namespace fxrz

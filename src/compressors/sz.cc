@@ -1,0 +1,442 @@
+#include "src/compressors/sz.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/data/statistics.h"
+#include "src/encoding/bit_stream.h"
+#include "src/encoding/huffman.h"
+#include "src/encoding/zlite.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x535A4C32;  // "SZL2"
+constexpr int64_t kRadius = 32768;       // quantization capacity 2^16
+constexpr size_t kBlock = 6;             // SZ2's 6^d prediction blocks
+
+// Lorenzo predictor over the last (up to) 3 dimensions of a hyperslice,
+// reading already-reconstructed values. Out-of-range neighbors predict 0.
+class LorenzoSlice {
+ public:
+  LorenzoSlice(const float* recon, size_t nd, const size_t* strides)
+      : recon_(recon), nd_(nd), strides_(strides) {}
+
+  double Predict(const size_t* idx, size_t linear) const {
+    auto value = [&](size_t dz, size_t dy, size_t dx) -> double {
+      const size_t offs[3] = {dz, dy, dx};
+      size_t lin = linear;
+      for (size_t d = 0; d < nd_; ++d) {
+        const size_t back = offs[3 - nd_ + d];
+        if (back == 0) continue;
+        if (idx[d] < back) return 0.0;
+        lin -= back * strides_[d];
+      }
+      return recon_[lin];
+    };
+    switch (nd_) {
+      case 1:
+        return value(0, 0, 1);
+      case 2:
+        return value(0, 0, 1) + value(0, 1, 0) - value(0, 1, 1);
+      default:
+        // 3D Lorenzo (paper Eq. 2).
+        return value(0, 0, 1) + value(0, 1, 0) + value(1, 0, 0) -
+               value(0, 1, 1) - value(1, 0, 1) - value(1, 1, 0) +
+               value(1, 1, 1);
+    }
+  }
+
+ private:
+  const float* recon_;
+  size_t nd_;
+  const size_t* strides_;
+};
+
+// Hyperslice decomposition: leading dims become independent slices; the
+// last nd (<=3) dims carry the prediction structure.
+struct SliceLayout {
+  size_t num_slices = 1;
+  size_t slice_elems = 1;
+  size_t nd = 0;
+  size_t dims[3] = {1, 1, 1};
+  size_t strides[3] = {1, 1, 1};
+};
+
+SliceLayout MakeSliceLayout(const std::vector<size_t>& dims) {
+  SliceLayout lay;
+  const size_t rank = dims.size();
+  lay.nd = std::min<size_t>(rank, 3);
+  const size_t lead = rank - lay.nd;
+  for (size_t i = 0; i < lead; ++i) lay.num_slices *= dims[i];
+  for (size_t i = 0; i < lay.nd; ++i) {
+    lay.dims[i] = dims[lead + i];
+    lay.slice_elems *= lay.dims[i];
+  }
+  lay.strides[lay.nd - 1] = 1;
+  for (size_t i = lay.nd - 1; i-- > 0;) {
+    lay.strides[i] = lay.strides[i + 1] * lay.dims[i + 1];
+  }
+  return lay;
+}
+
+// First-order (hyperplane) regression predictor for one block, as in SZ2.
+// v(dz,dy,dx) ~ c0 + cz*dz + cy*dy + cx*dx with block-local coordinates.
+struct RegressionCoefs {
+  double c0 = 0, cz = 0, cy = 0, cx = 0;
+};
+
+// Least-squares plane fit over a (z_n x y_n x x_n) block of `data` starting
+// at `base` (strides per dim). On a regular grid the normal equations
+// decouple: each slope is cov(coord, v) / var(coord).
+RegressionCoefs FitBlock(const float* data, const size_t* strides,
+                         const size_t* lo, const size_t* hi) {
+  RegressionCoefs c;
+  double sum = 0.0, szv = 0.0, syv = 0.0, sxv = 0.0;
+  size_t n = 0;
+  const double mz = (static_cast<double>(hi[0] - lo[0]) - 1) / 2.0;
+  const double my = (static_cast<double>(hi[1] - lo[1]) - 1) / 2.0;
+  const double mx = (static_cast<double>(hi[2] - lo[2]) - 1) / 2.0;
+  double vz = 0.0, vy = 0.0, vx = 0.0;
+  for (size_t z = lo[0]; z < hi[0]; ++z) {
+    for (size_t y = lo[1]; y < hi[1]; ++y) {
+      for (size_t x = lo[2]; x < hi[2]; ++x) {
+        const double v =
+            data[z * strides[0] + y * strides[1] + x * strides[2]];
+        const double dz = static_cast<double>(z - lo[0]) - mz;
+        const double dy = static_cast<double>(y - lo[1]) - my;
+        const double dx = static_cast<double>(x - lo[2]) - mx;
+        sum += v;
+        szv += dz * v;
+        syv += dy * v;
+        sxv += dx * v;
+        vz += dz * dz;
+        vy += dy * dy;
+        vx += dx * dx;
+        ++n;
+      }
+    }
+  }
+  const double mean = sum / static_cast<double>(n);
+  c.cz = vz > 0 ? szv / vz : 0.0;
+  c.cy = vy > 0 ? syv / vy : 0.0;
+  c.cx = vx > 0 ? sxv / vx : 0.0;
+  // Express the intercept at block-local (0,0,0).
+  c.c0 = mean - c.cz * mz - c.cy * my - c.cx * mx;
+  return c;
+}
+
+double PredictRegression(const RegressionCoefs& c, size_t dz, size_t dy,
+                         size_t dx) {
+  return c.c0 + c.cz * static_cast<double>(dz) + c.cy * static_cast<double>(dy) +
+         c.cx * static_cast<double>(dx);
+}
+
+uint32_t ZigZag(int64_t v) {
+  return static_cast<uint32_t>(v >= 0 ? 2 * v : -2 * v - 1);
+}
+
+int64_t UnZigZag(uint32_t u) {
+  return (u & 1) ? -static_cast<int64_t>((u + 1) / 2)
+                 : static_cast<int64_t>(u / 2);
+}
+
+// Coefficient quantization steps relative to the error bound, mirroring
+// SZ2's idea: the intercept matters most, the slopes are scaled by the
+// block extent so their worst-case positional error stays ~eb/2.
+void CoefSteps(double eb, double steps[4]) {
+  steps[0] = eb * 0.5;
+  steps[1] = steps[2] = steps[3] = eb * 0.5 / static_cast<double>(kBlock);
+}
+
+// Per-block iteration over a slice.
+template <typename Fn>
+void ForEachBlock(const SliceLayout& lay, Fn&& fn) {
+  const size_t bz = (lay.dims[0] + kBlock - 1) / kBlock;
+  const size_t by = (lay.dims[1] + kBlock - 1) / kBlock;
+  const size_t bx = (lay.dims[2] + kBlock - 1) / kBlock;
+  for (size_t z = 0; z < bz; ++z) {
+    for (size_t y = 0; y < by; ++y) {
+      for (size_t x = 0; x < bx; ++x) {
+        size_t lo[3] = {z * kBlock, y * kBlock, x * kBlock};
+        size_t hi[3] = {std::min(lo[0] + kBlock, lay.dims[0]),
+                        std::min(lo[1] + kBlock, lay.dims[1]),
+                        std::min(lo[2] + kBlock, lay.dims[2])};
+        fn(lo, hi);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ConfigSpace SzCompressor::config_space(const Tensor& data) const {
+  const SummaryStats s = ComputeSummary(data);
+  ConfigSpace space;
+  const double range = s.value_range > 0 ? s.value_range : 1.0;
+  space.min = 1e-6 * range;
+  space.max = 0.3 * range;
+  space.log_scale = true;
+  space.integer = false;
+  space.ratio_increases = true;
+  return space;
+}
+
+std::vector<uint8_t> SzCompressor::Compress(const Tensor& data,
+                                            double eb) const {
+  FXRZ_CHECK(!data.empty());
+  FXRZ_CHECK_GT(eb, 0.0);
+  const double bin = 2.0 * eb;
+  double coef_steps[4];
+  CoefSteps(eb, coef_steps);
+
+  std::vector<float> recon(data.size());
+  std::vector<uint32_t> codes;
+  codes.reserve(data.size());
+  std::vector<uint32_t> coef_codes;
+  std::vector<uint8_t> raw;  // verbatim floats for unpredictable points
+  BitWriter selection;       // 1 bit per block: 1 = regression predictor
+
+  const SliceLayout lay = MakeSliceLayout(data.dims());
+  for (size_t s = 0; s < lay.num_slices; ++s) {
+    const size_t base = s * lay.slice_elems;
+    const float* in = data.data() + base;
+    float* out = recon.data() + base;
+    LorenzoSlice lorenzo(out, lay.nd, lay.strides);
+
+    ForEachBlock(lay, [&](const size_t* lo, const size_t* hi) {
+      // --- Predictor selection on original data (like SZ2) ---
+      RegressionCoefs coefs = FitBlock(in, lay.strides, lo, hi);
+      // Quantize coefficients; the decoder sees only the dequantized plane.
+      int64_t qc[4];
+      const double raw_coefs[4] = {coefs.c0, coefs.cz, coefs.cy, coefs.cx};
+      bool coef_ok = true;
+      RegressionCoefs dq;
+      double* dq_fields[4] = {&dq.c0, &dq.cz, &dq.cy, &dq.cx};
+      for (int k = 0; k < 4; ++k) {
+        const double q = std::round(raw_coefs[k] / coef_steps[k]);
+        if (!(std::fabs(q) < 1e18)) {
+          coef_ok = false;
+          break;
+        }
+        qc[k] = static_cast<int64_t>(q);
+        if (std::llabs(qc[k]) > (1ll << 30)) {
+          coef_ok = false;
+          break;
+        }
+        *dq_fields[k] = static_cast<double>(qc[k]) * coef_steps[k];
+      }
+
+      // Compare mean absolute prediction error of the two predictors.
+      // Lorenzo is estimated with original neighbors (the standard SZ2
+      // approximation of its online behaviour).
+      double err_lorenzo = 0.0, err_reg = 0.0;
+      LorenzoSlice lorenzo_orig(in, lay.nd, lay.strides);
+      for (size_t z = lo[0]; z < hi[0]; ++z) {
+        for (size_t y = lo[1]; y < hi[1]; ++y) {
+          for (size_t x = lo[2]; x < hi[2]; ++x) {
+            const size_t idx[3] = {z, y, x};
+            const size_t lin =
+                z * lay.strides[0] + y * lay.strides[1] + x * lay.strides[2];
+            const double v = in[lin];
+            err_lorenzo += std::fabs(
+                v - lorenzo_orig.Predict(idx, lin));
+            if (coef_ok) {
+              err_reg += std::fabs(
+                  v - PredictRegression(dq, z - lo[0], y - lo[1], x - lo[2]));
+            }
+          }
+        }
+      }
+      const bool use_regression = coef_ok && err_reg < err_lorenzo;
+      selection.WriteBit(use_regression ? 1u : 0u);
+      if (use_regression) {
+        for (int k = 0; k < 4; ++k) coef_codes.push_back(ZigZag(qc[k]));
+      }
+
+      // --- Quantize the block ---
+      for (size_t z = lo[0]; z < hi[0]; ++z) {
+        for (size_t y = lo[1]; y < hi[1]; ++y) {
+          for (size_t x = lo[2]; x < hi[2]; ++x) {
+            const size_t idx[3] = {z, y, x};
+            const size_t lin =
+                z * lay.strides[0] + y * lay.strides[1] + x * lay.strides[2];
+            const double pred =
+                use_regression
+                    ? PredictRegression(dq, z - lo[0], y - lo[1], x - lo[2])
+                    : lorenzo.Predict(idx, lin);
+            const double val = in[lin];
+            const double code_d = std::round((val - pred) / bin);
+            bool predictable =
+                std::fabs(code_d) < static_cast<double>(kRadius);
+            if (predictable) {
+              const int64_t code = static_cast<int64_t>(code_d);
+              const float r = static_cast<float>(pred + code_d * bin);
+              if (std::isfinite(r) && std::fabs(r - val) <= eb) {
+                codes.push_back(static_cast<uint32_t>(code + kRadius));
+                out[lin] = r;
+              } else {
+                predictable = false;
+              }
+            }
+            if (!predictable) {
+              codes.push_back(0);  // reserved: unpredictable
+              out[lin] = in[lin];
+              AppendUint32(&raw, std::bit_cast<uint32_t>(in[lin]));
+            }
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<uint8_t> body;
+  AppendDouble(&body, eb);
+  const std::vector<uint8_t>& sel_bytes = selection.buffer();
+  AppendUint64(&body, sel_bytes.size());
+  body.insert(body.end(), sel_bytes.begin(), sel_bytes.end());
+  const std::vector<uint8_t> coef_huff = HuffmanEncode(coef_codes);
+  AppendUint64(&body, coef_huff.size());
+  body.insert(body.end(), coef_huff.begin(), coef_huff.end());
+  const std::vector<uint8_t> huff = HuffmanEncode(codes);
+  AppendUint64(&body, huff.size());
+  body.insert(body.end(), huff.begin(), huff.end());
+  AppendUint64(&body, raw.size());
+  body.insert(body.end(), raw.begin(), raw.end());
+
+  // Dictionary pass over the entropy-coded body (Zstd stage in real SZ).
+  const std::vector<uint8_t> packed = ZliteCompress(body);
+
+  std::vector<uint8_t> out;
+  compressor_internal::AppendHeader(&out, kMagic, data);
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+Status SzCompressor::Decompress(const uint8_t* data, size_t size,
+                                Tensor* out) const {
+  FXRZ_CHECK(out != nullptr);
+  std::vector<size_t> dims;
+  size_t pos = 0;
+  FXRZ_RETURN_IF_ERROR(
+      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+
+  std::vector<uint8_t> body;
+  FXRZ_RETURN_IF_ERROR(ZliteDecompress(data + pos, size - pos, &body));
+  if (body.size() < 16) return Status::Corruption("sz: short body");
+
+  const double eb = ReadDouble(body.data());
+  if (!(eb > 0.0)) return Status::Corruption("sz: bad error bound");
+  const double bin = 2.0 * eb;
+  double coef_steps[4];
+  CoefSteps(eb, coef_steps);
+
+  size_t bpos = 8;
+  auto read_u64 = [&](uint64_t* v) -> bool {
+    if (bpos + 8 > body.size()) return false;
+    *v = ReadUint64(body.data() + bpos);
+    bpos += 8;
+    return true;
+  };
+
+  uint64_t sel_size = 0;
+  if (!read_u64(&sel_size) || bpos + sel_size > body.size()) {
+    return Status::Corruption("sz: bad selection bits");
+  }
+  BitReader selection(body.data() + bpos, sel_size);
+  bpos += sel_size;
+
+  uint64_t coef_size = 0;
+  if (!read_u64(&coef_size) || bpos + coef_size > body.size()) {
+    return Status::Corruption("sz: bad coef stream");
+  }
+  std::vector<uint32_t> coef_codes;
+  FXRZ_RETURN_IF_ERROR(
+      HuffmanDecode(body.data() + bpos, coef_size, &coef_codes));
+  bpos += coef_size;
+
+  uint64_t huff_size = 0;
+  if (!read_u64(&huff_size) || bpos + huff_size > body.size()) {
+    return Status::Corruption("sz: bad code stream");
+  }
+  std::vector<uint32_t> codes;
+  FXRZ_RETURN_IF_ERROR(HuffmanDecode(body.data() + bpos, huff_size, &codes));
+  bpos += huff_size;
+
+  uint64_t raw_size = 0;
+  if (!read_u64(&raw_size) || bpos + raw_size > body.size()) {
+    return Status::Corruption("sz: bad raw stream");
+  }
+  const uint8_t* raw = body.data() + bpos;
+  size_t raw_used = 0;
+
+  Tensor result(dims);
+  if (codes.size() != result.size()) {
+    return Status::Corruption("sz: code count mismatch");
+  }
+
+  size_t code_pos = 0;
+  size_t coef_pos = 0;
+  const SliceLayout lay = MakeSliceLayout(dims);
+  for (size_t s = 0; s < lay.num_slices; ++s) {
+    const size_t base = s * lay.slice_elems;
+    float* rec = result.data() + base;
+    LorenzoSlice lorenzo(rec, lay.nd, lay.strides);
+
+    bool corrupt = false;
+    ForEachBlock(lay, [&](const size_t* lo, const size_t* hi) {
+      if (corrupt) return;
+      const bool use_regression = selection.ReadBit() != 0;
+      RegressionCoefs dq;
+      if (use_regression) {
+        if (coef_pos + 4 > coef_codes.size()) {
+          corrupt = true;
+          return;
+        }
+        double* fields[4] = {&dq.c0, &dq.cz, &dq.cy, &dq.cx};
+        for (int k = 0; k < 4; ++k) {
+          *fields[k] = static_cast<double>(UnZigZag(coef_codes[coef_pos++])) *
+                       coef_steps[k];
+        }
+      }
+      for (size_t z = lo[0]; z < hi[0] && !corrupt; ++z) {
+        for (size_t y = lo[1]; y < hi[1]; ++y) {
+          for (size_t x = lo[2]; x < hi[2]; ++x) {
+            const size_t idx[3] = {z, y, x};
+            const size_t lin =
+                z * lay.strides[0] + y * lay.strides[1] + x * lay.strides[2];
+            const uint32_t sym = codes[code_pos++];
+            if (sym == 0) {
+              if (raw_used + 4 > raw_size) {
+                corrupt = true;
+                return;
+              }
+              rec[lin] = std::bit_cast<float>(ReadUint32(raw + raw_used));
+              raw_used += 4;
+            } else {
+              const double pred =
+                  use_regression
+                      ? PredictRegression(dq, z - lo[0], y - lo[1], x - lo[2])
+                      : lorenzo.Predict(idx, lin);
+              const int64_t code = static_cast<int64_t>(sym) - kRadius;
+              rec[lin] =
+                  static_cast<float>(pred + static_cast<double>(code) * bin);
+            }
+          }
+        }
+      }
+    });
+    if (corrupt || selection.overrun()) {
+      return Status::Corruption("sz: truncated block metadata");
+    }
+  }
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace fxrz

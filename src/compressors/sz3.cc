@@ -1,0 +1,281 @@
+#include "src/compressors/sz3.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "src/data/statistics.h"
+#include "src/encoding/bit_stream.h"
+#include "src/encoding/huffman.h"
+#include "src/encoding/zlite.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x535A3331;  // "SZ31"
+constexpr int64_t kRadius = 32768;
+
+struct SliceLayout {
+  size_t num_slices = 1;
+  size_t slice_elems = 1;
+  size_t nd = 0;
+  size_t dims[3] = {1, 1, 1};
+  size_t strides[3] = {1, 1, 1};
+};
+
+SliceLayout MakeSliceLayout(const std::vector<size_t>& dims) {
+  SliceLayout lay;
+  const size_t rank = dims.size();
+  lay.nd = std::min<size_t>(rank, 3);
+  const size_t lead = rank - lay.nd;
+  for (size_t i = 0; i < lead; ++i) lay.num_slices *= dims[i];
+  for (size_t i = 0; i < lay.nd; ++i) {
+    lay.dims[i] = dims[lead + i];
+    lay.slice_elems *= lay.dims[i];
+  }
+  lay.strides[lay.nd - 1] = 1;
+  for (size_t i = lay.nd - 1; i-- > 0;) {
+    lay.strides[i] = lay.strides[i + 1] * lay.dims[i + 1];
+  }
+  return lay;
+}
+
+// Largest half-step: the refinement ladder starts from a base grid of
+// spacing 2*h_max.
+size_t MaxHalfStep(const SliceLayout& lay) {
+  size_t max_dim = 1;
+  for (size_t i = 0; i < lay.nd; ++i) max_dim = std::max(max_dim, lay.dims[i]);
+  size_t h = 1;
+  while (h * 4 < max_dim) h *= 2;
+  return h;
+}
+
+// Cubic (4-point spline) interpolation along `axis` at spacing `h`, reading
+// already-reconstructed values from `rec`. Falls back to linear/copy at
+// boundaries.
+double InterpolatePrediction(const float* rec, const SliceLayout& lay,
+                             const size_t* idx, size_t lin, size_t axis,
+                             size_t h) {
+  const size_t coord = idx[axis];
+  const size_t extent = lay.dims[axis];
+  const size_t stride = lay.strides[axis];
+  const bool has_l1 = coord >= h;
+  const bool has_r1 = coord + h < extent;
+  const bool has_l3 = coord >= 3 * h;
+  const bool has_r3 = coord + 3 * h < extent;
+  if (has_l3 && has_r3) {
+    return -1.0 / 16.0 * rec[lin - 3 * h * stride] +
+           9.0 / 16.0 * rec[lin - h * stride] +
+           9.0 / 16.0 * rec[lin + h * stride] -
+           1.0 / 16.0 * rec[lin + 3 * h * stride];
+  }
+  if (has_l1 && has_r1) {
+    return 0.5 * (rec[lin - h * stride] + rec[lin + h * stride]);
+  }
+  if (has_l1) return rec[lin - h * stride];
+  if (has_r1) return rec[lin + h * stride];
+  return 0.0;
+}
+
+// Walks the multi-level interpolation schedule, invoking
+// fn(linear_offset, prediction) for every point of the slice exactly once,
+// in an order identical for compression and decompression. `rec` must be
+// updated by fn before the next call reads it.
+template <typename Fn>
+void ForEachPredictedPoint(const float* rec, const SliceLayout& lay, Fn&& fn) {
+  const size_t h_max = MaxHalfStep(lay);
+  const size_t base_step = 2 * h_max;
+
+  // Base grid: raster order, predicted by the previous base point.
+  {
+    bool first = true;
+    size_t prev_lin = 0;
+    for (size_t z = 0; z < lay.dims[0]; z += base_step) {
+      for (size_t y = 0; y < lay.dims[1]; y += base_step) {
+        for (size_t x = 0; x < lay.dims[2]; x += base_step) {
+          const size_t lin =
+              z * lay.strides[0] + y * lay.strides[1] + x * lay.strides[2];
+          fn(lin, first ? 0.0 : static_cast<double>(rec[prev_lin]));
+          prev_lin = lin;
+          first = false;
+        }
+      }
+    }
+  }
+
+  // Refinement levels, coarse to fine; within a level, axis by axis. A
+  // point belongs to (h, axis a) when coord[a] == h (mod 2h), earlier axes
+  // are already on the h grid, later axes still on the 2h grid.
+  for (size_t h = h_max; h >= 1; h /= 2) {
+    for (size_t axis = 0; axis < lay.nd; ++axis) {
+      // dims/strides are left-aligned: axis indexes them directly.
+      size_t mods[3];
+      for (size_t b = 0; b < lay.nd; ++b) {
+        mods[b] = b < axis ? h : 2 * h;
+      }
+      size_t idx[3] = {0, 0, 0};
+      // Iterate only over matching coordinates for speed.
+      for (size_t z = (axis == 0 ? h : 0); z < lay.dims[0];
+           z += (axis == 0 ? 2 * h : mods[0])) {
+        idx[0] = z;
+        const size_t zoff = z * lay.strides[0];
+        if (lay.nd == 1) {
+          fn(zoff, InterpolatePrediction(rec, lay, idx, zoff, 0, h));
+          continue;
+        }
+        for (size_t y = (axis == 1 ? h : 0); y < lay.dims[1];
+             y += (axis == 1 ? 2 * h : mods[1])) {
+          idx[1] = y;
+          const size_t yoff = zoff + y * lay.strides[1];
+          if (lay.nd == 2) {
+            fn(yoff, InterpolatePrediction(rec, lay, idx, yoff, axis, h));
+            continue;
+          }
+          for (size_t x = (axis == 2 ? h : 0); x < lay.dims[2];
+               x += (axis == 2 ? 2 * h : mods[2])) {
+            idx[2] = x;
+            const size_t off = yoff + x * lay.strides[2];
+            fn(off, InterpolatePrediction(rec, lay, idx, off, axis, h));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ConfigSpace Sz3Compressor::config_space(const Tensor& data) const {
+  const SummaryStats s = ComputeSummary(data);
+  ConfigSpace space;
+  const double range = s.value_range > 0 ? s.value_range : 1.0;
+  space.min = 1e-6 * range;
+  space.max = 0.3 * range;
+  space.log_scale = true;
+  space.integer = false;
+  space.ratio_increases = true;
+  return space;
+}
+
+std::vector<uint8_t> Sz3Compressor::Compress(const Tensor& data,
+                                             double eb) const {
+  FXRZ_CHECK(!data.empty());
+  FXRZ_CHECK_GT(eb, 0.0);
+  const double bin = 2.0 * eb;
+
+  std::vector<float> recon(data.size());
+  std::vector<uint32_t> codes(data.size());
+  std::vector<uint8_t> raw;
+
+  const SliceLayout lay = MakeSliceLayout(data.dims());
+  for (size_t s = 0; s < lay.num_slices; ++s) {
+    const size_t base = s * lay.slice_elems;
+    const float* in = data.data() + base;
+    float* rec = recon.data() + base;
+
+    size_t emitted = 0;
+    ForEachPredictedPoint(rec, lay, [&](size_t lin, double pred) {
+      const double val = in[lin];
+      const double code_d = std::round((val - pred) / bin);
+      bool predictable = std::fabs(code_d) < static_cast<double>(kRadius);
+      if (predictable) {
+        const int64_t code = static_cast<int64_t>(code_d);
+        const float r = static_cast<float>(pred + code_d * bin);
+        if (std::isfinite(r) && std::fabs(r - val) <= eb) {
+          codes[base + lin] = static_cast<uint32_t>(code + kRadius);
+          rec[lin] = r;
+        } else {
+          predictable = false;
+        }
+      }
+      if (!predictable) {
+        codes[base + lin] = 0;
+        rec[lin] = in[lin];
+        AppendUint32(&raw, std::bit_cast<uint32_t>(in[lin]));
+      }
+      ++emitted;
+    });
+    FXRZ_CHECK_EQ(emitted, lay.slice_elems)
+        << "interpolation schedule must cover every point exactly once";
+  }
+
+  std::vector<uint8_t> body;
+  AppendDouble(&body, eb);
+  const std::vector<uint8_t> huff = HuffmanEncode(codes);
+  AppendUint64(&body, huff.size());
+  body.insert(body.end(), huff.begin(), huff.end());
+  AppendUint64(&body, raw.size());
+  body.insert(body.end(), raw.begin(), raw.end());
+
+  const std::vector<uint8_t> packed = ZliteCompress(body);
+  std::vector<uint8_t> out;
+  compressor_internal::AppendHeader(&out, kMagic, data);
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+Status Sz3Compressor::Decompress(const uint8_t* data, size_t size,
+                                 Tensor* out) const {
+  FXRZ_CHECK(out != nullptr);
+  std::vector<size_t> dims;
+  size_t pos = 0;
+  FXRZ_RETURN_IF_ERROR(
+      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+
+  std::vector<uint8_t> body;
+  FXRZ_RETURN_IF_ERROR(ZliteDecompress(data + pos, size - pos, &body));
+  if (body.size() < 16) return Status::Corruption("sz3: short body");
+
+  const double eb = ReadDouble(body.data());
+  if (!(eb > 0.0)) return Status::Corruption("sz3: bad error bound");
+  const double bin = 2.0 * eb;
+  const uint64_t huff_size = ReadUint64(body.data() + 8);
+  if (16 + huff_size > body.size()) return Status::Corruption("sz3: trunc");
+  std::vector<uint32_t> codes;
+  FXRZ_RETURN_IF_ERROR(HuffmanDecode(body.data() + 16, huff_size, &codes));
+
+  size_t raw_pos = 16 + huff_size;
+  if (raw_pos + 8 > body.size()) return Status::Corruption("sz3: no raw size");
+  const uint64_t raw_size = ReadUint64(body.data() + raw_pos);
+  raw_pos += 8;
+  if (raw_pos + raw_size > body.size()) {
+    return Status::Corruption("sz3: truncated raw");
+  }
+  const uint8_t* raw = body.data() + raw_pos;
+  size_t raw_used = 0;
+
+  Tensor result(dims);
+  if (codes.size() != result.size()) {
+    return Status::Corruption("sz3: code count mismatch");
+  }
+
+  bool corrupt = false;
+  const SliceLayout lay = MakeSliceLayout(dims);
+  for (size_t s = 0; s < lay.num_slices; ++s) {
+    const size_t base = s * lay.slice_elems;
+    float* rec = result.data() + base;
+    ForEachPredictedPoint(rec, lay, [&](size_t lin, double pred) {
+      if (corrupt) return;
+      const uint32_t sym = codes[base + lin];
+      if (sym == 0) {
+        if (raw_used + 4 > raw_size) {
+          corrupt = true;
+          return;
+        }
+        rec[lin] = std::bit_cast<float>(ReadUint32(raw + raw_used));
+        raw_used += 4;
+      } else {
+        const int64_t code = static_cast<int64_t>(sym) - kRadius;
+        rec[lin] = static_cast<float>(pred + static_cast<double>(code) * bin);
+      }
+    });
+  }
+  if (corrupt) return Status::Corruption("sz3: raw underflow");
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace fxrz

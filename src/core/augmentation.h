@@ -1,0 +1,90 @@
+// Interpolation-based training-data augmentation (paper Sec. IV-B).
+//
+// Running a compressor for every (dataset, target ratio) pair is too
+// expensive to generate training data. Instead, each dataset is compressed
+// at ~25 "stationary points" spanning the config space; a piecewise-linear
+// monotone curve through the measured (config, ratio) points then yields a
+// config for *any* ratio in range without further compressor runs.
+
+#ifndef FXRZ_CORE_AUGMENTATION_H_
+#define FXRZ_CORE_AUGMENTATION_H_
+
+#include <vector>
+
+#include "src/compressors/compressor.h"
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+// One measured (config, compression ratio) pair, optionally with the
+// reconstruction quality at that config.
+struct StationaryPoint {
+  double config = 0.0;
+  double ratio = 0.0;
+  double psnr = 0.0;  // only filled when AugmentationOptions.measure_quality
+};
+
+struct AugmentationOptions {
+  // Number of compressor runs per dataset (paper: ~25, uniformly spanned).
+  int num_stationary_points = 25;
+  // Also decompress each stationary point and record its PSNR (roughly
+  // doubles the collection cost; powers FxrzModel::EstimatePsnr).
+  bool measure_quality = false;
+};
+
+// Runs `compressor` on `data` at configs spanning its config space
+// (log-spaced when the space is log-scale) and records the measured ratios.
+std::vector<StationaryPoint> CollectStationaryPoints(
+    const Compressor& compressor, const Tensor& data,
+    const AugmentationOptions& options = {});
+
+// EVALUATION helper (paper Sec. V-F: "reasonable/applicable" target
+// ratios are chosen per test dataset): probes `data` with `probes`
+// compressor runs to find its achievable ratio range and returns `n`
+// targets log-spaced inside it, trimmed by `margin` at both ends. This
+// runs the compressor, so it belongs in benchmarks/tests, never in the
+// FXRZ inference path.
+std::vector<double> ProbeValidTargetRatios(const Compressor& compressor,
+                                           const Tensor& data, int n,
+                                           double margin = 0.1,
+                                           int probes = 9);
+
+// Monotone piecewise-linear interpolant through stationary points, mapping
+// between compression ratio and config in both directions.
+class RatioConfigCurve {
+ public:
+  // `points` need not be sorted; monotonicity of ratio-vs-config is
+  // enforced by a running extremum (compression ratio noise at adjacent
+  // configs is flattened). Requires >= 2 distinct points.
+  RatioConfigCurve(std::vector<StationaryPoint> points, ConfigSpace space);
+
+  double min_ratio() const { return min_ratio_; }
+  double max_ratio() const { return max_ratio_; }
+
+  // Config whose interpolated ratio equals `ratio` (clamped to the curve's
+  // ratio range). Interpolates in log10(config) for log-scale spaces and
+  // rounds for integer spaces.
+  double ConfigForRatio(double ratio) const;
+
+  // Interpolated ratio at `config` (clamped to the config range).
+  double RatioForConfig(double config) const;
+
+  // `n` (ratio, config) samples with ratios uniformly spanning the curve's
+  // range -- the augmented training rows.
+  std::vector<StationaryPoint> SampleUniformRatios(int n) const;
+
+ private:
+  double FromKnob(double knob) const;  // knob domain -> config
+  double ToKnob(double config) const;
+
+  ConfigSpace space_;
+  // Sorted by ratio ascending; knob is log10(config) for log spaces.
+  std::vector<double> ratios_;
+  std::vector<double> knobs_;
+  double min_ratio_ = 0.0;
+  double max_ratio_ = 0.0;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_CORE_AUGMENTATION_H_

@@ -1,0 +1,41 @@
+#include "src/core/budget.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+std::vector<BudgetAllocation> AllocateStorageBudget(
+    const std::vector<BudgetRequest>& requests, uint64_t total_budget_bytes) {
+  FXRZ_CHECK(!requests.empty());
+  FXRZ_CHECK_GT(total_budget_bytes, 0u);
+
+  double weighted_total = 0.0;
+  uint64_t raw_total = 0;
+  for (const BudgetRequest& r : requests) {
+    FXRZ_CHECK(r.data != nullptr && !r.data->empty()) << r.name;
+    FXRZ_CHECK_GT(r.weight, 0.0) << r.name;
+    weighted_total += r.weight * static_cast<double>(r.data->size_bytes());
+    raw_total += r.data->size_bytes();
+  }
+  FXRZ_CHECK_LT(total_budget_bytes, raw_total)
+      << "budget exceeds raw size; no compression needed";
+
+  std::vector<BudgetAllocation> allocations;
+  allocations.reserve(requests.size());
+  for (const BudgetRequest& r : requests) {
+    const double share =
+        r.weight * static_cast<double>(r.data->size_bytes()) / weighted_total;
+    BudgetAllocation a;
+    a.name = r.name;
+    a.budget_bytes = std::max<uint64_t>(
+        1, static_cast<uint64_t>(share * static_cast<double>(total_budget_bytes)));
+    a.target_ratio = static_cast<double>(r.data->size_bytes()) /
+                     static_cast<double>(a.budget_bytes);
+    allocations.push_back(std::move(a));
+  }
+  return allocations;
+}
+
+}  // namespace fxrz

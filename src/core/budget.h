@@ -1,0 +1,42 @@
+// Storage-budget allocation across fields.
+//
+// The paper's storage use case (Sec. III-B) gives a user a total quota for
+// a multi-field snapshot. This helper turns (fields, quota, per-field
+// quality weights) into per-field target compression ratios for FXRZ:
+// bytes are split proportionally to weight x raw size, so a weight-2 field
+// gets twice the bytes (hence half the ratio) a weight-1 field of the same
+// size would.
+
+#ifndef FXRZ_CORE_BUDGET_H_
+#define FXRZ_CORE_BUDGET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+struct BudgetRequest {
+  std::string name;
+  const Tensor* data = nullptr;
+  double weight = 1.0;  // relative quality priority, > 0
+};
+
+struct BudgetAllocation {
+  std::string name;
+  uint64_t budget_bytes = 0;
+  double target_ratio = 0.0;
+};
+
+// Splits `total_budget_bytes` across the requests. Requires a non-empty
+// request list, positive weights, and a budget smaller than the total raw
+// size (otherwise no compression is needed). Allocations sum to at most the
+// budget.
+std::vector<BudgetAllocation> AllocateStorageBudget(
+    const std::vector<BudgetRequest>& requests, uint64_t total_budget_bytes);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_CORE_BUDGET_H_

@@ -1,0 +1,72 @@
+#include "src/core/compressibility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/statistics.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+BlockScanResult ScanConstantBlocks(const Tensor& data,
+                                   const CaOptions& options) {
+  FXRZ_CHECK(!data.empty());
+  FXRZ_CHECK_GT(options.block, 0u);
+  const SummaryStats stats = ComputeSummary(data);
+  const double threshold = options.lambda * std::fabs(stats.mean);
+
+  // Tile the last <=3 dimensions; leading dimensions iterate as slices.
+  const size_t rank = data.rank();
+  const size_t nd = std::min<size_t>(rank, 3);
+  const size_t lead = rank - nd;
+  size_t num_slices = 1;
+  for (size_t i = 0; i < lead; ++i) num_slices *= data.dim(i);
+  size_t dims[3] = {1, 1, 1};
+  for (size_t i = 0; i < nd; ++i) dims[3 - nd + i] = data.dim(lead + i);
+  const size_t nz = dims[0], ny = dims[1], nx = dims[2];
+  const size_t slice_elems = nz * ny * nx;
+  const size_t b = options.block;
+
+  BlockScanResult result;
+  for (size_t s = 0; s < num_slices; ++s) {
+    const float* slice = data.data() + s * slice_elems;
+    for (size_t z0 = 0; z0 < nz; z0 += b) {
+      for (size_t y0 = 0; y0 < ny; y0 += b) {
+        for (size_t x0 = 0; x0 < nx; x0 += b) {
+          float lo = slice[(z0 * ny + y0) * nx + x0];
+          float hi = lo;
+          const size_t z1 = std::min(z0 + b, nz);
+          const size_t y1 = std::min(y0 + b, ny);
+          const size_t x1 = std::min(x0 + b, nx);
+          for (size_t z = z0; z < z1; ++z) {
+            for (size_t y = y0; y < y1; ++y) {
+              for (size_t x = x0; x < x1; ++x) {
+                const float v = slice[(z * ny + y) * nx + x];
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+              }
+            }
+          }
+          ++result.total_blocks;
+          if (static_cast<double>(hi) - lo < threshold) {
+            ++result.constant_blocks;
+          }
+        }
+      }
+    }
+  }
+  const size_t non_constant = result.total_blocks - result.constant_blocks;
+  // Guard: a fully constant dataset still needs a usable (nonzero) R.
+  result.non_constant_ratio =
+      std::max(1e-3, static_cast<double>(non_constant) /
+                         static_cast<double>(result.total_blocks));
+  return result;
+}
+
+double AdjustTargetRatio(double target_ratio, double non_constant_ratio) {
+  FXRZ_CHECK_GT(target_ratio, 0.0);
+  FXRZ_CHECK_GT(non_constant_ratio, 0.0);
+  return target_ratio * non_constant_ratio;
+}
+
+}  // namespace fxrz

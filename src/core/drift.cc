@@ -1,0 +1,41 @@
+#include "src/core/drift.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+DriftMonitor::DriftMonitor(size_t window, double threshold)
+    : window_(window), threshold_(threshold) {
+  FXRZ_CHECK_GT(window_, 0u);
+  FXRZ_CHECK_GT(threshold_, 0.0);
+}
+
+void DriftMonitor::Record(double target_ratio, double measured_ratio) {
+  FXRZ_CHECK_GT(target_ratio, 0.0);
+  FXRZ_CHECK_GT(measured_ratio, 0.0);
+  const double err = std::fabs(target_ratio - measured_ratio) / target_ratio;
+  errors_.push_back(err);
+  error_sum_ += err;
+  if (errors_.size() > window_) {
+    error_sum_ -= errors_.front();
+    errors_.pop_front();
+  }
+}
+
+double DriftMonitor::rolling_error() const {
+  if (errors_.empty()) return 0.0;
+  return error_sum_ / static_cast<double>(errors_.size());
+}
+
+bool DriftMonitor::needs_retraining() const {
+  return errors_.size() == window_ && rolling_error() > threshold_;
+}
+
+void DriftMonitor::Reset() {
+  errors_.clear();
+  error_sum_ = 0.0;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,49 @@
+// Estimation-drift monitoring for long-running deployments.
+//
+// Capability level 1 (paper Sec. IV-A) trains on early snapshots and
+// estimates for later ones; as a simulation evolves, the trained
+// ratio-to-knob mapping slowly goes stale. Every fixed-ratio dump measures
+// its achieved ratio anyway, so drift is observable for free: this monitor
+// tracks a rolling window of estimation errors and flags when retraining
+// (a few minutes, Table VI) is worth the cost.
+
+#ifndef FXRZ_CORE_DRIFT_H_
+#define FXRZ_CORE_DRIFT_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace fxrz {
+
+class DriftMonitor {
+ public:
+  // `window`: number of recent dumps considered; `threshold`: rolling mean
+  // estimation error (|target-measured|/target) above which retraining is
+  // recommended.
+  explicit DriftMonitor(size_t window = 16, double threshold = 0.15);
+
+  // Records one dump's outcome. target_ratio > 0, measured_ratio > 0.
+  void Record(double target_ratio, double measured_ratio);
+
+  // Rolling mean estimation error over the window (0 before any Record).
+  double rolling_error() const;
+
+  // True when the window is full and the rolling error exceeds the
+  // threshold.
+  bool needs_retraining() const;
+
+  // Forget history (call after retraining).
+  void Reset();
+
+  size_t observations() const { return errors_.size(); }
+
+ private:
+  size_t window_;
+  double threshold_;
+  std::deque<double> errors_;
+  double error_sum_ = 0.0;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_CORE_DRIFT_H_

@@ -1,0 +1,191 @@
+#include "src/core/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/data/sampling.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+
+// Signed log compression for features that may be negative (mean value).
+double SignedLog(double v) {
+  return v >= 0 ? std::log10(1.0 + v) : -std::log10(1.0 - v);
+}
+
+double Log(double v) { return std::log10(v + 1e-12); }
+
+// Iterates a tensor with a multi-index odometer, calling fn(idx, linear).
+template <typename Fn>
+void ForEachIndex(const Tensor& t, Fn&& fn) {
+  std::vector<size_t> idx(t.rank(), 0);
+  for (size_t lin = 0; lin < t.size(); ++lin) {
+    fn(idx, lin);
+    for (size_t d = t.rank(); d-- > 0;) {
+      if (++idx[d] < t.dim(d)) break;
+      idx[d] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+FeatureVector ExtractFeatures(const Tensor& data,
+                              const FeatureOptions& options) {
+  FXRZ_CHECK(!data.empty());
+  FXRZ_CHECK_GT(options.stride, 0u);
+  const Tensor s = StrideSample(data, options.stride);
+  const std::vector<size_t> strides = s.Strides();
+  const size_t rank = s.rank();
+
+  FeatureVector f;
+
+  // Range and mean.
+  double lo = s[0], hi = s[0], sum = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    lo = std::min<double>(lo, s[i]);
+    hi = std::max<double>(hi, s[i]);
+    sum += s[i];
+  }
+  f.value_range = hi - lo;
+  f.mean_value = sum / static_cast<double>(s.size());
+
+  // MND: |v - mean(adjacent neighbors along every dimension)|.
+  {
+    double acc = 0.0;
+    size_t count = 0;
+    ForEachIndex(s, [&](const std::vector<size_t>& idx, size_t lin) {
+      double nsum = 0.0;
+      size_t n = 0;
+      for (size_t d = 0; d < rank; ++d) {
+        if (idx[d] > 0) {
+          nsum += s[lin - strides[d]];
+          ++n;
+        }
+        if (idx[d] + 1 < s.dim(d)) {
+          nsum += s[lin + strides[d]];
+          ++n;
+        }
+      }
+      if (n > 0) {
+        acc += std::fabs(s[lin] - nsum / static_cast<double>(n));
+        ++count;
+      }
+    });
+    f.mnd = count ? acc / static_cast<double>(count) : 0.0;
+  }
+
+  // MLD: |v - Lorenzo prediction| over the last min(3, rank) dims
+  // (paper Eq. 1 and 2). Only fully interior points participate.
+  {
+    const size_t nd = std::min<size_t>(rank, 3);
+    const size_t lead = rank - nd;
+    double acc = 0.0;
+    size_t count = 0;
+    ForEachIndex(s, [&](const std::vector<size_t>& idx, size_t lin) {
+      for (size_t d = lead; d < rank; ++d) {
+        if (idx[d] == 0) return;
+      }
+      auto v = [&](size_t b0, size_t b1, size_t b2) -> double {
+        const size_t backs[3] = {b0, b1, b2};
+        size_t l = lin;
+        for (size_t k = 0; k < nd; ++k) {
+          l -= backs[3 - nd + k] * strides[lead + k];
+        }
+        return s[l];
+      };
+      double pred;
+      switch (nd) {
+        case 1:
+          pred = v(0, 0, 1);
+          break;
+        case 2:
+          pred = v(0, 0, 1) + v(0, 1, 0) - v(0, 1, 1);
+          break;
+        default:
+          pred = v(0, 0, 1) + v(0, 1, 0) + v(1, 0, 0) - v(0, 1, 1) -
+                 v(1, 0, 1) - v(1, 1, 0) + v(1, 1, 1);
+          break;
+      }
+      acc += std::fabs(s[lin] - pred);
+      ++count;
+    });
+    f.mld = count ? acc / static_cast<double>(count) : 0.0;
+  }
+
+  // MSD: 4-point cubic-spline fit -1/16, 9/16, 9/16, -1/16 at offsets
+  // -3, -1, +1, +3 along each dimension (paper Eq. 3), averaged across the
+  // dimensions where the stencil fits.
+  {
+    double acc = 0.0;
+    size_t count = 0;
+    ForEachIndex(s, [&](const std::vector<size_t>& idx, size_t lin) {
+      double fit_sum = 0.0;
+      size_t dims_used = 0;
+      for (size_t d = 0; d < rank; ++d) {
+        if (idx[d] < 3 || idx[d] + 3 >= s.dim(d)) continue;
+        const double fit = -1.0 / 16.0 * s[lin - 3 * strides[d]] +
+                           9.0 / 16.0 * s[lin - strides[d]] +
+                           9.0 / 16.0 * s[lin + strides[d]] -
+                           1.0 / 16.0 * s[lin + 3 * strides[d]];
+        fit_sum += fit;
+        ++dims_used;
+      }
+      if (dims_used > 0) {
+        acc += std::fabs(s[lin] - fit_sum / static_cast<double>(dims_used));
+        ++count;
+      }
+    });
+    f.msd = count ? acc / static_cast<double>(count) : 0.0;
+  }
+
+  // Gradient features: |v - previous value| along the fastest dimension.
+  {
+    double acc = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = 0.0;
+    size_t count = 0;
+    const size_t last = rank - 1;
+    ForEachIndex(s, [&](const std::vector<size_t>& idx, size_t lin) {
+      if (idx[last] == 0) return;
+      const double g = std::fabs(s[lin] - s[lin - 1]);
+      acc += g;
+      mn = std::min(mn, g);
+      mx = std::max(mx, g);
+      ++count;
+    });
+    f.mean_gradient = count ? acc / static_cast<double>(count) : 0.0;
+    f.min_gradient = count ? mn : 0.0;
+    f.max_gradient = mx;
+  }
+
+  return f;
+}
+
+std::vector<double> FeatureModelInputs(const FeatureVector& f) {
+  return {Log(f.value_range), SignedLog(f.mean_value), Log(f.mnd), Log(f.mld),
+          Log(f.msd)};
+}
+
+double FeatureByName(const FeatureVector& f, const std::string& name) {
+  if (name == "value_range") return f.value_range;
+  if (name == "mean_value") return f.mean_value;
+  if (name == "mnd") return f.mnd;
+  if (name == "mld") return f.mld;
+  if (name == "msd") return f.msd;
+  if (name == "mean_gradient") return f.mean_gradient;
+  if (name == "min_gradient") return f.min_gradient;
+  if (name == "max_gradient") return f.max_gradient;
+  FXRZ_CHECK(false) << "unknown feature: " << name;
+  return 0.0;
+}
+
+std::vector<std::string> AllFeatureNames() {
+  return {"value_range",  "mean_value",   "mnd", "mld", "msd",
+          "mean_gradient", "min_gradient", "max_gradient"};
+}
+
+}  // namespace fxrz

@@ -1,0 +1,56 @@
+// Data feature extraction (paper Sec. IV-C and IV-E1).
+//
+// Eight candidate features are computed on a uniform stride-K subsample of
+// the dataset. The five the paper adopts (Value Range, Mean Value, Mean
+// Neighbor Difference, Mean Lorenzo Difference, Mean Spline Difference) form
+// the model inputs; the three gradient features are computed for the
+// correlation study (Table II) but excluded from the model.
+
+#ifndef FXRZ_CORE_FEATURES_H_
+#define FXRZ_CORE_FEATURES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+// All eight candidate features of one dataset.
+struct FeatureVector {
+  double value_range = 0.0;
+  double mean_value = 0.0;
+  double mnd = 0.0;  // mean |v - average of adjacent neighbors|
+  double mld = 0.0;  // mean |v - Lorenzo prediction|
+  double msd = 0.0;  // mean |v - cubic-spline fit| (wave-texture detector)
+  double mean_gradient = 0.0;
+  double min_gradient = 0.0;
+  double max_gradient = 0.0;
+};
+
+struct FeatureOptions {
+  // Sampling stride per dimension (paper default 4 => ~1.5% of points in 3D).
+  size_t stride = 4;
+};
+
+// Extracts all eight features from a stride-sampled view of `data`.
+FeatureVector ExtractFeatures(const Tensor& data,
+                              const FeatureOptions& options = {});
+
+// The five adopted features, transformed for the regressor: heavy-tailed
+// magnitudes are log-compressed (log10(x + eps)), the mean uses a signed
+// log. Order: range, mean, MND, MLD, MSD.
+std::vector<double> FeatureModelInputs(const FeatureVector& f);
+
+// Value of a feature by name ("value_range", "mean_value", "mnd", "mld",
+// "msd", "mean_gradient", "min_gradient", "max_gradient"); aborts on
+// unknown names. Used by the Table II correlation bench.
+double FeatureByName(const FeatureVector& f, const std::string& name);
+
+// Names in the Table II column order.
+std::vector<std::string> AllFeatureNames();
+
+}  // namespace fxrz
+
+#endif  // FXRZ_CORE_FEATURES_H_

@@ -1,0 +1,140 @@
+// FXRZ training and inference engine (paper Sec. IV-A, IV-D).
+//
+// Training rows are built per dataset from (a) the five adopted features,
+// (b) interpolation-augmented (ratio -> config) samples from the stationary
+// point curve, and (c) the Compressibility-Adjusted ratio ACR = ratio * R.
+// The regressor maps [features..., log10(ACR)] -> knob, where the knob is
+// log10(config) for log-scale config spaces (SZ/ZFP/MGARD error bounds) and
+// the raw config otherwise (FPZIP precision).
+
+#ifndef FXRZ_CORE_MODEL_H_
+#define FXRZ_CORE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compressors/compressor.h"
+#include "src/core/augmentation.h"
+#include "src/core/compressibility.h"
+#include "src/core/features.h"
+#include "src/data/tensor.h"
+#include "src/ml/regressor.h"
+#include "src/util/status.h"
+
+namespace fxrz {
+
+// Candidate regressors of the paper's Table III study.
+enum class ModelType { kRandomForest, kAdaBoost, kSvr };
+
+std::string ModelTypeName(ModelType type);
+
+struct FxrzTrainingOptions {
+  AugmentationOptions augmentation;   // ~25 stationary points
+  FeatureOptions features;            // stride-4 sampling
+  CaOptions ca;                       // 4^d blocks, lambda = 0.15
+  bool use_ca = true;                 // Compressibility Adjustment on/off
+  int samples_per_dataset = 100;      // augmented rows per training dataset
+  // Bitmask over the five adopted features (bit i keeps feature i in the
+  // order range/mean/MND/MLD/MSD). 0x1F = all. Used by ablation studies.
+  uint32_t feature_mask = 0x1F;
+  // EXTENSION: also learn a (features, target ratio) -> PSNR model so users
+  // can preview the reconstruction quality a ratio implies before
+  // committing (the paper's "preserving best data quality" use cases).
+  // Roughly doubles stationary-point collection cost.
+  bool train_quality_model = false;
+  ModelType model_type = ModelType::kRandomForest;
+  bool tune_hyperparameters = false;  // k-fold CV grid search
+  int cv_folds = 4;
+  // Threads for per-dataset stationary-point collection (the dominant
+  // training cost); 1 = serial, 0 = hardware concurrency.
+  int training_threads = 1;
+  uint64_t seed = 101;
+};
+
+// Wall-clock breakdown of one Train() call (paper Table VI).
+struct TrainingBreakdown {
+  double stationary_seconds = 0.0;  // compressor runs
+  double augment_seconds = 0.0;     // feature extraction + interpolation
+  double fit_seconds = 0.0;         // regressor training (incl. CV)
+  size_t compressor_runs = 0;
+  size_t training_rows = 0;
+  double total_seconds() const {
+    return stationary_seconds + augment_seconds + fit_seconds;
+  }
+};
+
+// A trained fixed-ratio model for one compressor.
+class FxrzModel {
+ public:
+  FxrzModel() = default;
+
+  // Trains on the given datasets. Every dataset is compressed only at the
+  // stationary points; all other training rows come from interpolation.
+  TrainingBreakdown Train(const Compressor& compressor,
+                          const std::vector<const Tensor*>& datasets,
+                          const FxrzTrainingOptions& options = {});
+
+  // Estimates the config expected to reach `target_ratio` on `data`.
+  // Runtime cost is feature extraction + block scan + one model query; the
+  // compressor is never invoked.
+  double EstimateConfig(const Tensor& data, double target_ratio) const;
+
+  bool trained() const { return model_ != nullptr; }
+  const FxrzTrainingOptions& options() const { return options_; }
+
+  // Compression-ratio range observed across the training curves -- the
+  // paper's per-dataset/compressor "valid compression ratio range"
+  // (Sec. V-C/Fig. 11). Targets outside this range are unreachable for the
+  // underlying compressor, so no estimator can match them.
+  double min_trained_ratio() const { return ratio_min_; }
+  double max_trained_ratio() const { return ratio_max_; }
+
+  // `n` target ratios uniformly spanning the trained range, shrunk by
+  // `margin` (fraction of the log-range trimmed at each end).
+  std::vector<double> ValidTargetRatios(int n, double margin = 0.1) const;
+
+  // EXTENSION: expected reconstruction PSNR (dB) of compressing `data` at
+  // `target_ratio`. Requires train_quality_model at training time.
+  bool has_quality_model() const { return quality_model_ != nullptr; }
+  double EstimatePsnr(const Tensor& data, double target_ratio) const;
+
+  // EXTENSION (paper Sec. VI future work): one-measurement correction.
+  // After compressing once at `tried_config` (a compression the caller had
+  // to perform anyway) and measuring `measured_ratio`, returns a corrected
+  // config for `target_ratio` under the assumption that the dataset's true
+  // ratio-vs-knob curve is the model's curve shifted in knob space:
+  //   corrected = K(target) + (K(target) - K(measured)),
+  // where K is the model's knob mapping for this dataset. Costs two model
+  // queries and no compressor runs.
+  double RefineConfig(const Tensor& data, double target_ratio,
+                      double tried_config, double measured_ratio) const;
+
+  // Persistence (Random Forest models only).
+  Status SaveToBytes(std::vector<uint8_t>* out) const;
+  Status LoadFromBytes(const uint8_t* data, size_t size);
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<double> BuildInputs(const Tensor& data,
+                                  double target_ratio) const;
+  double ToKnob(double config) const;
+  double FromKnob(double knob) const;
+
+  FxrzTrainingOptions options_;
+  std::unique_ptr<Regressor> model_;
+  std::unique_ptr<Regressor> quality_model_;  // optional PSNR preview
+  // Config-space shape captured at training time.
+  bool log_scale_ = true;
+  bool integer_ = false;
+  double knob_min_ = 0.0;  // clamp range for predictions
+  double knob_max_ = 0.0;
+  double ratio_min_ = 0.0;  // trained compression-ratio range
+  double ratio_max_ = 0.0;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_CORE_MODEL_H_

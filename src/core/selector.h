@@ -1,0 +1,56 @@
+// Multi-compressor auto-selection under a fixed-ratio constraint.
+//
+// Different compressors win on different data (paper Fig. 3; Liang et
+// al.'s hybrid SZ/ZFP predictor selection in Related Work). With one
+// quality-enabled FXRZ model per compressor, the selector answers: "for
+// THIS dataset and THIS target ratio, which compressor preserves the most
+// quality?" -- with one feature extraction and a handful of model queries,
+// still never running a compressor.
+
+#ifndef FXRZ_CORE_SELECTOR_H_
+#define FXRZ_CORE_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compressors/compressor.h"
+#include "src/core/model.h"
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+// One candidate: a compressor and its trained, quality-enabled model.
+struct SelectorCandidate {
+  std::string compressor_name;
+  const FxrzModel* model = nullptr;  // not owned; must have quality model
+};
+
+// Outcome of a selection query.
+struct SelectionResult {
+  std::string compressor_name;
+  double config = 0.0;          // estimated knob for the target ratio
+  double expected_psnr = 0.0;   // predicted quality at that ratio
+  // Per-candidate predictions (same order as the candidate list).
+  std::vector<double> candidate_psnrs;
+};
+
+class CompressorSelector {
+ public:
+  // All candidates must be trained with train_quality_model = true.
+  explicit CompressorSelector(std::vector<SelectorCandidate> candidates);
+
+  // Picks the candidate with the highest predicted PSNR at `target_ratio`.
+  // Candidates whose trained ratio range cannot reach the target are
+  // penalized by clamping (their prediction reflects the reachable end).
+  SelectionResult Select(const Tensor& data, double target_ratio) const;
+
+  size_t candidate_count() const { return candidates_.size(); }
+
+ private:
+  std::vector<SelectorCandidate> candidates_;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_CORE_SELECTOR_H_

@@ -1,0 +1,70 @@
+#include "src/data/bricks.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+Tensor ExtractSubtensor(const Tensor& t, const std::vector<size_t>& offsets,
+                        const std::vector<size_t>& extents) {
+  FXRZ_CHECK_EQ(offsets.size(), t.rank());
+  FXRZ_CHECK_EQ(extents.size(), t.rank());
+  for (size_t d = 0; d < t.rank(); ++d) {
+    FXRZ_CHECK_GT(extents[d], 0u);
+    FXRZ_CHECK_LE(offsets[d] + extents[d], t.dim(d));
+  }
+
+  Tensor out(extents);
+  const std::vector<size_t> in_strides = t.Strides();
+  std::vector<size_t> idx(t.rank(), 0);
+  for (size_t o = 0; o < out.size(); ++o) {
+    size_t in_off = 0;
+    for (size_t d = 0; d < t.rank(); ++d) {
+      in_off += (offsets[d] + idx[d]) * in_strides[d];
+    }
+    out[o] = t[in_off];
+    for (size_t d = t.rank(); d-- > 0;) {
+      if (++idx[d] < extents[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> SplitIntoBricks(const Tensor& t,
+                                    const std::vector<size_t>& parts) {
+  FXRZ_CHECK_EQ(parts.size(), t.rank());
+  std::vector<size_t> brick_size(t.rank());
+  size_t num_bricks = 1;
+  for (size_t d = 0; d < t.rank(); ++d) {
+    FXRZ_CHECK_GT(parts[d], 0u);
+    FXRZ_CHECK_LE(parts[d], t.dim(d));
+    brick_size[d] = (t.dim(d) + parts[d] - 1) / parts[d];
+    num_bricks *= parts[d];
+  }
+
+  std::vector<Tensor> bricks;
+  bricks.reserve(num_bricks);
+  std::vector<size_t> grid(t.rank(), 0);
+  for (size_t b = 0; b < num_bricks; ++b) {
+    std::vector<size_t> offsets(t.rank()), extents(t.rank());
+    bool empty = false;
+    for (size_t d = 0; d < t.rank(); ++d) {
+      offsets[d] = grid[d] * brick_size[d];
+      if (offsets[d] >= t.dim(d)) {
+        empty = true;
+        break;
+      }
+      extents[d] = std::min(brick_size[d], t.dim(d) - offsets[d]);
+    }
+    if (!empty) bricks.push_back(ExtractSubtensor(t, offsets, extents));
+    for (size_t d = t.rank(); d-- > 0;) {
+      if (++grid[d] < parts[d]) break;
+      grid[d] = 0;
+    }
+  }
+  return bricks;
+}
+
+}  // namespace fxrz

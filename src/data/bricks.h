@@ -1,0 +1,32 @@
+// Domain decomposition into sub-bricks.
+//
+// Parallel simulations distribute a global grid across ranks as contiguous
+// sub-bricks; each rank compresses and dumps its own brick. These helpers
+// extract sub-tensors and split a field into a brick grid, which the
+// parallel-dump experiment uses as realistic per-rank payloads.
+
+#ifndef FXRZ_DATA_BRICKS_H_
+#define FXRZ_DATA_BRICKS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+// Copies the sub-tensor at `offsets` with `extents` (same rank as t, all
+// within bounds) into a new tensor.
+Tensor ExtractSubtensor(const Tensor& t, const std::vector<size_t>& offsets,
+                        const std::vector<size_t>& extents);
+
+// Splits a tensor into a grid of `parts[d]` bricks along each dimension
+// (ceil-division sizing: trailing bricks may be smaller). Bricks are
+// returned in raster order of their grid coordinates. Every element of the
+// input appears in exactly one brick.
+std::vector<Tensor> SplitIntoBricks(const Tensor& t,
+                                    const std::vector<size_t>& parts);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_BRICKS_H_

@@ -1,0 +1,87 @@
+#include "src/data/fft.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void Fft1D(std::vector<std::complex<double>>* data, bool inverse) {
+  FXRZ_CHECK(data != nullptr);
+  auto& a = *data;
+  const size_t n = a.size();
+  FXRZ_CHECK(IsPowerOfTwo(n)) << "FFT length " << n;
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+void Fft3D(std::vector<std::complex<double>>* data, size_t nz, size_t ny,
+           size_t nx, bool inverse) {
+  FXRZ_CHECK(data != nullptr);
+  FXRZ_CHECK_EQ(data->size(), nz * ny * nx);
+  auto& a = *data;
+
+  std::vector<std::complex<double>> line;
+
+  // Transform along x (contiguous rows).
+  line.resize(nx);
+  for (size_t z = 0; z < nz; ++z) {
+    for (size_t y = 0; y < ny; ++y) {
+      const size_t base = (z * ny + y) * nx;
+      for (size_t x = 0; x < nx; ++x) line[x] = a[base + x];
+      Fft1D(&line, inverse);
+      for (size_t x = 0; x < nx; ++x) a[base + x] = line[x];
+    }
+  }
+
+  // Transform along y.
+  line.resize(ny);
+  for (size_t z = 0; z < nz; ++z) {
+    for (size_t x = 0; x < nx; ++x) {
+      for (size_t y = 0; y < ny; ++y) line[y] = a[(z * ny + y) * nx + x];
+      Fft1D(&line, inverse);
+      for (size_t y = 0; y < ny; ++y) a[(z * ny + y) * nx + x] = line[y];
+    }
+  }
+
+  // Transform along z.
+  line.resize(nz);
+  for (size_t y = 0; y < ny; ++y) {
+    for (size_t x = 0; x < nx; ++x) {
+      for (size_t z = 0; z < nz; ++z) line[z] = a[(z * ny + y) * nx + x];
+      Fft1D(&line, inverse);
+      for (size_t z = 0; z < nz; ++z) a[(z * ny + y) * nx + x] = line[z];
+    }
+  }
+}
+
+}  // namespace fxrz

@@ -1,0 +1,30 @@
+// Radix-2 complex FFT, 1D and separable 3D.
+//
+// Used by the Gaussian-random-field synthesizer that generates the
+// Nyx/Hurricane-like datasets (the paper uses real SDRBench downloads; we
+// synthesize fields with matched spectral statistics -- see DESIGN.md).
+
+#ifndef FXRZ_DATA_FFT_H_
+#define FXRZ_DATA_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace fxrz {
+
+// In-place iterative Cooley-Tukey FFT. data.size() must be a power of two.
+// `inverse` applies the conjugate transform and divides by N.
+void Fft1D(std::vector<std::complex<double>>* data, bool inverse);
+
+// Separable 3D FFT over a {nz, ny, nx} row-major grid. Every extent must be
+// a power of two. data->size() must equal nz*ny*nx.
+void Fft3D(std::vector<std::complex<double>>* data, size_t nz, size_t ny,
+           size_t nx, bool inverse);
+
+// True when n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_FFT_H_

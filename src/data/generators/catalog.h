@@ -1,0 +1,66 @@
+// Dataset catalog: named train/test bundles matching the paper's evaluation.
+//
+// Sec. V-A2 of the paper defines, per application, which snapshots or
+// simulation configurations are used for training and which for testing:
+//   - Hurricane (capability level 1): train time steps {5,10,15,20,25,30},
+//     test time step 48, fields QCLOUD and TC;
+//   - Nyx (level 2): train Nyx-1 snapshots, test Nyx-2 (different config);
+//   - RTM (level 2): train small-scale snapshots {50..500}, test big-scale;
+//   - QMCPack (level 2): train configs 1+2, test config 3 (spin0/spin1).
+// This module reproduces those bundles on the synthetic generators.
+
+#ifndef FXRZ_DATA_GENERATORS_CATALOG_H_
+#define FXRZ_DATA_GENERATORS_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+// A generated dataset with a human-readable provenance name, e.g.
+// "nyx1/baryon_density/t2" or "rtm-small/snapshot-300".
+struct NamedDataset {
+  std::string name;
+  Tensor data;
+};
+
+// Train/test split for one (application, field) pair.
+struct TrainTestBundle {
+  std::string application;  // "nyx", "rtm", "qmcpack", "hurricane"
+  std::string field;
+  std::vector<NamedDataset> train;
+  std::vector<NamedDataset> test;
+};
+
+// Scale in (0, 1]: shrinks grid extents (rounded to valid sizes) so tests
+// can run on tiny data. 1.0 uses the default laptop-scale sizes.
+struct CatalogOptions {
+  double scale = 1.0;
+  int train_snapshots = 0;  // override number of training snapshots; 0 = paper default
+};
+
+// Level-1 bundle: Hurricane field ("TC" or "QCLOUD").
+TrainTestBundle MakeHurricaneBundle(const std::string& field,
+                                    const CatalogOptions& opts = {});
+
+// Level-2 bundle: Nyx field ("baryon_density", "dark_matter_density",
+// "temperature", "velocity_x"); trains on Nyx-1 snapshots, tests on Nyx-2.
+TrainTestBundle MakeNyxBundle(const std::string& field,
+                              const CatalogOptions& opts = {});
+
+// Level-2 bundle: RTM; trains on small-scale snapshots, tests on big-scale.
+TrainTestBundle MakeRtmBundle(const CatalogOptions& opts = {});
+
+// Level-2 bundle: QMCPack spin channel (0 or 1); trains on configs 1 and 2,
+// tests on config 3.
+TrainTestBundle MakeQmcpackBundle(int spin, const CatalogOptions& opts = {});
+
+// All bundles used in the paper's main accuracy study (Fig. 13):
+// Nyx x4 fields, QMCPack x2 spins, RTM, Hurricane x2 fields.
+std::vector<TrainTestBundle> MakeAllBundles(const CatalogOptions& opts = {});
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_GENERATORS_CATALOG_H_

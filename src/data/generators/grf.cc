@@ -1,0 +1,91 @@
+#include "src/data/generators/grf.h"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "src/data/fft.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace fxrz {
+
+namespace {
+
+// Frequency magnitude for bin i of an n-point DFT (symmetric about n/2).
+double FreqComponent(size_t i, size_t n) {
+  const size_t half = n / 2;
+  return static_cast<double>(i <= half ? i : n - i);
+}
+
+}  // namespace
+
+Tensor GaussianRandomField3D(size_t nz, size_t ny, size_t nx,
+                             double spectral_index, uint64_t seed) {
+  FXRZ_CHECK(IsPowerOfTwo(nz) && IsPowerOfTwo(ny) && IsPowerOfTwo(nx))
+      << "GRF dims must be powers of two, got " << nz << "x" << ny << "x"
+      << nx;
+  const size_t n = nz * ny * nx;
+  Rng rng(seed);
+
+  std::vector<std::complex<double>> spec(n);
+  for (size_t z = 0; z < nz; ++z) {
+    const double kz = FreqComponent(z, nz);
+    for (size_t y = 0; y < ny; ++y) {
+      const double ky = FreqComponent(y, ny);
+      for (size_t x = 0; x < nx; ++x) {
+        const double kx = FreqComponent(x, nx);
+        const size_t off = (z * ny + y) * nx + x;
+        const double k2 = kz * kz + ky * ky + kx * kx;
+        if (k2 == 0.0) {
+          spec[off] = 0.0;  // zero mean: kill the DC mode
+          continue;
+        }
+        const double amp = std::pow(k2, -spectral_index / 4.0);
+        spec[off] = std::complex<double>(rng.NextGaussian() * amp,
+                                         rng.NextGaussian() * amp);
+      }
+    }
+  }
+
+  Fft3D(&spec, nz, ny, nx, /*inverse=*/true);
+
+  // The real part of the inverse transform of a non-Hermitian spectrum is a
+  // Gaussian field with the target spectrum (it equals the average of two
+  // independent Hermitian draws). Normalize to zero mean, unit variance.
+  Tensor out({nz, ny, nx});
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(spec[i].real());
+    sum += out[i];
+  }
+  const double mean = sum / static_cast<double>(n);
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = out[i] - mean;
+    var += d * d;
+  }
+  const double stddev = std::sqrt(var / static_cast<double>(n));
+  const double inv = stddev > 0 ? 1.0 / stddev : 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>((out[i] - mean) * inv);
+  }
+  return out;
+}
+
+Tensor EvolvingGaussianRandomField3D(size_t nz, size_t ny, size_t nx,
+                                     double spectral_index, uint64_t seed,
+                                     double phase) {
+  const Tensor a = GaussianRandomField3D(nz, ny, nx, spectral_index, seed);
+  const Tensor b =
+      GaussianRandomField3D(nz, ny, nx, spectral_index, seed ^ 0xabcdef1234ULL);
+  const float ca = static_cast<float>(std::cos(phase));
+  const float cb = static_cast<float>(std::sin(phase));
+  Tensor out({nz, ny, nx});
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = ca * a[i] + cb * b[i];
+  }
+  return out;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,34 @@
+// Gaussian random field (GRF) synthesis via spectral filtering.
+//
+// Scientific fields (cosmology density, weather turbulence) are well modeled
+// as (transforms of) Gaussian random fields with power-law spectra
+// P(k) ~ k^-n. We synthesize them by drawing white noise in Fourier space,
+// shaping it with sqrt(P(k)), and inverse-transforming. A larger spectral
+// index n gives a smoother field (energy concentrated at large scales);
+// n near 0 approaches white noise.
+
+#ifndef FXRZ_DATA_GENERATORS_GRF_H_
+#define FXRZ_DATA_GENERATORS_GRF_H_
+
+#include <cstdint>
+
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+// Generates a {nz, ny, nx} zero-mean unit-variance GRF with spectrum
+// P(k) ~ k^-spectral_index. All extents must be powers of two.
+// The same seed always yields the same field.
+Tensor GaussianRandomField3D(size_t nz, size_t ny, size_t nx,
+                             double spectral_index, uint64_t seed);
+
+// Smoothly time-evolving GRF: an interpolation on the great circle between
+// two independent GRFs, so every phase has the same marginal statistics.
+// `phase` is in radians; phase 0 returns field A.
+Tensor EvolvingGaussianRandomField3D(size_t nz, size_t ny, size_t nx,
+                                     double spectral_index, uint64_t seed,
+                                     double phase);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_GENERATORS_GRF_H_

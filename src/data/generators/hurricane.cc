@@ -1,0 +1,98 @@
+#include "src/data/generators/hurricane.h"
+
+#include <cmath>
+
+#include "src/data/generators/grf.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+HurricaneConfig HurricaneDefaultConfig() { return HurricaneConfig(); }
+
+namespace {
+
+// Storm track: the eye drifts across the domain and intensifies with time.
+struct Storm {
+  double cy, cx;        // eye position (fractional coordinates)
+  double intensity;     // 0..~1.5
+  double radius;        // eye radius (fractional)
+};
+
+Storm StormAt(int time_step) {
+  const double t = static_cast<double>(time_step) / 48.0;
+  Storm s;
+  s.cy = 0.30 + 0.35 * t;
+  s.cx = 0.65 - 0.40 * t;
+  s.intensity = 0.4 + 1.1 * std::min(1.0, t * 1.4);
+  s.radius = 0.10 + 0.05 * t;
+  return s;
+}
+
+}  // namespace
+
+Tensor GenerateHurricaneField(const HurricaneConfig& c,
+                              const std::string& field, int time_step) {
+  const Storm storm = StormAt(time_step);
+  const size_t nz = c.nz, ny = c.ny, nx = c.nx;
+  const double phase = 0.05 * time_step;
+
+  if (field == "TC") {
+    Tensor turb =
+        EvolvingGaussianRandomField3D(nz, ny, nx, 2.8, c.seed, phase);
+    Tensor out({nz, ny, nx});
+    for (size_t z = 0; z < nz; ++z) {
+      const double fz = static_cast<double>(z) / nz;
+      const double base = c.temperature_surface - c.lapse_rate * fz;
+      for (size_t y = 0; y < ny; ++y) {
+        const double fy = static_cast<double>(y) / ny;
+        for (size_t x = 0; x < nx; ++x) {
+          const double fx = static_cast<double>(x) / nx;
+          const double dy = fy - storm.cy, dx = fx - storm.cx;
+          const double r2 = dy * dy + dx * dx;
+          // Warm core decays with radius and altitude.
+          const double core = c.vortex_strength * storm.intensity *
+                              std::exp(-r2 / (2.0 * storm.radius * storm.radius)) *
+                              (1.0 - 0.6 * fz);
+          const size_t off = (z * ny + y) * nx + x;
+          out[off] = static_cast<float>(base + core + 2.5 * turb[off]);
+        }
+      }
+    }
+    return out;
+  }
+
+  if (field == "QCLOUD") {
+    // Cloud water: thresholded turbulence concentrated in an annulus around
+    // the eye (the eyewall) at mid altitudes; zero elsewhere.
+    Tensor turb =
+        EvolvingGaussianRandomField3D(nz, ny, nx, 3.2, c.seed + 17, phase);
+    Tensor out({nz, ny, nx});
+    for (size_t z = 0; z < nz; ++z) {
+      const double fz = static_cast<double>(z) / nz;
+      // Clouds live between ~0.2 and ~0.7 of the column.
+      const double altitude_weight =
+          std::exp(-std::pow((fz - 0.45) / 0.2, 2.0));
+      for (size_t y = 0; y < ny; ++y) {
+        const double fy = static_cast<double>(y) / ny;
+        for (size_t x = 0; x < nx; ++x) {
+          const double fx = static_cast<double>(x) / nx;
+          const double dy = fy - storm.cy, dx = fx - storm.cx;
+          const double r = std::sqrt(dy * dy + dx * dx);
+          const double eyewall =
+              std::exp(-std::pow((r - storm.radius) / (0.6 * storm.radius), 2.0));
+          const size_t off = (z * ny + y) * nx + x;
+          const double raw = storm.intensity * altitude_weight * eyewall *
+                                 (0.6 + 0.4 * turb[off]) -
+                             0.35;
+          out[off] = static_cast<float>(raw > 0.0 ? 1.5e-3 * raw : 0.0);
+        }
+      }
+    }
+    return out;
+  }
+
+  FXRZ_CHECK(false) << "unknown Hurricane field: " << field;
+  return Tensor();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,40 @@
+// Hurricane-Isabel-like weather field generator.
+//
+// The Hurricane Isabel benchmark is a 100x500x500 grid of atmospheric
+// fields over 48 hourly time steps. We model the two fields the paper uses:
+//   TC      -- temperature: vertical lapse-rate profile + warm vortex core +
+//              multiscale turbulence (large value range, moderately smooth);
+//   QCLOUD  -- cloud water: non-negative and sparse (zero almost everywhere
+//              with smooth blobs near the eyewall), which heavily exercises
+//              FXRZ's constant-block Compressibility Adjustment.
+// Time steps move the storm center along a track and strengthen the vortex,
+// giving genuinely different train (steps 5..30) vs test (step 48) data
+// (capability level 1).
+
+#ifndef FXRZ_DATA_GENERATORS_HURRICANE_H_
+#define FXRZ_DATA_GENERATORS_HURRICANE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+struct HurricaneConfig {
+  size_t nz = 16, ny = 64, nx = 64;  // powers of two (GRF-based turbulence)
+  double temperature_surface = 30.0;  // deg C at sea level
+  double lapse_rate = 70.0;           // total vertical temperature drop
+  double vortex_strength = 25.0;      // warm-core amplitude
+  uint64_t seed = 6301;
+};
+
+HurricaneConfig HurricaneDefaultConfig();
+
+// Generates "TC" or "QCLOUD" at an hourly time step in [0, 60].
+Tensor GenerateHurricaneField(const HurricaneConfig& config,
+                              const std::string& field, int time_step);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_GENERATORS_HURRICANE_H_

@@ -1,0 +1,105 @@
+#include "src/data/generators/nyx.h"
+
+#include <cmath>
+
+#include "src/data/generators/grf.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+NyxConfig NyxConfig1() {
+  NyxConfig c;
+  c.spectral_index = 3.0;
+  c.sigma_baryon = 1.1;
+  c.sigma_dm = 1.6;
+  c.seed = 7001;
+  return c;
+}
+
+NyxConfig NyxConfig2() {
+  // A different user's run: same physics family, different cosmological
+  // knobs and an independent random realization.
+  NyxConfig c;
+  c.spectral_index = 2.7;  // somewhat rougher small-scale structure
+  c.sigma_baryon = 1.22;
+  c.sigma_dm = 1.75;
+  c.temperature_scale = 1.6e4;
+  c.velocity_scale = 320.0;
+  c.seed = 9102;
+  return c;
+}
+
+namespace {
+
+// Structure growth: later time steps have larger fluctuation amplitude and a
+// rotated GRF phase, mimicking gravitational evolution between snapshots.
+struct Epoch {
+  double phase;
+  double growth;
+};
+
+Epoch EpochForTimeStep(int time_step) {
+  const double t = static_cast<double>(time_step);
+  return Epoch{0.07 * t, 1.0 + 0.015 * t};
+}
+
+}  // namespace
+
+Tensor GenerateNyxField(const NyxConfig& config, const std::string& field,
+                        int time_step) {
+  const Epoch epoch = EpochForTimeStep(time_step);
+  const size_t nz = config.nz, ny = config.ny, nx = config.nx;
+
+  if (field == "baryon_density") {
+    Tensor g = EvolvingGaussianRandomField3D(nz, ny, nx, config.spectral_index,
+                                             config.seed, epoch.phase);
+    const double sigma = config.sigma_baryon * epoch.growth;
+    // Lognormal density normalized to unit mean: rho = exp(s*g - s^2/2).
+    for (size_t i = 0; i < g.size(); ++i) {
+      g[i] = static_cast<float>(std::exp(sigma * g[i] - sigma * sigma / 2.0));
+    }
+    return g;
+  }
+
+  if (field == "dark_matter_density") {
+    Tensor g =
+        EvolvingGaussianRandomField3D(nz, ny, nx, config.spectral_index + 0.3,
+                                      config.seed + 11, epoch.phase);
+    const double sigma = config.sigma_dm * epoch.growth;
+    for (size_t i = 0; i < g.size(); ++i) {
+      g[i] = static_cast<float>(std::exp(sigma * g[i] - sigma * sigma / 2.0));
+    }
+    return g;
+  }
+
+  if (field == "temperature") {
+    // Polytropic relation with lognormal scatter: T = T0 * rho^(2/3) * e^(s*h).
+    Tensor rho = GenerateNyxField(config, "baryon_density", time_step);
+    Tensor h = EvolvingGaussianRandomField3D(
+        nz, ny, nx, config.spectral_index - 0.5, config.seed + 23, epoch.phase);
+    Tensor out({nz, ny, nx});
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<float>(config.temperature_scale *
+                                  std::pow(static_cast<double>(rho[i]), 2.0 / 3.0) *
+                                  std::exp(0.3 * h[i]));
+    }
+    return out;
+  }
+
+  if (field == "velocity_x") {
+    // Velocities are smoother than densities (steeper spectrum) and signed.
+    Tensor g =
+        EvolvingGaussianRandomField3D(nz, ny, nx, config.spectral_index + 1.0,
+                                      config.seed + 37, epoch.phase);
+    const double scale = config.velocity_scale * std::sqrt(epoch.growth);
+    for (size_t i = 0; i < g.size(); ++i) {
+      g[i] = static_cast<float>(scale * g[i]);
+    }
+    return g;
+  }
+
+  FXRZ_CHECK(false) << "unknown Nyx field: " << field;
+  return Tensor();
+}
+
+}  // namespace fxrz

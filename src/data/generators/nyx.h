@@ -1,0 +1,51 @@
+// Nyx-like cosmology field generator.
+//
+// Nyx (adaptive-mesh cosmological hydrodynamics) produces per-snapshot 3D
+// grids of baryon density, dark-matter density, temperature, and velocity.
+// Baryon density is well approximated by a lognormal transform of a Gaussian
+// random field (spiky, strictly positive, long right tail); temperature
+// follows a polytropic relation T ~ rho^(2/3) with scatter; velocity is a
+// smoother, signed GRF. Distinct "simulation configurations" (the paper's
+// Nyx-1 vs Nyx-2, capability level 2) differ in spectral index, fluctuation
+// amplitude, and random seed.
+
+#ifndef FXRZ_DATA_GENERATORS_NYX_H_
+#define FXRZ_DATA_GENERATORS_NYX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+// One Nyx simulation configuration. Two configs with different seeds or
+// physics parameters play the role of datasets produced by different users.
+struct NyxConfig {
+  size_t nz = 64, ny = 64, nx = 64;   // grid (powers of two)
+  double spectral_index = 3.0;        // density spectrum steepness
+  double sigma_baryon = 1.1;          // lognormal width for baryon density
+  double sigma_dm = 1.6;              // lognormal width for dark matter
+  double temperature_scale = 1.0e4;   // Kelvin-like scale
+  double velocity_scale = 250.0;      // km/s-like scale
+  uint64_t seed = 7001;
+};
+
+// The paper's two Nyx dataset sources: Nyx-1 (SDRBench, used for training)
+// and Nyx-2 (different simulation configuration, used for testing).
+NyxConfig NyxConfig1();
+NyxConfig NyxConfig2();
+
+// Field names mirror SDRBench: "baryon_density", "dark_matter_density",
+// "temperature", "velocity_x".
+inline constexpr const char* kNyxFields[] = {
+    "baryon_density", "dark_matter_density", "temperature", "velocity_x"};
+
+// Generates one field at a given time step (time steps evolve the underlying
+// GRF phase and the growth amplitude). Aborts on unknown field names.
+Tensor GenerateNyxField(const NyxConfig& config, const std::string& field,
+                        int time_step);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_GENERATORS_NYX_H_

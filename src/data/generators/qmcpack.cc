@@ -1,0 +1,101 @@
+#include "src/data/generators/qmcpack.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace fxrz {
+
+QmcpackConfig QmcpackConfig1() {
+  QmcpackConfig c;
+  c.num_orbitals = 4;
+  c.seed = 5501;
+  return c;
+}
+
+QmcpackConfig QmcpackConfig2() {
+  QmcpackConfig c;
+  c.num_orbitals = 6;
+  c.seed = 5677;
+  return c;
+}
+
+QmcpackConfig QmcpackConfig3() {
+  QmcpackConfig c;
+  c.num_orbitals = 10;
+  c.nz = 32;
+  c.ny = 32;
+  c.nx = 32;
+  c.num_atoms = 8;
+  c.wave_number_scale = 3.6;
+  c.seed = 5903;
+  return c;
+}
+
+Tensor GenerateQmcpackOrbitals(const QmcpackConfig& c, int spin) {
+  FXRZ_CHECK(spin == 0 || spin == 1);
+  Rng rng(c.seed * 2 + static_cast<uint64_t>(spin));
+
+  // Atomic sites in fractional coordinates.
+  struct Site {
+    double z, y, x;
+    double width;
+  };
+  std::vector<Site> sites(c.num_atoms);
+  for (auto& s : sites) {
+    s = {rng.Uniform(0.15, 0.85), rng.Uniform(0.15, 0.85),
+         rng.Uniform(0.15, 0.85), rng.Uniform(0.12, 0.25)};
+  }
+
+  Tensor out({c.num_orbitals, c.nz, c.ny, c.nx});
+  for (size_t orb = 0; orb < c.num_orbitals; ++orb) {
+    // Each orbital mixes a few plane waves; higher orbitals oscillate faster
+    // (larger |k|), mirroring the energy ordering of real orbitals.
+    struct Wave {
+      double kz, ky, kx, phase, weight;
+    };
+    const size_t num_waves = 3;
+    std::vector<Wave> waves(num_waves);
+    const double k_mag =
+        c.wave_number_scale * (1.0 + 0.35 * static_cast<double>(orb));
+    for (auto& w : waves) {
+      // Random direction on the sphere, fixed magnitude k_mag.
+      double gz = rng.NextGaussian(), gy = rng.NextGaussian(),
+             gx = rng.NextGaussian();
+      const double norm = std::sqrt(gz * gz + gy * gy + gx * gx) + 1e-12;
+      w = {k_mag * gz / norm, k_mag * gy / norm, k_mag * gx / norm,
+           rng.Uniform(0.0, 2.0 * M_PI), rng.Uniform(0.5, 1.0)};
+    }
+
+    for (size_t z = 0; z < c.nz; ++z) {
+      const double fz = static_cast<double>(z) / c.nz;
+      for (size_t y = 0; y < c.ny; ++y) {
+        const double fy = static_cast<double>(y) / c.ny;
+        for (size_t x = 0; x < c.nx; ++x) {
+          const double fx = static_cast<double>(x) / c.nx;
+          // Gaussian envelope: superposition over atomic sites.
+          double env = 0.0;
+          for (const auto& s : sites) {
+            const double dz = fz - s.z, dy = fy - s.y, dx = fx - s.x;
+            const double r2 = dz * dz + dy * dy + dx * dx;
+            env += std::exp(-r2 / (2.0 * s.width * s.width));
+          }
+          double osc = 0.0;
+          for (const auto& w : waves) {
+            osc += w.weight * std::cos(2.0 * M_PI * (w.kz * fz + w.ky * fy +
+                                                     w.kx * fx) +
+                                       w.phase);
+          }
+          // Shift to a positive range like the SDRBench spin exports.
+          const double v = c.amplitude * (0.9 + 0.5 * env * osc);
+          out.at({orb, z, y, x}) = static_cast<float>(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fxrz

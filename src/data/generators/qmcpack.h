@@ -1,0 +1,41 @@
+// QMCPack-like quantum-structure field generator.
+//
+// QMCPack stores B-spline-tabulated single-particle orbitals as a 4D array
+// (orbital index x 3D grid). Orbitals are oscillatory plane-wave mixtures
+// localized around atomic sites -- visually, smooth wave textures with
+// moderate value range (paper Table I: range ~35, mean ~17). We synthesize
+// orbitals as Gaussian-enveloped plane-wave sums with orbital-dependent wave
+// vectors, shifted to a positive range like the SDRBench spin-density
+// exports. Configurations of different orbital counts reproduce the paper's
+// QMCPACK-1/2 (train, small) vs QMCPACK-3 (test, big) setup.
+
+#ifndef FXRZ_DATA_GENERATORS_QMCPACK_H_
+#define FXRZ_DATA_GENERATORS_QMCPACK_H_
+
+#include <cstdint>
+
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+struct QmcpackConfig {
+  size_t num_orbitals = 6;
+  size_t nz = 24, ny = 24, nx = 24;  // spatial grid
+  size_t num_atoms = 6;              // Gaussian envelope centers
+  double wave_number_scale = 3.0;    // oscillation frequency scale
+  double amplitude = 18.0;           // output value scale
+  uint64_t seed = 5501;
+};
+
+// The paper's three dataset sizes (288/480/816 orbitals); scaled down.
+QmcpackConfig QmcpackConfig1();
+QmcpackConfig QmcpackConfig2();
+QmcpackConfig QmcpackConfig3();
+
+// Generates the 4D {num_orbitals, nz, ny, nx} field for one spin channel
+// (spin = 0 or 1; channels use decorrelated phases).
+Tensor GenerateQmcpackOrbitals(const QmcpackConfig& config, int spin);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_GENERATORS_QMCPACK_H_

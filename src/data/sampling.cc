@@ -1,0 +1,47 @@
+#include "src/data/sampling.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+Tensor StrideSample(const Tensor& t, size_t stride) {
+  FXRZ_CHECK_GT(stride, 0u);
+  FXRZ_CHECK(!t.empty());
+  if (stride == 1) return t;
+
+  std::vector<size_t> out_dims(t.rank());
+  for (size_t i = 0; i < t.rank(); ++i) {
+    out_dims[i] = (t.dim(i) + stride - 1) / stride;
+  }
+  Tensor out(out_dims);
+
+  // Walk the output index space and gather from the input. Generic over rank
+  // by maintaining a multi-index odometer.
+  std::vector<size_t> idx(t.rank(), 0);
+  const std::vector<size_t> in_strides = t.Strides();
+  for (size_t o = 0; o < out.size(); ++o) {
+    size_t in_off = 0;
+    for (size_t d = 0; d < t.rank(); ++d) in_off += idx[d] * stride * in_strides[d];
+    out[o] = t[in_off];
+    // Increment odometer (last dimension fastest).
+    for (size_t d = t.rank(); d-- > 0;) {
+      if (++idx[d] < out_dims[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+double StrideSampleFraction(const Tensor& t, size_t stride) {
+  FXRZ_CHECK(!t.empty());
+  double frac = 1.0;
+  for (size_t i = 0; i < t.rank(); ++i) {
+    const double kept = (t.dim(i) + stride - 1) / stride;
+    frac *= kept / static_cast<double>(t.dim(i));
+  }
+  return frac;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,59 @@
+#include "src/data/tensor.h"
+
+#include <numeric>
+
+namespace fxrz {
+
+namespace {
+
+size_t Product(const std::vector<size_t>& dims) {
+  size_t n = 1;
+  for (size_t d : dims) n *= d;
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> dims) : dims_(std::move(dims)) {
+  FXRZ_CHECK(!dims_.empty() && dims_.size() <= kMaxRank)
+      << "rank " << dims_.size();
+  for (size_t d : dims_) FXRZ_CHECK_GT(d, 0u);
+  data_.assign(Product(dims_), 0.0f);
+}
+
+Tensor::Tensor(std::vector<size_t> dims, std::vector<float> values)
+    : dims_(std::move(dims)), data_(std::move(values)) {
+  FXRZ_CHECK(!dims_.empty() && dims_.size() <= kMaxRank);
+  FXRZ_CHECK_EQ(Product(dims_), data_.size());
+}
+
+size_t Tensor::Offset(std::initializer_list<size_t> idx) const {
+  FXRZ_DCHECK(idx.size() == dims_.size());
+  size_t off = 0;
+  size_t i = 0;
+  for (size_t v : idx) {
+    FXRZ_DCHECK(v < dims_[i]);
+    off = off * dims_[i] + v;
+    ++i;
+  }
+  return off;
+}
+
+std::vector<size_t> Tensor::Strides() const {
+  std::vector<size_t> strides(dims_.size(), 1);
+  for (size_t i = dims_.size(); i-- > 1;) {
+    strides[i - 1] = strides[i] * dims_[i];
+  }
+  return strides;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string s;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(dims_[i]);
+  }
+  return s;
+}
+
+}  // namespace fxrz

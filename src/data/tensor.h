@@ -1,0 +1,82 @@
+// Dense n-dimensional float tensor -- the in-memory representation of a
+// scientific dataset field (what the paper calls a "snapshot" of a field).
+//
+// FXRZ and all four compressors operate on float32 data, matching the
+// SDRBench datasets evaluated in the paper. Dimensions are row-major with
+// the last dimension fastest-varying, i.e. a {nz, ny, nx} tensor is laid out
+// as data[z][y][x]. Up to 4 dimensions are supported (QMCPack fields are 4D).
+
+#ifndef FXRZ_DATA_TENSOR_H_
+#define FXRZ_DATA_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+// Value-semantic dense float tensor.
+class Tensor {
+ public:
+  static constexpr size_t kMaxRank = 4;
+
+  // Creates an empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  // Creates a zero-initialized tensor with the given shape.
+  // Requires 1 <= dims.size() <= kMaxRank and every extent > 0.
+  explicit Tensor(std::vector<size_t> dims);
+
+  // Creates a tensor taking ownership of `values`; values.size() must equal
+  // the product of dims.
+  Tensor(std::vector<size_t> dims, std::vector<float> values);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  size_t rank() const { return dims_.size(); }
+  const std::vector<size_t>& dims() const { return dims_; }
+  size_t dim(size_t i) const { return dims_[i]; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  size_t size_bytes() const { return data_.size() * sizeof(float); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float operator[](size_t i) const { return data_[i]; }
+  float& operator[](size_t i) { return data_[i]; }
+
+  // Multi-index access. The number of indices must equal rank().
+  float& at(std::initializer_list<size_t> idx) { return data_[Offset(idx)]; }
+  float at(std::initializer_list<size_t> idx) const {
+    return data_[Offset(idx)];
+  }
+
+  // Linear offset of a multi-index (row-major, last index fastest).
+  size_t Offset(std::initializer_list<size_t> idx) const;
+
+  // Strides in elements for each dimension (row-major).
+  std::vector<size_t> Strides() const;
+
+  // True when shapes and all values are bitwise equal.
+  bool SameAs(const Tensor& other) const {
+    return dims_ == other.dims_ && data_ == other.data_;
+  }
+
+  // "512x512x512" style rendering of the shape.
+  std::string ShapeString() const;
+
+ private:
+  std::vector<size_t> dims_;
+  std::vector<float> data_;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_TENSOR_H_

@@ -1,0 +1,118 @@
+#include "src/data/tensor_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/encoding/bit_stream.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr uint32_t kTensorMagic = 0x46545331;  // "FTS1"
+
+Status ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(len > 0 ? static_cast<size_t>(len) : 0);
+  const size_t got = std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) return Status::Internal("short read: " + path);
+  return Status::Ok();
+}
+
+Status WriteWholeFile(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void SerializeTensor(const Tensor& t, std::vector<uint8_t>* out) {
+  FXRZ_CHECK(out != nullptr);
+  FXRZ_CHECK(!t.empty());
+  AppendUint32(out, kTensorMagic);
+  AppendUint32(out, static_cast<uint32_t>(t.rank()));
+  for (size_t i = 0; i < t.rank(); ++i) AppendUint64(out, t.dim(i));
+  const size_t payload = t.size() * sizeof(float);
+  const size_t offset = out->size();
+  out->resize(offset + payload);
+  std::memcpy(out->data() + offset, t.data(), payload);
+}
+
+Status DeserializeTensor(const uint8_t* data, size_t size, size_t* pos,
+                         Tensor* out) {
+  FXRZ_CHECK(pos != nullptr && out != nullptr);
+  size_t p = *pos;
+  if (p + 8 > size) return Status::Corruption("tensor: short header");
+  if (ReadUint32(data + p) != kTensorMagic) {
+    return Status::Corruption("tensor: bad magic");
+  }
+  const uint32_t rank = ReadUint32(data + p + 4);
+  if (rank == 0 || rank > Tensor::kMaxRank) {
+    return Status::Corruption("tensor: bad rank");
+  }
+  p += 8;
+  if (p + 8ull * rank > size) return Status::Corruption("tensor: short dims");
+  std::vector<size_t> dims(rank);
+  size_t total = 1;
+  for (uint32_t i = 0; i < rank; ++i) {
+    dims[i] = ReadUint64(data + p);
+    if (dims[i] == 0 || dims[i] > (1ull << 40)) {
+      return Status::Corruption("tensor: bad dim");
+    }
+    total *= dims[i];
+    p += 8;
+  }
+  if (p + total * sizeof(float) > size) {
+    return Status::Corruption("tensor: short payload");
+  }
+  std::vector<float> values(total);
+  std::memcpy(values.data(), data + p, total * sizeof(float));
+  p += total * sizeof(float);
+  *out = Tensor(std::move(dims), std::move(values));
+  *pos = p;
+  return Status::Ok();
+}
+
+Status WriteTensorFile(const Tensor& t, const std::string& path) {
+  std::vector<uint8_t> bytes;
+  SerializeTensor(t, &bytes);
+  return WriteWholeFile(path, bytes);
+}
+
+Status ReadTensorFile(const std::string& path, Tensor* out) {
+  FXRZ_CHECK(out != nullptr);
+  std::vector<uint8_t> bytes;
+  FXRZ_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  size_t pos = 0;
+  return DeserializeTensor(bytes.data(), bytes.size(), &pos, out);
+}
+
+Status ReadRawF32File(const std::string& path,
+                      const std::vector<size_t>& dims, Tensor* out) {
+  FXRZ_CHECK(out != nullptr);
+  FXRZ_CHECK(!dims.empty());
+  std::vector<uint8_t> bytes;
+  FXRZ_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  size_t total = 1;
+  for (size_t d : dims) total *= d;
+  if (bytes.size() != total * sizeof(float)) {
+    return Status::InvalidArgument("raw file size does not match shape");
+  }
+  std::vector<float> values(total);
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  *out = Tensor(dims, std::move(values));
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,38 @@
+// Tensor (de)serialization: an in-memory byte format and raw-file I/O.
+//
+// The binary format is a small self-describing header (magic, rank, dims)
+// followed by little-endian float32 payload -- the same layout SDRBench
+// ships its .f32 files in, plus a header so shapes round-trip. Used by the
+// field store and the fxrz_cli tool.
+
+#ifndef FXRZ_DATA_TENSOR_IO_H_
+#define FXRZ_DATA_TENSOR_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/tensor.h"
+#include "src/util/status.h"
+
+namespace fxrz {
+
+// Appends the serialized tensor (header + payload) to `out`.
+void SerializeTensor(const Tensor& t, std::vector<uint8_t>* out);
+
+// Parses a tensor serialized by SerializeTensor; advances *pos past it.
+Status DeserializeTensor(const uint8_t* data, size_t size, size_t* pos,
+                         Tensor* out);
+
+// Writes/reads the serialized form to/from a file.
+Status WriteTensorFile(const Tensor& t, const std::string& path);
+Status ReadTensorFile(const std::string& path, Tensor* out);
+
+// Reads a headerless raw little-endian float32 file (SDRBench style) with
+// an explicitly provided shape. Fails if the file size does not match.
+Status ReadRawF32File(const std::string& path,
+                      const std::vector<size_t>& dims, Tensor* out);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_DATA_TENSOR_IO_H_

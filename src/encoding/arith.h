@@ -1,0 +1,92 @@
+// Adaptive binary arithmetic (range) coder, LZMA-style.
+//
+// The FPZIP-like compressor entropy-codes residual leading-zero counts with
+// context-adaptive binary models: each Context tracks P(bit = 0) as an
+// 11-bit fixed-point probability that adapts with an exponential moving
+// average. The coder itself is a carry-propagating 64-bit/32-bit range coder.
+
+#ifndef FXRZ_ENCODING_ARITH_H_
+#define FXRZ_ENCODING_ARITH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+// Adaptive probability model for a single binary decision.
+class BitContext {
+ public:
+  static constexpr uint32_t kProbBits = 11;
+  static constexpr uint32_t kProbMax = 1u << kProbBits;  // 2048
+  static constexpr uint32_t kMoveBits = 5;
+
+  BitContext() : prob_zero_(kProbMax / 2) {}
+
+  uint32_t prob_zero() const { return prob_zero_; }
+
+  void Update(uint32_t bit) {
+    if (bit == 0) {
+      prob_zero_ += (kProbMax - prob_zero_) >> kMoveBits;
+    } else {
+      prob_zero_ -= prob_zero_ >> kMoveBits;
+    }
+  }
+
+ private:
+  uint32_t prob_zero_;
+};
+
+// Encoder: feed bits with their contexts, then Finish() and take the bytes.
+class ArithEncoder {
+ public:
+  ArithEncoder() = default;
+
+  // Encodes `bit` under the adaptive model `ctx` (updated in place).
+  void EncodeBit(BitContext* ctx, uint32_t bit);
+
+  // Encodes `count` raw (uniform) bits, MSB first.
+  void EncodeRaw(uint64_t value, size_t count);
+
+  // Flushes the coder state. Must be called exactly once.
+  std::vector<uint8_t> Finish() &&;
+
+ private:
+  void ShiftLow();
+
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+  std::vector<uint8_t> bytes_;
+};
+
+// Decoder over a byte span produced by ArithEncoder.
+class ArithDecoder {
+ public:
+  ArithDecoder(const uint8_t* data, size_t size);
+
+  // Decodes one bit under `ctx` (updated in place, mirroring the encoder).
+  uint32_t DecodeBit(BitContext* ctx);
+
+  // Decodes `count` raw bits, MSB first.
+  uint64_t DecodeRaw(size_t count);
+
+  // True if the decoder consumed more bytes than available (corruption).
+  bool overrun() const { return overrun_; }
+
+ private:
+  uint8_t NextByte();
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ENCODING_ARITH_H_

@@ -1,0 +1,103 @@
+// Bit-granular serialization used by every entropy coder and by the
+// ZFP-like bitplane codec.
+//
+// Bits are packed LSB-first into bytes. Writers own a growable byte buffer;
+// readers wrap an immutable byte span.
+
+#ifndef FXRZ_ENCODING_BIT_STREAM_H_
+#define FXRZ_ENCODING_BIT_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+// Append-only bit sink.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Writes the low `count` bits of `bits` (count <= 64), LSB first.
+  void WriteBits(uint64_t bits, size_t count) {
+    FXRZ_DCHECK(count <= 64);
+    for (size_t i = 0; i < count; ++i) {
+      WriteBit((bits >> i) & 1u);
+    }
+  }
+
+  void WriteBit(uint32_t bit) {
+    if (bit_pos_ == 0) buffer_.push_back(0);
+    if (bit) buffer_.back() |= static_cast<uint8_t>(1u << bit_pos_);
+    bit_pos_ = (bit_pos_ + 1) & 7;
+  }
+
+  // Total bits written so far.
+  size_t bit_count() const {
+    return buffer_.size() * 8 - (bit_pos_ == 0 ? 0 : (8 - bit_pos_));
+  }
+
+  // Finalizes and returns the byte buffer (trailing bits zero-padded).
+  std::vector<uint8_t> Take() && { return std::move(buffer_); }
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t bit_pos_ = 0;  // next free bit within buffer_.back(); 0 = byte full
+};
+
+// Sequential bit source over a byte span. Does not own the data.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size_bytes)
+      : data_(data), size_bits_(size_bytes * 8) {}
+
+  explicit BitReader(const std::vector<uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size()) {}
+
+  // Reads one bit; returns 0 past the end (callers validate via Exhausted()).
+  uint32_t ReadBit() {
+    if (pos_ >= size_bits_) {
+      overrun_ = true;
+      return 0;
+    }
+    const uint32_t bit = (data_[pos_ >> 3] >> (pos_ & 7)) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  // Reads `count` bits (count <= 64), LSB first.
+  uint64_t ReadBits(size_t count) {
+    FXRZ_DCHECK(count <= 64);
+    uint64_t v = 0;
+    for (size_t i = 0; i < count; ++i) {
+      v |= static_cast<uint64_t>(ReadBit()) << i;
+    }
+    return v;
+  }
+
+  // True when a read went past the end of the buffer.
+  bool overrun() const { return overrun_; }
+  size_t bits_remaining() const { return size_bits_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+  bool overrun_ = false;
+};
+
+// Helpers for byte-level little-endian (de)serialization of POD headers.
+void AppendUint32(std::vector<uint8_t>* out, uint32_t v);
+void AppendUint64(std::vector<uint8_t>* out, uint64_t v);
+void AppendDouble(std::vector<uint8_t>* out, double v);
+uint32_t ReadUint32(const uint8_t* p);
+uint64_t ReadUint64(const uint8_t* p);
+double ReadDouble(const uint8_t* p);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ENCODING_BIT_STREAM_H_

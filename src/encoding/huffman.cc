@@ -1,0 +1,237 @@
+#include "src/encoding/huffman.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "src/encoding/bit_stream.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr size_t kMaxCodeLength = 48;
+
+struct SymbolLength {
+  uint32_t symbol;
+  uint8_t length;
+};
+
+// Computes Huffman code lengths for (symbol, frequency) pairs. Frequencies
+// are rescaled and the tree rebuilt if a pathological distribution exceeds
+// kMaxCodeLength.
+std::vector<SymbolLength> ComputeCodeLengths(
+    std::vector<std::pair<uint32_t, uint64_t>> freqs) {
+  FXRZ_CHECK(!freqs.empty());
+  if (freqs.size() == 1) {
+    return {{freqs[0].first, 1}};
+  }
+
+  for (;;) {
+    // Build the tree with a min-heap over (freq, node id).
+    struct Node {
+      uint64_t freq;
+      int left = -1, right = -1;
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(freqs.size() * 2);
+    using HeapItem = std::pair<uint64_t, int>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    for (const auto& [sym, f] : freqs) {
+      (void)sym;
+      nodes.push_back({f});
+      heap.emplace(f, static_cast<int>(nodes.size() - 1));
+    }
+    while (heap.size() > 1) {
+      const auto [fa, a] = heap.top();
+      heap.pop();
+      const auto [fb, b] = heap.top();
+      heap.pop();
+      nodes.push_back({fa + fb, a, b});
+      heap.emplace(fa + fb, static_cast<int>(nodes.size() - 1));
+    }
+
+    // Depth-first traversal to assign lengths; leaves are the first
+    // freqs.size() nodes in insertion order.
+    std::vector<uint8_t> lengths(freqs.size(), 0);
+    size_t max_len = 0;
+    // Iterative DFS: (node, depth).
+    std::vector<std::pair<int, uint8_t>> stack;
+    stack.emplace_back(static_cast<int>(nodes.size() - 1), 0);
+    while (!stack.empty()) {
+      const auto [id, depth] = stack.back();
+      stack.pop_back();
+      const Node& nd = nodes[id];
+      if (nd.left < 0) {
+        lengths[id] = std::max<uint8_t>(depth, 1);
+        max_len = std::max<size_t>(max_len, lengths[id]);
+      } else {
+        stack.emplace_back(nd.left, depth + 1);
+        stack.emplace_back(nd.right, depth + 1);
+      }
+    }
+
+    if (max_len <= kMaxCodeLength) {
+      std::vector<SymbolLength> out(freqs.size());
+      for (size_t i = 0; i < freqs.size(); ++i) {
+        out[i] = {freqs[i].first, lengths[i]};
+      }
+      return out;
+    }
+    // Flatten the distribution and retry.
+    for (auto& [sym, f] : freqs) {
+      (void)sym;
+      f = (f >> 1) + 1;
+    }
+  }
+}
+
+// Canonical code assignment: sort by (length, symbol) and hand out
+// lexicographically increasing codes. Returns codes aligned with the sorted
+// order; `sorted` is the sort of the input.
+struct CanonicalTable {
+  std::vector<SymbolLength> sorted;      // by (length, symbol)
+  std::vector<uint64_t> codes;           // canonical code per sorted entry
+  size_t max_length = 0;
+};
+
+CanonicalTable BuildCanonical(std::vector<SymbolLength> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const SymbolLength& a, const SymbolLength& b) {
+              if (a.length != b.length) return a.length < b.length;
+              return a.symbol < b.symbol;
+            });
+  CanonicalTable t;
+  t.codes.resize(entries.size());
+  uint64_t code = 0;
+  uint8_t prev_len = entries.empty() ? 0 : entries[0].length;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    code <<= (entries[i].length - prev_len);
+    t.codes[i] = code;
+    ++code;
+    prev_len = entries[i].length;
+    t.max_length = std::max<size_t>(t.max_length, entries[i].length);
+  }
+  t.sorted = std::move(entries);
+  return t;
+}
+
+}  // namespace
+
+std::vector<uint8_t> HuffmanEncode(const std::vector<uint32_t>& symbols) {
+  std::vector<uint8_t> out;
+  AppendUint64(&out, symbols.size());
+  if (symbols.empty()) {
+    AppendUint32(&out, 0);  // zero table entries
+    return out;
+  }
+
+  std::unordered_map<uint32_t, uint64_t> freq_map;
+  for (uint32_t s : symbols) ++freq_map[s];
+  std::vector<std::pair<uint32_t, uint64_t>> freqs(freq_map.begin(),
+                                                   freq_map.end());
+  std::sort(freqs.begin(), freqs.end());  // determinism
+
+  const CanonicalTable table = BuildCanonical(ComputeCodeLengths(freqs));
+
+  // Header: entry count, then (symbol: u32, length: u8) pairs.
+  AppendUint32(&out, static_cast<uint32_t>(table.sorted.size()));
+  for (const SymbolLength& e : table.sorted) {
+    AppendUint32(&out, e.symbol);
+    out.push_back(e.length);
+  }
+
+  // Symbol -> (code, length) lookup for encoding.
+  std::unordered_map<uint32_t, std::pair<uint64_t, uint8_t>> enc;
+  enc.reserve(table.sorted.size() * 2);
+  for (size_t i = 0; i < table.sorted.size(); ++i) {
+    enc[table.sorted[i].symbol] = {table.codes[i], table.sorted[i].length};
+  }
+
+  BitWriter bw;
+  for (uint32_t s : symbols) {
+    const auto& [code, len] = enc.at(s);
+    // Canonical codes are MSB-first by construction; emit MSB first.
+    for (int b = len - 1; b >= 0; --b) {
+      bw.WriteBit(static_cast<uint32_t>((code >> b) & 1u));
+    }
+  }
+  const std::vector<uint8_t> payload = std::move(bw).Take();
+  AppendUint64(&out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status HuffmanDecode(const uint8_t* data, size_t size,
+                     std::vector<uint32_t>* out) {
+  FXRZ_CHECK(out != nullptr);
+  out->clear();
+  if (size < 12) return Status::Corruption("huffman: short header");
+  const uint64_t num_symbols = ReadUint64(data);
+  const uint32_t num_entries = ReadUint32(data + 8);
+  size_t pos = 12;
+  if (num_symbols == 0) return Status::Ok();
+  if (num_entries == 0) return Status::Corruption("huffman: empty table");
+  if (pos + static_cast<size_t>(num_entries) * 5 + 8 > size) {
+    return Status::Corruption("huffman: truncated table");
+  }
+
+  std::vector<SymbolLength> entries(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    entries[i].symbol = ReadUint32(data + pos);
+    entries[i].length = data[pos + 4];
+    if (entries[i].length == 0 || entries[i].length > kMaxCodeLength) {
+      return Status::Corruption("huffman: bad code length");
+    }
+    pos += 5;
+  }
+  const CanonicalTable table = BuildCanonical(std::move(entries));
+
+  // first_code[len] / first_index[len] for canonical decoding.
+  std::vector<uint64_t> first_code(table.max_length + 2, 0);
+  std::vector<size_t> first_index(table.max_length + 2, 0);
+  std::vector<size_t> count(table.max_length + 2, 0);
+  for (const SymbolLength& e : table.sorted) ++count[e.length];
+  {
+    uint64_t code = 0;
+    size_t index = 0;
+    for (size_t len = 1; len <= table.max_length; ++len) {
+      first_code[len] = code;
+      first_index[len] = index;
+      code = (code + count[len]) << 1;
+      index += count[len];
+    }
+  }
+
+  const uint64_t payload_bytes = ReadUint64(data + pos);
+  pos += 8;
+  if (pos + payload_bytes > size) {
+    return Status::Corruption("huffman: truncated payload");
+  }
+  BitReader br(data + pos, payload_bytes);
+
+  out->reserve(num_symbols);
+  for (uint64_t i = 0; i < num_symbols; ++i) {
+    uint64_t code = 0;
+    size_t len = 0;
+    for (;;) {
+      code = (code << 1) | br.ReadBit();
+      ++len;
+      if (len > table.max_length || br.overrun()) {
+        return Status::Corruption("huffman: invalid code");
+      }
+      if (count[len] > 0 && code < first_code[len] + count[len] &&
+          code >= first_code[len]) {
+        const size_t idx = first_index[len] + (code - first_code[len]);
+        out->push_back(table.sorted[idx].symbol);
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,29 @@
+// Canonical Huffman coding of 32-bit symbol streams.
+//
+// This is the entropy back end of the SZ-like and MGARD-like compressors
+// (both emit quantization-code streams whose distribution is sharply peaked
+// around the zero-error code, which is where most of the compression comes
+// from). The header stores (symbol, code length) pairs for the symbols that
+// actually occur, so sparse alphabets (the common case) stay cheap.
+
+#ifndef FXRZ_ENCODING_HUFFMAN_H_
+#define FXRZ_ENCODING_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace fxrz {
+
+// Encodes `symbols` into a self-describing byte stream.
+std::vector<uint8_t> HuffmanEncode(const std::vector<uint32_t>& symbols);
+
+// Decodes a stream produced by HuffmanEncode. Fails with Corruption on a
+// malformed or truncated stream.
+Status HuffmanDecode(const uint8_t* data, size_t size,
+                     std::vector<uint32_t>* out);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ENCODING_HUFFMAN_H_

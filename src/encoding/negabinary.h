@@ -1,0 +1,29 @@
+// Negabinary (base -2) integer transform, as used by ZFP.
+//
+// Negabinary representation makes the sign bit implicit: small-magnitude
+// signed integers (positive or negative) have only low-order bits set, so
+// bitplane coding from the most significant plane down naturally emits
+// nothing until a coefficient becomes significant.
+
+#ifndef FXRZ_ENCODING_NEGABINARY_H_
+#define FXRZ_ENCODING_NEGABINARY_H_
+
+#include <cstdint>
+
+namespace fxrz {
+
+// int64 -> negabinary bits (uint64).
+inline uint64_t Int64ToNegabinary(int64_t x) {
+  constexpr uint64_t kMask = 0xAAAAAAAAAAAAAAAAull;
+  return (static_cast<uint64_t>(x) + kMask) ^ kMask;
+}
+
+// negabinary bits -> int64.
+inline int64_t NegabinaryToInt64(uint64_t nb) {
+  constexpr uint64_t kMask = 0xAAAAAAAAAAAAAAAAull;
+  return static_cast<int64_t>((nb ^ kMask) - kMask);
+}
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ENCODING_NEGABINARY_H_

@@ -1,0 +1,121 @@
+#include "src/encoding/zlite.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/encoding/bit_stream.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = kMinMatch + 255;
+constexpr size_t kWindow = 1 << 16;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1 << kHashBits;
+constexpr int kMaxChainProbes = 16;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<uint8_t> ZliteCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  AppendUint64(&out, input.size());
+  if (input.empty()) {
+    AppendUint64(&out, 0);
+    return out;
+  }
+
+  BitWriter bw;
+  // head[h]: most recent position with hash h; chain[i % kWindow]: previous
+  // position with the same hash as position i.
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> chain(kWindow, -1);
+
+  const size_t n = input.size();
+  size_t i = 0;
+  auto insert = [&](size_t pos) {
+    if (pos + 4 > n) return;
+    const uint32_t h = Hash4(&input[pos]);
+    chain[pos % kWindow] = head[h];
+    head[h] = static_cast<int64_t>(pos);
+  };
+
+  while (i < n) {
+    size_t best_len = 0;
+    size_t best_off = 0;
+    if (i + kMinMatch <= n) {
+      int64_t cand = head[Hash4(&input[i])];
+      int probes = kMaxChainProbes;
+      while (cand >= 0 && probes-- > 0 &&
+             i - static_cast<size_t>(cand) < kWindow) {
+        const size_t c = static_cast<size_t>(cand);
+        const size_t max_len = std::min(kMaxMatch, n - i);
+        size_t len = 0;
+        while (len < max_len && input[c + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = i - c;
+          if (len == max_len) break;
+        }
+        cand = chain[c % kWindow];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      bw.WriteBit(1);
+      bw.WriteBits(best_off - 1, 16);
+      bw.WriteBits(best_len - kMinMatch, 8);
+      for (size_t k = 0; k < best_len; ++k) insert(i + k);
+      i += best_len;
+    } else {
+      bw.WriteBit(0);
+      bw.WriteBits(input[i], 8);
+      insert(i);
+      ++i;
+    }
+  }
+
+  const std::vector<uint8_t> payload = std::move(bw).Take();
+  AppendUint64(&out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status ZliteDecompress(const uint8_t* data, size_t size,
+                       std::vector<uint8_t>* out) {
+  FXRZ_CHECK(out != nullptr);
+  out->clear();
+  if (size < 16) return Status::Corruption("zlite: short header");
+  const uint64_t raw_size = ReadUint64(data);
+  const uint64_t payload_bytes = ReadUint64(data + 8);
+  if (16 + payload_bytes > size) return Status::Corruption("zlite: truncated");
+  if (raw_size == 0) return Status::Ok();
+
+  BitReader br(data + 16, payload_bytes);
+  out->reserve(raw_size);
+  while (out->size() < raw_size) {
+    if (br.overrun()) return Status::Corruption("zlite: stream overrun");
+    if (br.ReadBit()) {
+      const size_t off = static_cast<size_t>(br.ReadBits(16)) + 1;
+      const size_t len = static_cast<size_t>(br.ReadBits(8)) + kMinMatch;
+      if (off > out->size()) return Status::Corruption("zlite: bad offset");
+      if (out->size() + len > raw_size) {
+        return Status::Corruption("zlite: output overflow");
+      }
+      const size_t start = out->size() - off;
+      for (size_t k = 0; k < len; ++k) out->push_back((*out)[start + k]);
+    } else {
+      out->push_back(static_cast<uint8_t>(br.ReadBits(8)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,29 @@
+// "zlite": a small LZSS-style byte compressor.
+//
+// Plays the role Zstd plays in the real SZ pipeline: a dictionary-coding
+// pass over the entropy-coded stream that exploits repeated byte patterns
+// (long zero runs, repeated Huffman table fragments). Format: LSB-first bit
+// stream of tokens -- flag bit 0 = literal byte, flag bit 1 = match with a
+// 16-bit backward offset and an 8-bit length (kMinMatch..kMinMatch+255).
+
+#ifndef FXRZ_ENCODING_ZLITE_H_
+#define FXRZ_ENCODING_ZLITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace fxrz {
+
+// Compresses `input` into a self-describing stream. Never fails; incompressible
+// input grows by a small constant factor plus header.
+std::vector<uint8_t> ZliteCompress(const std::vector<uint8_t>& input);
+
+// Decompresses a ZliteCompress stream.
+Status ZliteDecompress(const uint8_t* data, size_t size,
+                       std::vector<uint8_t>* out);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ENCODING_ZLITE_H_

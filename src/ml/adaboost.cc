@@ -1,0 +1,92 @@
+#include "src/ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace fxrz {
+
+void AdaBoostRegressor::Fit(const FeatureMatrix& x,
+                            const std::vector<double>& y) {
+  FXRZ_CHECK(!x.empty());
+  FXRZ_CHECK_EQ(x.size(), y.size());
+  learners_.clear();
+  log_inv_beta_.clear();
+
+  const size_t n = x.size();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  Rng rng(params_.seed);
+
+  for (int t = 0; t < params_.num_estimators; ++t) {
+    // Weighted fit of the weak learner.
+    DecisionTreeParams tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_leaf = 2;
+    tp.seed = rng.NextUint64();
+    DecisionTreeRegressor learner(tp);
+    learner.FitWeighted(x, y, weights);
+
+    // Linear-loss AdaBoost.R2 update.
+    std::vector<double> errors(n);
+    double max_error = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      errors[i] = std::fabs(learner.Predict(x[i]) - y[i]);
+      max_error = std::max(max_error, errors[i]);
+    }
+    if (max_error <= 0.0) {
+      // Perfect learner: keep it with a large weight and stop.
+      learners_.push_back(std::move(learner));
+      log_inv_beta_.push_back(10.0);
+      break;
+    }
+    double weighted_error = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weighted_error += weights[i] * (errors[i] / max_error);
+    }
+    if (weighted_error >= 0.5) {
+      if (learners_.empty()) {
+        // Keep at least one learner even if weak.
+        learners_.push_back(std::move(learner));
+        log_inv_beta_.push_back(1e-3);
+      }
+      break;
+    }
+    const double beta = weighted_error / (1.0 - weighted_error);
+    const double safe_beta = std::max(beta, 1e-12);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weights[i] *= std::pow(safe_beta, 1.0 - errors[i] / max_error);
+      sum += weights[i];
+    }
+    FXRZ_CHECK_GT(sum, 0.0);
+    for (auto& w : weights) w /= sum;
+
+    learners_.push_back(std::move(learner));
+    log_inv_beta_.push_back(std::log(1.0 / safe_beta));
+  }
+  FXRZ_CHECK(!learners_.empty());
+}
+
+double AdaBoostRegressor::Predict(const std::vector<double>& x) const {
+  FXRZ_CHECK(!learners_.empty()) << "Predict before Fit";
+  // Weighted median of learner predictions.
+  std::vector<std::pair<double, double>> preds;  // (prediction, weight)
+  preds.reserve(learners_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < learners_.size(); ++i) {
+    preds.emplace_back(learners_[i].Predict(x), log_inv_beta_[i]);
+    total += log_inv_beta_[i];
+  }
+  std::sort(preds.begin(), preds.end());
+  double acc = 0.0;
+  for (const auto& [pred, w] : preds) {
+    acc += w;
+    if (acc >= 0.5 * total) return pred;
+  }
+  return preds.back().first;
+}
+
+}  // namespace fxrz

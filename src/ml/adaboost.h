@@ -1,0 +1,42 @@
+// AdaBoost.R2 regressor (Drucker 1997) with shallow CART weak learners.
+//
+// Evaluated (and rejected) by the paper in Table III: it degrades when
+// targets are tightly clustered at the low end of the range. The prediction
+// is the weighted median of the weak learners.
+
+#ifndef FXRZ_ML_ADABOOST_H_
+#define FXRZ_ML_ADABOOST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/regressor.h"
+
+namespace fxrz {
+
+struct AdaBoostParams {
+  int num_estimators = 40;
+  int max_depth = 4;
+  uint64_t seed = 29;
+};
+
+class AdaBoostRegressor : public Regressor {
+ public:
+  explicit AdaBoostRegressor(AdaBoostParams params = {}) : params_(params) {}
+
+  void Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+
+  size_t estimator_count() const { return learners_.size(); }
+
+ private:
+  AdaBoostParams params_;
+  std::vector<DecisionTreeRegressor> learners_;
+  std::vector<double> log_inv_beta_;  // learner weights
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ML_ADABOOST_H_

@@ -1,0 +1,79 @@
+#include "src/ml/cross_validation.h"
+
+#include <numeric>
+
+#include "src/ml/metrics.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace fxrz {
+
+std::vector<Fold> KFoldSplit(size_t n, size_t k, uint64_t seed) {
+  FXRZ_CHECK(k >= 2 && k <= n) << "k=" << k << " n=" << n;
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  for (size_t i = n; i-- > 1;) {
+    std::swap(perm[i], perm[rng.NextBelow(i + 1)]);
+  }
+
+  std::vector<Fold> folds(k);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t fold = i % k;
+    folds[fold].test.push_back(perm[i]);
+  }
+  for (size_t f = 0; f < k; ++f) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t fold = i % k;
+      if (fold != f) folds[f].train.push_back(perm[i]);
+    }
+  }
+  return folds;
+}
+
+double CrossValidationError(const RegressorFactory& factory,
+                            const FeatureMatrix& x,
+                            const std::vector<double>& y, size_t k,
+                            uint64_t seed) {
+  FXRZ_CHECK_EQ(x.size(), y.size());
+  const std::vector<Fold> folds = KFoldSplit(x.size(), k, seed);
+  double total = 0.0;
+  for (const Fold& fold : folds) {
+    FeatureMatrix tx;
+    std::vector<double> ty;
+    tx.reserve(fold.train.size());
+    for (size_t i : fold.train) {
+      tx.push_back(x[i]);
+      ty.push_back(y[i]);
+    }
+    std::unique_ptr<Regressor> model = factory();
+    model->Fit(tx, ty);
+
+    std::vector<double> truth, pred;
+    truth.reserve(fold.test.size());
+    for (size_t i : fold.test) {
+      truth.push_back(y[i]);
+      pred.push_back(model->Predict(x[i]));
+    }
+    total += MeanAbsolutePercentageError(truth, pred);
+  }
+  return total / static_cast<double>(folds.size());
+}
+
+size_t GridSearchBest(const std::vector<RegressorFactory>& candidates,
+                      const FeatureMatrix& x, const std::vector<double>& y,
+                      size_t k, uint64_t seed) {
+  FXRZ_CHECK(!candidates.empty());
+  size_t best = 0;
+  double best_err = -1.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double err = CrossValidationError(candidates[i], x, y, k, seed);
+    if (best_err < 0 || err < best_err) {
+      best_err = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,46 @@
+// k-fold cross-validation and grid search.
+//
+// The paper tunes each of the three candidate models with k-fold CV
+// (Sec. IV-D); FXRZ's training engine uses the same machinery to pick the
+// Random Forest hyperparameters.
+
+#ifndef FXRZ_ML_CROSS_VALIDATION_H_
+#define FXRZ_ML_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace fxrz {
+
+// One fold: disjoint train/test index sets.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+// Shuffled k-fold split of [0, n). Requires 2 <= k <= n.
+std::vector<Fold> KFoldSplit(size_t n, size_t k, uint64_t seed);
+
+// Builds a fresh, unfitted model (one per fold).
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+// Mean absolute-percentage error across folds for models from `factory`.
+double CrossValidationError(const RegressorFactory& factory,
+                            const FeatureMatrix& x,
+                            const std::vector<double>& y, size_t k,
+                            uint64_t seed);
+
+// Picks the factory with the lowest cross-validation error; returns its
+// index into `candidates`. Requires a non-empty candidate list.
+size_t GridSearchBest(const std::vector<RegressorFactory>& candidates,
+                      const FeatureMatrix& x, const std::vector<double>& y,
+                      size_t k, uint64_t seed);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ML_CROSS_VALIDATION_H_

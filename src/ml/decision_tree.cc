@@ -1,0 +1,168 @@
+#include "src/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "src/encoding/bit_stream.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace fxrz {
+
+void DecisionTreeRegressor::Fit(const FeatureMatrix& x,
+                                const std::vector<double>& y) {
+  FitWeighted(x, y, std::vector<double>(y.size(), 1.0));
+}
+
+void DecisionTreeRegressor::FitWeighted(const FeatureMatrix& x,
+                                        const std::vector<double>& y,
+                                        const std::vector<double>& weights) {
+  FXRZ_CHECK(!x.empty());
+  FXRZ_CHECK_EQ(x.size(), y.size());
+  FXRZ_CHECK_EQ(x.size(), weights.size());
+  nodes_.clear();
+  std::vector<int> indices(x.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(x, y, weights, indices, 0, static_cast<int>(indices.size()), 0,
+        params_.seed);
+}
+
+int DecisionTreeRegressor::Build(const FeatureMatrix& x,
+                                 const std::vector<double>& y,
+                                 const std::vector<double>& w,
+                                 std::vector<int>& indices, int begin, int end,
+                                 int depth, uint64_t seed) {
+  const int n = end - begin;
+  FXRZ_CHECK_GT(n, 0);
+
+  double wsum = 0.0, wysum = 0.0;
+  for (int i = begin; i < end; ++i) {
+    wsum += w[indices[i]];
+    wysum += w[indices[i]] * y[indices[i]];
+  }
+  const double mean = wsum > 0 ? wysum / wsum : 0.0;
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{-1, 0.0, -1, -1, mean});
+
+  if (depth >= params_.max_depth || n < 2 * params_.min_samples_leaf ||
+      wsum <= 0) {
+    return node_id;
+  }
+
+  // Candidate features (random subset for forests).
+  const int num_features = static_cast<int>(x[0].size());
+  std::vector<int> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  int consider = params_.max_features > 0
+                     ? std::min(params_.max_features, num_features)
+                     : num_features;
+  Rng rng(seed ^ (static_cast<uint64_t>(node_id) * 0x9E3779B97F4A7C15ull));
+  if (consider < num_features) {
+    for (int i = 0; i < consider; ++i) {
+      const int j =
+          i + static_cast<int>(rng.NextBelow(num_features - i));
+      std::swap(features[i], features[j]);
+    }
+    features.resize(consider);
+  }
+
+  // Best split by weighted SSE reduction.
+  double best_score = -1.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<int> sorted(indices.begin() + begin, indices.begin() + end);
+  for (int f : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return x[a][f] < x[b][f];
+    });
+    double left_w = 0.0, left_wy = 0.0;
+    const double total_w = wsum, total_wy = wysum;
+    for (int i = 0; i + 1 < n; ++i) {
+      const int idx = sorted[i];
+      left_w += w[idx];
+      left_wy += w[idx] * y[idx];
+      // Can't split between equal feature values.
+      if (x[idx][f] == x[sorted[i + 1]][f]) continue;
+      if (i + 1 < params_.min_samples_leaf ||
+          n - (i + 1) < params_.min_samples_leaf) {
+        continue;
+      }
+      const double right_w = total_w - left_w;
+      const double right_wy = total_wy - left_wy;
+      if (left_w <= 0 || right_w <= 0) continue;
+      // Variance reduction is equivalent to maximizing
+      // left_wy^2/left_w + right_wy^2/right_w.
+      const double score =
+          left_wy * left_wy / left_w + right_wy * right_wy / right_w;
+      if (score > best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5 * (x[idx][f] + x[sorted[i + 1]][f]);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition indices[begin, end) by the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end,
+      [&](int idx) { return x[idx][best_feature] <= best_threshold; });
+  const int mid = static_cast<int>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(x, y, w, indices, begin, mid, depth + 1, seed);
+  nodes_[node_id].left = left;
+  const int right = Build(x, y, w, indices, mid, end, depth + 1, seed);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTreeRegressor::Predict(const std::vector<double>& x) const {
+  FXRZ_CHECK(!nodes_.empty()) << "Predict before Fit";
+  int id = 0;
+  for (;;) {
+    const Node& node = nodes_[id];
+    if (node.feature < 0) return node.value;
+    FXRZ_DCHECK(static_cast<size_t>(node.feature) < x.size());
+    id = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+void DecisionTreeRegressor::Serialize(std::vector<uint8_t>* out) const {
+  AppendUint32(out, static_cast<uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    AppendUint32(out, static_cast<uint32_t>(n.feature));
+    AppendDouble(out, n.threshold);
+    AppendUint32(out, static_cast<uint32_t>(n.left));
+    AppendUint32(out, static_cast<uint32_t>(n.right));
+    AppendDouble(out, n.value);
+  }
+}
+
+size_t DecisionTreeRegressor::Deserialize(const uint8_t* data, size_t size) {
+  if (size < 4) return 0;
+  const uint32_t count = ReadUint32(data);
+  const size_t need = 4 + static_cast<size_t>(count) * 28;
+  if (size < need) return 0;
+  nodes_.resize(count);
+  size_t pos = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    nodes_[i].feature = static_cast<int>(ReadUint32(data + pos));
+    nodes_[i].threshold = ReadDouble(data + pos + 4);
+    nodes_[i].left = static_cast<int>(ReadUint32(data + pos + 12));
+    nodes_[i].right = static_cast<int>(ReadUint32(data + pos + 16));
+    nodes_[i].value = ReadDouble(data + pos + 20);
+    pos += 28;
+  }
+  return pos;
+}
+
+}  // namespace fxrz

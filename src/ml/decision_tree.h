@@ -1,0 +1,67 @@
+// CART regression tree (variance-reduction splits).
+//
+// The weak learner underneath both the Random Forest and AdaBoost.R2
+// regressors. Supports per-node random feature subsampling (for forests)
+// and per-sample weights (for boosting).
+
+#ifndef FXRZ_ML_DECISION_TREE_H_
+#define FXRZ_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace fxrz {
+
+struct DecisionTreeParams {
+  int max_depth = 12;
+  int min_samples_leaf = 2;
+  // Number of features considered per split; 0 means all features.
+  int max_features = 0;
+  uint64_t seed = 1;
+};
+
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(DecisionTreeParams params = {})
+      : params_(params) {}
+
+  void Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
+
+  // Weighted fit used by AdaBoost.R2; weights must be non-negative and not
+  // all zero.
+  void FitWeighted(const FeatureMatrix& x, const std::vector<double>& y,
+                   const std::vector<double>& weights);
+
+  double Predict(const std::vector<double>& x) const override;
+
+  // Number of nodes in the fitted tree (0 before Fit).
+  size_t node_count() const { return nodes_.size(); }
+
+  // Flat serialization for model persistence.
+  void Serialize(std::vector<uint8_t>* out) const;
+  // Returns bytes consumed, or 0 on malformed input.
+  size_t Deserialize(const uint8_t* data, size_t size);
+
+ private:
+  struct Node {
+    int feature = -1;       // -1: leaf
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;  // leaf prediction
+  };
+
+  int Build(const FeatureMatrix& x, const std::vector<double>& y,
+            const std::vector<double>& w, std::vector<int>& indices, int begin,
+            int end, int depth, uint64_t seed);
+
+  DecisionTreeParams params_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ML_DECISION_TREE_H_

@@ -1,0 +1,25 @@
+// Regression quality metrics.
+
+#ifndef FXRZ_ML_METRICS_H_
+#define FXRZ_ML_METRICS_H_
+
+#include <vector>
+
+namespace fxrz {
+
+// Mean squared error. Requires equal non-zero lengths.
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& pred);
+
+// Mean absolute error.
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& pred);
+
+// Mean absolute percentage error: mean(|t - p| / max(|t|, eps)).
+// This is the paper's "estimation error" shape (Formula 5).
+double MeanAbsolutePercentageError(const std::vector<double>& truth,
+                                   const std::vector<double>& pred);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ML_METRICS_H_

@@ -1,0 +1,74 @@
+#include "src/ml/random_forest.h"
+
+#include <cmath>
+
+#include "src/encoding/bit_stream.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace fxrz {
+
+void RandomForestRegressor::Fit(const FeatureMatrix& x,
+                                const std::vector<double>& y) {
+  FXRZ_CHECK(!x.empty());
+  FXRZ_CHECK_EQ(x.size(), y.size());
+  trees_.clear();
+  trees_.reserve(params_.num_trees);
+
+  const int num_features = static_cast<int>(x[0].size());
+  int max_features = params_.max_features;
+  if (max_features <= 0) max_features = num_features;
+
+  Rng rng(params_.seed);
+  const size_t n = x.size();
+  FeatureMatrix bx(n);
+  std::vector<double> by(n);
+  for (int t = 0; t < params_.num_trees; ++t) {
+    // Bootstrap sample with replacement.
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = rng.NextBelow(n);
+      bx[i] = x[j];
+      by[i] = y[j];
+    }
+    DecisionTreeParams tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_leaf = params_.min_samples_leaf;
+    tp.max_features = max_features;
+    tp.seed = rng.NextUint64();
+    trees_.emplace_back(tp);
+    trees_.back().Fit(bx, by);
+  }
+}
+
+double RandomForestRegressor::Predict(const std::vector<double>& x) const {
+  FXRZ_CHECK(!trees_.empty()) << "Predict before Fit";
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+void RandomForestRegressor::Serialize(std::vector<uint8_t>* out) const {
+  AppendUint32(out, static_cast<uint32_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.Serialize(out);
+}
+
+Status RandomForestRegressor::Deserialize(const uint8_t* data, size_t size,
+                                          size_t* consumed) {
+  FXRZ_CHECK(consumed != nullptr);
+  if (size < 4) return Status::Corruption("rfr: short stream");
+  const uint32_t count = ReadUint32(data);
+  // Each serialized tree takes at least 4 bytes; reject absurd counts
+  // before allocating.
+  if (count > (size - 4) / 4 + 1) return Status::Corruption("rfr: bad count");
+  size_t pos = 4;
+  trees_.assign(count, DecisionTreeRegressor());
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t used = trees_[i].Deserialize(data + pos, size - pos);
+    if (used == 0) return Status::Corruption("rfr: bad tree");
+    pos += used;
+  }
+  *consumed = pos;
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,29 @@
+// Common interface for the regression models evaluated in the paper's
+// Table III (Random Forest, AdaBoost.R2, SVR).
+
+#ifndef FXRZ_ML_REGRESSOR_H_
+#define FXRZ_ML_REGRESSOR_H_
+
+#include <vector>
+
+namespace fxrz {
+
+// Feature matrix: rows are samples, columns features. All rows must have
+// the same length.
+using FeatureMatrix = std::vector<std::vector<double>>;
+
+// Abstract regression model.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  // Trains on (x, y). x must be non-empty and rectangular; |x| == |y|.
+  virtual void Fit(const FeatureMatrix& x, const std::vector<double>& y) = 0;
+
+  // Predicts the target for one feature vector. Requires a prior Fit.
+  virtual double Predict(const std::vector<double>& x) const = 0;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ML_REGRESSOR_H_

@@ -1,0 +1,116 @@
+#include "src/ml/svr.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+double SvrRegressor::Kernel(const std::vector<double>& a,
+                            const std::vector<double>& b) const {
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-params_.gamma * d2);
+}
+
+std::vector<double> SvrRegressor::Standardize(
+    const std::vector<double>& x) const {
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = (x[i] - feat_mean_[i]) / feat_std_[i];
+  }
+  return out;
+}
+
+void SvrRegressor::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
+  FXRZ_CHECK(!x.empty());
+  FXRZ_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+
+  // Feature and target standardization.
+  feat_mean_.assign(d, 0.0);
+  feat_std_.assign(d, 0.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) feat_mean_[j] += row[j];
+  }
+  for (auto& m : feat_mean_) m /= static_cast<double>(n);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) {
+      const double dv = row[j] - feat_mean_[j];
+      feat_std_[j] += dv * dv;
+    }
+  }
+  for (auto& s : feat_std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s <= 1e-12) s = 1.0;
+  }
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+  y_std_ = 0.0;
+  for (double v : y) y_std_ += (v - y_mean_) * (v - y_mean_);
+  y_std_ = std::sqrt(y_std_ / static_cast<double>(n));
+  if (y_std_ <= 1e-12) y_std_ = 1.0;
+
+  support_.resize(n);
+  for (size_t i = 0; i < n; ++i) support_[i] = Standardize(x[i]);
+  std::vector<double> ty(n);
+  for (size_t i = 0; i < n; ++i) ty[i] = (y[i] - y_mean_) / y_std_;
+
+  // Precompute the kernel matrix (training sets here are small).
+  std::vector<std::vector<double>> k(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      k[i][j] = k[j][i] = Kernel(support_[i], support_[j]);
+    }
+  }
+
+  beta_.assign(n, 0.0);
+  bias_ = 0.0;
+  std::vector<double> f(n, 0.0);  // current predictions
+
+  const double lr = params_.learning_rate;
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    // Subgradient of C * sum L_eps(f_i - y_i) + 0.5 * beta' K beta
+    // wrt beta_j is C * sum_i s_i K_ij + (K beta)_j, where s_i is the loss
+    // subgradient sign. Using f = K beta + b collapses both terms.
+    std::vector<double> sign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double r = f[i] + bias_ - ty[i];
+      if (r > params_.epsilon) sign[i] = 1.0;
+      else if (r < -params_.epsilon) sign[i] = -1.0;
+    }
+    double bias_grad = 0.0;
+    for (size_t i = 0; i < n; ++i) bias_grad += sign[i];
+
+    // Gradient step on beta (regularization shrinks beta directly).
+    for (size_t j = 0; j < n; ++j) {
+      const double grad = params_.c * sign[j] + beta_[j];
+      beta_[j] -= lr * grad / static_cast<double>(n);
+    }
+    bias_ -= lr * params_.c * bias_grad / static_cast<double>(n);
+
+    // Refresh cached predictions.
+    for (size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < n; ++j) s += beta_[j] * k[i][j];
+      f[i] = s;
+    }
+  }
+}
+
+double SvrRegressor::Predict(const std::vector<double>& x) const {
+  FXRZ_CHECK(!support_.empty()) << "Predict before Fit";
+  const std::vector<double> sx = Standardize(x);
+  double s = bias_;
+  for (size_t j = 0; j < support_.size(); ++j) {
+    s += beta_[j] * Kernel(support_[j], sx);
+  }
+  return s * y_std_ + y_mean_;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,52 @@
+// Epsilon-insensitive Support Vector Regression with an RBF kernel.
+//
+// Evaluated (and rejected) by the paper in Table III. Trained in the primal
+// via the representer theorem: f(x) = sum_k beta_k K(x_k, x) + b, minimizing
+// C * sum eps-insensitive-loss + 0.5 * ||f||_H^2 by subgradient descent.
+// Inputs are standardized internally (RBF kernels need comparable scales).
+
+#ifndef FXRZ_ML_SVR_H_
+#define FXRZ_ML_SVR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace fxrz {
+
+struct SvrParams {
+  double c = 10.0;        // loss weight
+  double epsilon = 0.01;  // insensitivity tube half-width
+  double gamma = 0.5;     // RBF kernel width, K = exp(-gamma * ||a-b||^2)
+  int epochs = 300;
+  double learning_rate = 0.01;
+  uint64_t seed = 37;
+};
+
+class SvrRegressor : public Regressor {
+ public:
+  explicit SvrRegressor(SvrParams params = {}) : params_(params) {}
+
+  void Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+
+ private:
+  double Kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+  std::vector<double> Standardize(const std::vector<double>& x) const;
+
+  SvrParams params_;
+  FeatureMatrix support_;            // standardized training points
+  std::vector<double> beta_;
+  double bias_ = 0.0;
+  std::vector<double> feat_mean_;
+  std::vector<double> feat_std_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_ML_SVR_H_

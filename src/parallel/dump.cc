@@ -1,0 +1,99 @@
+#include "src/parallel/dump.h"
+
+#include <thread>
+
+#include "src/parallel/event_io.h"
+
+#include "src/util/check.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace fxrz {
+
+ParallelDumpExperiment::ParallelDumpExperiment(const Compressor* compressor,
+                                               DumpExperimentOptions options)
+    : compressor_(compressor), options_(options) {
+  FXRZ_CHECK(compressor_ != nullptr);
+  FXRZ_CHECK_GE(options_.num_ranks, 1);
+}
+
+DumpMethodResult ParallelDumpExperiment::Combine(
+    const std::vector<RankTiming>& variant_timings,
+    const std::vector<double>& ratios) {
+  FXRZ_CHECK(!variant_timings.empty());
+  // Ranks cycle through the measured variants.
+  std::vector<RankTiming> ranks(options_.num_ranks);
+  for (int i = 0; i < options_.num_ranks; ++i) {
+    ranks[i] = variant_timings[i % variant_timings.size()];
+  }
+  DumpMethodResult result;
+  result.timing = options_.event_driven_io
+                      ? SimulateDumpEventDriven(ranks, options_.io)
+                      : SimulateDump(ranks, options_.io);
+  for (const RankTiming& t : variant_timings) {
+    result.mean_analysis_seconds += t.analysis_seconds;
+    result.mean_compress_seconds += t.compress_seconds;
+  }
+  result.mean_analysis_seconds /= variant_timings.size();
+  result.mean_compress_seconds /= variant_timings.size();
+  for (double r : ratios) result.mean_achieved_ratio += r;
+  result.mean_achieved_ratio /= ratios.size();
+  return result;
+}
+
+DumpMethodResult ParallelDumpExperiment::RunFxrz(
+    const FxrzModel& model, const std::vector<const Tensor*>& rank_variants) {
+  FXRZ_CHECK(!rank_variants.empty());
+  FXRZ_CHECK(model.trained());
+  std::vector<RankTiming> timings(rank_variants.size());
+  std::vector<double> ratios(rank_variants.size());
+
+  const size_t threads = options_.measure_threads > 0
+                             ? options_.measure_threads
+                             : std::thread::hardware_concurrency();
+  ThreadPool pool(threads);
+  ParallelFor(&pool, 0, rank_variants.size(), [&](size_t i) {
+    const Tensor& data = *rank_variants[i];
+    WallTimer analysis_timer;
+    const double config = model.EstimateConfig(data, options_.target_ratio);
+    timings[i].analysis_seconds = analysis_timer.Seconds();
+
+    WallTimer compress_timer;
+    const std::vector<uint8_t> bytes = compressor_->Compress(data, config);
+    timings[i].compress_seconds = compress_timer.Seconds();
+    timings[i].compressed_bytes = bytes.size();
+    ratios[i] = static_cast<double>(data.size_bytes()) /
+                static_cast<double>(bytes.size());
+  });
+  return Combine(timings, ratios);
+}
+
+DumpMethodResult ParallelDumpExperiment::RunFraz(
+    const FrazOptions& fraz_options,
+    const std::vector<const Tensor*>& rank_variants) {
+  FXRZ_CHECK(!rank_variants.empty());
+  std::vector<RankTiming> timings(rank_variants.size());
+  std::vector<double> ratios(rank_variants.size());
+
+  const size_t threads = options_.measure_threads > 0
+                             ? options_.measure_threads
+                             : std::thread::hardware_concurrency();
+  ThreadPool pool(threads);
+  ParallelFor(&pool, 0, rank_variants.size(), [&](size_t i) {
+    const Tensor& data = *rank_variants[i];
+    const FrazResult search =
+        FrazSearch(*compressor_, data, options_.target_ratio, fraz_options);
+    timings[i].analysis_seconds = search.search_seconds;
+
+    WallTimer compress_timer;
+    const std::vector<uint8_t> bytes =
+        compressor_->Compress(data, search.config);
+    timings[i].compress_seconds = compress_timer.Seconds();
+    timings[i].compressed_bytes = bytes.size();
+    ratios[i] = static_cast<double>(data.size_bytes()) /
+                static_cast<double>(bytes.size());
+  });
+  return Combine(timings, ratios);
+}
+
+}  // namespace fxrz

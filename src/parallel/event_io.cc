@@ -1,0 +1,85 @@
+#include "src/parallel/event_io.h"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+DumpTiming SimulateDumpEventDriven(const std::vector<RankTiming>& ranks,
+                                   const IoModelOptions& options) {
+  FXRZ_CHECK(!ranks.empty());
+  const double bandwidth = options.aggregate_bandwidth_bytes_per_sec;
+  FXRZ_CHECK_GT(bandwidth, 0.0);
+
+  // Arrival events: (compute completion time, bytes).
+  struct Arrival {
+    double time;
+    double bytes;
+  };
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(ranks.size());
+  DumpTiming timing;
+  for (const RankTiming& r : ranks) {
+    const double compute = r.analysis_seconds + r.compress_seconds;
+    timing.compute_seconds = std::max(timing.compute_seconds, compute);
+    timing.total_bytes += r.compressed_bytes;
+    arrivals.push_back(
+        {compute, static_cast<double>(r.compressed_bytes)});
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+
+  // Processor-sharing drain: active flows each progress at bandwidth/k.
+  std::list<double> active;  // remaining bytes per active flow
+  double now = 0.0;
+  size_t next_arrival = 0;
+  double last_completion = 0.0;
+
+  while (next_arrival < arrivals.size() || !active.empty()) {
+    // Time to the next flow completion under the current sharing rate.
+    double completion_dt = std::numeric_limits<double>::infinity();
+    if (!active.empty()) {
+      const double min_remaining = *std::min_element(active.begin(), active.end());
+      completion_dt =
+          min_remaining * static_cast<double>(active.size()) / bandwidth;
+    }
+    const double arrival_dt =
+        next_arrival < arrivals.size()
+            ? std::max(0.0, arrivals[next_arrival].time - now)
+            : std::numeric_limits<double>::infinity();
+
+    const double dt = std::min(completion_dt, arrival_dt);
+    FXRZ_CHECK(dt < std::numeric_limits<double>::infinity());
+
+    // Drain all active flows for dt.
+    if (!active.empty()) {
+      const double drained = dt * bandwidth / static_cast<double>(active.size());
+      for (auto it = active.begin(); it != active.end();) {
+        *it -= drained;
+        if (*it <= 1e-9) {
+          it = active.erase(it);
+          last_completion = now + dt;
+        } else {
+          ++it;
+        }
+      }
+    }
+    now += dt;
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].time <= now + 1e-12) {
+      active.push_back(std::max(arrivals[next_arrival].bytes, 1.0));
+      ++next_arrival;
+    }
+  }
+
+  timing.total_seconds =
+      std::max(last_completion, timing.compute_seconds) +
+      options.per_dump_latency_sec;
+  timing.io_seconds = timing.total_seconds - timing.compute_seconds;
+  return timing;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,29 @@
+// Event-driven parallel-I/O simulation with processor-sharing bandwidth.
+//
+// The simple model in io_model.h serializes phases (all ranks compute, then
+// all bytes drain). Real dumps overlap: a rank starts writing the moment
+// its own compression finishes, and concurrently active writers share the
+// aggregate bandwidth. This module simulates that discipline exactly
+// (processor sharing: k active flows each progress at B/k), which matters
+// when per-rank compute times are skewed -- e.g. FRaZ ranks that needed
+// different search-iteration counts.
+
+#ifndef FXRZ_PARALLEL_EVENT_IO_H_
+#define FXRZ_PARALLEL_EVENT_IO_H_
+
+#include <vector>
+
+#include "src/parallel/io_model.h"
+
+namespace fxrz {
+
+// Simulates the dump with per-rank compute completion followed by a shared
+// processor-sharing drain of its bytes. Returns the same DumpTiming shape
+// as SimulateDump: compute_seconds = max rank compute, io_seconds = the
+// extra tail beyond that, total_seconds = completion of the last flow.
+DumpTiming SimulateDumpEventDriven(const std::vector<RankTiming>& ranks,
+                                   const IoModelOptions& options = {});
+
+}  // namespace fxrz
+
+#endif  // FXRZ_PARALLEL_EVENT_IO_H_

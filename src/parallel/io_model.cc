@@ -1,0 +1,26 @@
+#include "src/parallel/io_model.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+DumpTiming SimulateDump(const std::vector<RankTiming>& ranks,
+                        const IoModelOptions& options) {
+  FXRZ_CHECK(!ranks.empty());
+  FXRZ_CHECK_GT(options.aggregate_bandwidth_bytes_per_sec, 0.0);
+  DumpTiming t;
+  for (const RankTiming& r : ranks) {
+    t.compute_seconds =
+        std::max(t.compute_seconds, r.analysis_seconds + r.compress_seconds);
+    t.total_bytes += r.compressed_bytes;
+  }
+  t.io_seconds = static_cast<double>(t.total_bytes) /
+                     options.aggregate_bandwidth_bytes_per_sec +
+                 options.per_dump_latency_sec;
+  t.total_seconds = t.compute_seconds + t.io_seconds;
+  return t;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,45 @@
+// Shared-bandwidth parallel-filesystem model.
+//
+// The paper's Sec. V-H dumps data from 4,096 cores through Bebop's GPFS
+// (~2 GB/s aggregate). We model the storage system as a single shared pipe:
+// ranks compute independently in parallel, then the compressed bytes drain
+// through the aggregate bandwidth. End-to-end dump time is therefore
+//   max_i(compute_i) + total_bytes / bandwidth + latency.
+// Compute times are *measured* on real hardware; only the I/O contention is
+// modeled, which is what makes a 4,096-rank experiment possible on a laptop.
+
+#ifndef FXRZ_PARALLEL_IO_MODEL_H_
+#define FXRZ_PARALLEL_IO_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fxrz {
+
+struct IoModelOptions {
+  double aggregate_bandwidth_bytes_per_sec = 2.0e9;  // Bebop GPFS-like
+  double per_dump_latency_sec = 5.0e-3;              // open/close overhead
+};
+
+// Per-rank measured cost of one dump.
+struct RankTiming {
+  double analysis_seconds = 0.0;  // FXRZ estimate or FRaZ search
+  double compress_seconds = 0.0;
+  size_t compressed_bytes = 0;
+};
+
+// Aggregate dump timing.
+struct DumpTiming {
+  double compute_seconds = 0.0;  // max over ranks (analysis + compression)
+  double io_seconds = 0.0;       // shared-bandwidth drain
+  double total_seconds = 0.0;
+  size_t total_bytes = 0;
+};
+
+// Combines per-rank timings under the shared-bandwidth model.
+DumpTiming SimulateDump(const std::vector<RankTiming>& ranks,
+                        const IoModelOptions& options = {});
+
+}  // namespace fxrz
+
+#endif  // FXRZ_PARALLEL_IO_MODEL_H_

@@ -1,0 +1,182 @@
+#include "src/store/field_store.h"
+
+#include <cstdio>
+
+#include "src/encoding/bit_stream.h"
+#include "src/util/check.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x46585354;  // "FXST"
+constexpr uint32_t kStoreVersion = 1;
+
+void AppendString(std::vector<uint8_t>* out, const std::string& s) {
+  AppendUint32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+Status ReadString(const uint8_t* data, size_t size, size_t* pos,
+                  std::string* out) {
+  if (*pos + 4 > size) return Status::Corruption("store: short string");
+  const uint32_t len = ReadUint32(data + *pos);
+  *pos += 4;
+  if (len > 4096 || *pos + len > size) {
+    return Status::Corruption("store: bad string length");
+  }
+  out->assign(reinterpret_cast<const char*>(data) + *pos, len);
+  *pos += len;
+  return Status::Ok();
+}
+
+}  // namespace
+
+FieldStoreWriter::FieldStoreWriter(std::string compressor_name,
+                                   const FxrzModel* model)
+    : compressor_name_(std::move(compressor_name)),
+      compressor_(MakeCompressor(compressor_name_)),
+      model_(model) {}
+
+Status FieldStoreWriter::AddFieldFixedRatio(const std::string& name,
+                                            const Tensor& data,
+                                            double target_ratio) {
+  if (model_ == nullptr || !model_->trained()) {
+    return Status::InvalidArgument(
+        "fixed-ratio writes need a trained FxrzModel");
+  }
+  if (target_ratio <= 0) {
+    return Status::InvalidArgument("target ratio must be positive");
+  }
+  const double config = model_->EstimateConfig(data, target_ratio);
+  return AddCompressed(name, data, target_ratio, config);
+}
+
+Status FieldStoreWriter::AddFieldFixedConfig(const std::string& name,
+                                             const Tensor& data,
+                                             double config) {
+  return AddCompressed(name, data, /*target_ratio=*/0.0, config);
+}
+
+Status FieldStoreWriter::AddCompressed(const std::string& name,
+                                       const Tensor& data,
+                                       double target_ratio, double config) {
+  if (name.empty()) return Status::InvalidArgument("empty field name");
+  for (const FieldEntry& e : entries_) {
+    if (e.name == name) {
+      return Status::InvalidArgument("duplicate field: " + name);
+    }
+  }
+  FXRZ_CHECK(!data.empty());
+
+  std::vector<uint8_t> payload = compressor_->Compress(data, config);
+  FieldEntry entry;
+  entry.name = name;
+  entry.compressor = compressor_name_;
+  entry.target_ratio = target_ratio;
+  entry.config = config;
+  entry.achieved_ratio =
+      static_cast<double>(data.size_bytes()) / payload.size();
+  entry.compressed_bytes = payload.size();
+  entries_.push_back(std::move(entry));
+  payloads_.push_back(std::move(payload));
+  return Status::Ok();
+}
+
+uint64_t FieldStoreWriter::payload_bytes() const {
+  uint64_t total = 0;
+  for (const auto& p : payloads_) total += p.size();
+  return total;
+}
+
+std::vector<uint8_t> FieldStoreWriter::Serialize() const {
+  std::vector<uint8_t> out;
+  AppendUint32(&out, kStoreMagic);
+  AppendUint32(&out, kStoreVersion);
+  AppendUint32(&out, static_cast<uint32_t>(entries_.size()));
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const FieldEntry& e = entries_[i];
+    AppendString(&out, e.name);
+    AppendString(&out, e.compressor);
+    AppendDouble(&out, e.target_ratio);
+    AppendDouble(&out, e.config);
+    AppendDouble(&out, e.achieved_ratio);
+    AppendUint64(&out, payloads_[i].size());
+    out.insert(out.end(), payloads_[i].begin(), payloads_[i].end());
+  }
+  return out;
+}
+
+Status FieldStoreWriter::WriteToFile(const std::string& path) const {
+  const std::vector<uint8_t> bytes = Serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::Internal("short write " + path);
+  return Status::Ok();
+}
+
+Status FieldStoreReader::FromBytes(std::vector<uint8_t> bytes) {
+  bytes_ = std::move(bytes);
+  entries_.clear();
+  payload_spans_.clear();
+
+  const uint8_t* data = bytes_.data();
+  const size_t size = bytes_.size();
+  if (size < 12) return Status::Corruption("store: short header");
+  if (ReadUint32(data) != kStoreMagic) {
+    return Status::Corruption("store: bad magic");
+  }
+  if (ReadUint32(data + 4) != kStoreVersion) {
+    return Status::Corruption("store: unsupported version");
+  }
+  const uint32_t count = ReadUint32(data + 8);
+  size_t pos = 12;
+  for (uint32_t i = 0; i < count; ++i) {
+    FieldEntry e;
+    FXRZ_RETURN_IF_ERROR(ReadString(data, size, &pos, &e.name));
+    FXRZ_RETURN_IF_ERROR(ReadString(data, size, &pos, &e.compressor));
+    if (pos + 32 > size) return Status::Corruption("store: short entry");
+    e.target_ratio = ReadDouble(data + pos);
+    e.config = ReadDouble(data + pos + 8);
+    e.achieved_ratio = ReadDouble(data + pos + 16);
+    const uint64_t payload_size = ReadUint64(data + pos + 24);
+    pos += 32;
+    if (pos + payload_size > size) {
+      return Status::Corruption("store: truncated payload");
+    }
+    e.compressed_bytes = payload_size;
+    entries_.push_back(std::move(e));
+    payload_spans_.emplace_back(pos, payload_size);
+    pos += payload_size;
+  }
+  return Status::Ok();
+}
+
+Status FieldStoreReader::OpenFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(len > 0 ? static_cast<size_t>(len) : 0);
+  const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) return Status::Internal("short read " + path);
+  return FromBytes(std::move(bytes));
+}
+
+Status FieldStoreReader::ReadField(const std::string& name,
+                                   Tensor* out) const {
+  FXRZ_CHECK(out != nullptr);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name != name) continue;
+    const auto comp = MakeCompressor(entries_[i].compressor);
+    const auto [offset, size] = payload_spans_[i];
+    return comp->Decompress(bytes_.data() + offset, size, out);
+  }
+  return Status::NotFound("no field named " + name);
+}
+
+}  // namespace fxrz

@@ -1,0 +1,80 @@
+// Lightweight assertion macros for FXRZ.
+//
+// FXRZ_CHECK(cond) aborts with a message when `cond` is false. It is meant
+// for programmer errors (violated preconditions), not for recoverable
+// runtime failures -- those return Status (see util/status.h).
+//
+// The macros stay active in release builds: FXRZ is a research framework and
+// silent memory corruption in a compressor is far more expensive than the
+// branch. FXRZ_DCHECK compiles out in NDEBUG builds and may be used in hot
+// inner loops.
+
+#ifndef FXRZ_UTIL_CHECK_H_
+#define FXRZ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fxrz {
+namespace internal_check {
+
+// Terminates the process after printing `file:line: message`.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "FXRZ_CHECK failure at %s:%d: %s %s\n", file, line,
+               expr, msg.c_str());
+  std::abort();
+}
+
+// Stream collector so call sites can write FXRZ_CHECK(x) << "context".
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  ~CheckMessage() { CheckFail(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace fxrz
+
+#define FXRZ_CHECK(cond)                                           \
+  switch (0)                                                       \
+  case 0:                                                          \
+  default:                                                         \
+    if (cond) {                                                    \
+    } else                                                         \
+      ::fxrz::internal_check::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define FXRZ_CHECK_OP(op, a, b) FXRZ_CHECK((a)op(b))
+#define FXRZ_CHECK_EQ(a, b) FXRZ_CHECK_OP(==, a, b)
+#define FXRZ_CHECK_NE(a, b) FXRZ_CHECK_OP(!=, a, b)
+#define FXRZ_CHECK_LT(a, b) FXRZ_CHECK_OP(<, a, b)
+#define FXRZ_CHECK_LE(a, b) FXRZ_CHECK_OP(<=, a, b)
+#define FXRZ_CHECK_GT(a, b) FXRZ_CHECK_OP(>, a, b)
+#define FXRZ_CHECK_GE(a, b) FXRZ_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define FXRZ_DCHECK(cond) FXRZ_CHECK(true || (cond))
+#else
+#define FXRZ_DCHECK(cond) FXRZ_CHECK(cond)
+#endif
+
+#endif  // FXRZ_UTIL_CHECK_H_

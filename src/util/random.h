@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in FXRZ (dataset generators, random forest
+// bagging, SVR initialization) takes an explicit seed so that tests and
+// benchmark harnesses are reproducible run to run. The generator is
+// xoshiro256** seeded via splitmix64, which is fast, high quality, and
+// identical across platforms (unlike std::mt19937 + std::*_distribution,
+// whose outputs are implementation-defined).
+
+#ifndef FXRZ_UTIL_RANDOM_H_
+#define FXRZ_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+// xoshiro256** PRNG with convenience sampling methods.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n) {
+    FXRZ_DCHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0ULL - n) % n;
+    for (;;) {
+      const uint64_t r = NextUint64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    FXRZ_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Standard normal sample (Box-Muller; one value per call for determinism).
+  double NextGaussian() {
+    // Avoid log(0).
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_UTIL_RANDOM_H_

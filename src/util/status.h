@@ -1,0 +1,80 @@
+// Minimal Status type for recoverable failures across the FXRZ public API.
+//
+// FXRZ does not use exceptions. Operations that can fail for reasons outside
+// the caller's control (corrupt compressed stream, bad file) return a Status;
+// precondition violations use FXRZ_CHECK instead.
+
+#ifndef FXRZ_UTIL_STATUS_H_
+#define FXRZ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fxrz {
+
+// Error category. Kept deliberately small; extend only when a caller needs
+// to branch on the category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kCorruption,
+  kNotFound,
+  kInternal,
+};
+
+// Value-semantic result of a fallible operation.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "Corruption: truncated stream".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kCorruption: name = "Corruption"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Propagates a non-OK status to the caller.
+#define FXRZ_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::fxrz::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace fxrz
+
+#endif  // FXRZ_UTIL_STATUS_H_

@@ -1,0 +1,57 @@
+// Fixed-size thread pool used by the parallel-dump simulator and by
+// embarrassingly parallel training loops.
+
+#ifndef FXRZ_UTIL_THREAD_POOL_H_
+#define FXRZ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fxrz {
+
+// A minimal work-queue thread pool. Tasks are std::function<void()>; use
+// ParallelFor for the common indexed-loop case.
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [begin, end) across the pool and blocks until done.
+// fn must be safe to invoke concurrently for distinct i.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_UTIL_THREAD_POOL_H_

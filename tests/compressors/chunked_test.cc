@@ -1,0 +1,98 @@
+#include "src/compressors/chunked.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/verify.h"
+#include "src/data/generators/grf.h"
+#include "src/data/statistics.h"
+
+namespace fxrz {
+namespace {
+
+TEST(ChunkedTest, RoundTripMatchesShapeAndBound) {
+  const Tensor g = GaussianRandomField3D(32, 16, 16, 3.0, 971);
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/2048);
+  const double eb = 0.01;
+  const std::vector<uint8_t> bytes = comp.Compress(g, eb);
+  EXPECT_GT(comp.ChunkCount(bytes.data(), bytes.size()), 1u);
+
+  Tensor rec;
+  ASSERT_TRUE(comp.Decompress(bytes.data(), bytes.size(), &rec).ok());
+  ASSERT_EQ(rec.dims(), g.dims());
+  EXPECT_LE(ComputeDistortion(g, rec).max_abs_error, eb * 1.0001);
+}
+
+TEST(ChunkedTest, SingleChunkWhenDataSmall) {
+  const Tensor g = GaussianRandomField3D(8, 8, 8, 3.0, 972);
+  ChunkedCompressor comp(MakeCompressor("zfp"));
+  const std::vector<uint8_t> bytes = comp.Compress(g, 0.01);
+  EXPECT_EQ(comp.ChunkCount(bytes.data(), bytes.size()), 1u);
+  Tensor rec;
+  ASSERT_TRUE(comp.Decompress(bytes.data(), bytes.size(), &rec).ok());
+}
+
+TEST(ChunkedTest, RandomAccessChunkMatchesSlab) {
+  const Tensor g = GaussianRandomField3D(32, 8, 8, 3.0, 973);
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/512);
+  const double eb = 0.005;
+  const std::vector<uint8_t> bytes = comp.Compress(g, eb);
+  const size_t chunks = comp.ChunkCount(bytes.data(), bytes.size());
+  ASSERT_GE(chunks, 4u);
+
+  // Slab 2 decompressed alone equals rows [2*8, 3*8) of the full result.
+  Tensor full;
+  ASSERT_TRUE(comp.Decompress(bytes.data(), bytes.size(), &full).ok());
+  Tensor slab;
+  ASSERT_TRUE(comp.DecompressChunk(bytes.data(), bytes.size(), 2, &slab).ok());
+  const size_t rows_per_chunk = 32 / chunks;
+  ASSERT_EQ(slab.dim(0), rows_per_chunk);
+  const size_t offset = 2 * rows_per_chunk * 8 * 8;
+  for (size_t i = 0; i < slab.size(); ++i) {
+    ASSERT_EQ(slab[i], full[offset + i]) << i;
+  }
+}
+
+TEST(ChunkedTest, OutOfRangeChunkIndexRejected) {
+  const Tensor g = GaussianRandomField3D(16, 8, 8, 3.0, 974);
+  ChunkedCompressor comp(MakeCompressor("sz"), 512);
+  const std::vector<uint8_t> bytes = comp.Compress(g, 0.01);
+  Tensor slab;
+  EXPECT_FALSE(
+      comp.DecompressChunk(bytes.data(), bytes.size(), 999, &slab).ok());
+}
+
+TEST(ChunkedTest, UnevenRowSplit) {
+  // 10 rows with 4-row chunks: 4 + 4 + 2.
+  Tensor t({10, 6});
+  for (size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i % 13);
+  ChunkedCompressor comp(MakeCompressor("mgard"), /*target_chunk_elems=*/24);
+  const std::vector<uint8_t> bytes = comp.Compress(t, 0.01);
+  EXPECT_EQ(comp.ChunkCount(bytes.data(), bytes.size()), 3u);
+  Tensor rec;
+  ASSERT_TRUE(comp.Decompress(bytes.data(), bytes.size(), &rec).ok());
+  EXPECT_LE(ComputeDistortion(t, rec).max_abs_error, 0.0101);
+}
+
+TEST(ChunkedTest, VerifyUtilityAgrees) {
+  const Tensor g = GaussianRandomField3D(16, 16, 16, 3.0, 975);
+  ChunkedCompressor comp(MakeCompressor("sz"), 1024);
+  const VerificationReport report = VerifyCompression(comp, g, 0.02);
+  EXPECT_TRUE(report.round_trip_ok);
+  EXPECT_TRUE(report.error_bound_ok);
+  EXPECT_GT(report.ratio, 1.0);
+}
+
+TEST(ChunkedTest, CorruptStreamsRejected) {
+  const Tensor g = GaussianRandomField3D(16, 8, 8, 3.0, 976);
+  ChunkedCompressor comp(MakeCompressor("sz"), 512);
+  std::vector<uint8_t> bytes = comp.Compress(g, 0.01);
+  Tensor rec;
+  EXPECT_FALSE(comp.Decompress(bytes.data(), bytes.size() / 2, &rec).ok());
+  bytes[1] ^= 0xFF;
+  EXPECT_FALSE(comp.Decompress(bytes.data(), bytes.size(), &rec).ok());
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,62 @@
+#include "src/core/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace fxrz {
+namespace {
+
+TEST(BudgetTest, EqualFieldsEqualWeightsSplitEvenly) {
+  Tensor a({10, 10}), b({10, 10});
+  const auto allocs =
+      AllocateStorageBudget({{"a", &a, 1.0}, {"b", &b, 1.0}}, 100);
+  ASSERT_EQ(allocs.size(), 2u);
+  EXPECT_EQ(allocs[0].budget_bytes, 50u);
+  EXPECT_EQ(allocs[1].budget_bytes, 50u);
+  EXPECT_DOUBLE_EQ(allocs[0].target_ratio, 400.0 / 50.0);
+}
+
+TEST(BudgetTest, WeightsShiftBytes) {
+  Tensor a({10, 10}), b({10, 10});
+  const auto allocs =
+      AllocateStorageBudget({{"a", &a, 3.0}, {"b", &b, 1.0}}, 100);
+  EXPECT_EQ(allocs[0].budget_bytes, 75u);
+  EXPECT_EQ(allocs[1].budget_bytes, 25u);
+  // Heavier weight => more bytes => lower (easier) target ratio.
+  EXPECT_LT(allocs[0].target_ratio, allocs[1].target_ratio);
+}
+
+TEST(BudgetTest, LargerFieldsGetProportionallyMore) {
+  Tensor small({10}), large({90});
+  const auto allocs =
+      AllocateStorageBudget({{"s", &small, 1.0}, {"l", &large, 1.0}}, 100);
+  EXPECT_EQ(allocs[0].budget_bytes, 10u);
+  EXPECT_EQ(allocs[1].budget_bytes, 90u);
+  // Equal weights => equal target ratios regardless of field size.
+  EXPECT_DOUBLE_EQ(allocs[0].target_ratio, allocs[1].target_ratio);
+}
+
+TEST(BudgetTest, AllocationsNeverExceedBudget) {
+  Tensor a({7}), b({13}), c({29});
+  const auto allocs = AllocateStorageBudget(
+      {{"a", &a, 1.3}, {"b", &b, 0.7}, {"c", &c, 2.0}}, 37);
+  uint64_t total = 0;
+  for (const auto& al : allocs) total += al.budget_bytes;
+  EXPECT_LE(total, 37u + allocs.size());  // +1 per field from the floor
+}
+
+TEST(BudgetTest, TinyBudgetStillPositive) {
+  Tensor a({1000});
+  const auto allocs = AllocateStorageBudget({{"a", &a, 1.0}}, 3);
+  EXPECT_GE(allocs[0].budget_bytes, 1u);
+  EXPECT_GT(allocs[0].target_ratio, 1000.0);
+}
+
+TEST(BudgetDeathTest, RejectsBadInput) {
+  Tensor a({10});
+  EXPECT_DEATH(AllocateStorageBudget({}, 100), "");
+  EXPECT_DEATH(AllocateStorageBudget({{"a", &a, 0.0}}, 10), "");
+  EXPECT_DEATH(AllocateStorageBudget({{"a", &a, 1.0}}, 1000), "");  // > raw
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,62 @@
+#include "src/core/drift.h"
+
+#include <gtest/gtest.h>
+
+namespace fxrz {
+namespace {
+
+TEST(DriftMonitorTest, EmptyMonitorReportsZero) {
+  DriftMonitor monitor;
+  EXPECT_EQ(monitor.rolling_error(), 0.0);
+  EXPECT_FALSE(monitor.needs_retraining());
+}
+
+TEST(DriftMonitorTest, AccurateDumpsNeverTrigger) {
+  DriftMonitor monitor(8, 0.15);
+  for (int i = 0; i < 50; ++i) {
+    monitor.Record(100.0, 95.0 + (i % 10));  // <= ~5% error
+  }
+  EXPECT_LT(monitor.rolling_error(), 0.06);
+  EXPECT_FALSE(monitor.needs_retraining());
+}
+
+TEST(DriftMonitorTest, SustainedDriftTriggers) {
+  DriftMonitor monitor(8, 0.15);
+  for (int i = 0; i < 8; ++i) monitor.Record(100.0, 70.0);  // 30% error
+  EXPECT_TRUE(monitor.needs_retraining());
+  EXPECT_NEAR(monitor.rolling_error(), 0.30, 1e-12);
+}
+
+TEST(DriftMonitorTest, NeedsFullWindowBeforeTriggering) {
+  DriftMonitor monitor(8, 0.15);
+  for (int i = 0; i < 7; ++i) monitor.Record(100.0, 50.0);  // huge errors
+  EXPECT_FALSE(monitor.needs_retraining()) << "window not yet full";
+  monitor.Record(100.0, 50.0);
+  EXPECT_TRUE(monitor.needs_retraining());
+}
+
+TEST(DriftMonitorTest, WindowSlidesOldErrorsOut) {
+  DriftMonitor monitor(4, 0.15);
+  for (int i = 0; i < 4; ++i) monitor.Record(100.0, 40.0);  // 60% error
+  EXPECT_TRUE(monitor.needs_retraining());
+  for (int i = 0; i < 4; ++i) monitor.Record(100.0, 99.0);  // 1% error
+  EXPECT_FALSE(monitor.needs_retraining());
+  EXPECT_NEAR(monitor.rolling_error(), 0.01, 1e-12);
+}
+
+TEST(DriftMonitorTest, ResetClearsHistory) {
+  DriftMonitor monitor(4, 0.15);
+  for (int i = 0; i < 4; ++i) monitor.Record(100.0, 40.0);
+  monitor.Reset();
+  EXPECT_EQ(monitor.observations(), 0u);
+  EXPECT_FALSE(monitor.needs_retraining());
+}
+
+TEST(DriftMonitorDeathTest, RejectsNonPositiveRatios) {
+  DriftMonitor monitor;
+  EXPECT_DEATH(monitor.Record(0.0, 10.0), "");
+  EXPECT_DEATH(monitor.Record(10.0, 0.0), "");
+}
+
+}  // namespace
+}  // namespace fxrz

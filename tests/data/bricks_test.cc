@@ -1,0 +1,88 @@
+#include "src/data/bricks.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fxrz {
+namespace {
+
+Tensor Iota(std::vector<size_t> dims) {
+  Tensor t(std::move(dims));
+  for (size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+TEST(ExtractSubtensorTest, FullExtentCopies) {
+  const Tensor t = Iota({3, 4});
+  const Tensor s = ExtractSubtensor(t, {0, 0}, {3, 4});
+  EXPECT_TRUE(s.SameAs(t));
+}
+
+TEST(ExtractSubtensorTest, InteriorBlock) {
+  const Tensor t = Iota({4, 5});
+  const Tensor s = ExtractSubtensor(t, {1, 2}, {2, 2});
+  ASSERT_EQ(s.dims(), std::vector<size_t>({2, 2}));
+  EXPECT_EQ(s.at({0, 0}), t.at({1, 2}));
+  EXPECT_EQ(s.at({0, 1}), t.at({1, 3}));
+  EXPECT_EQ(s.at({1, 0}), t.at({2, 2}));
+  EXPECT_EQ(s.at({1, 1}), t.at({2, 3}));
+}
+
+TEST(ExtractSubtensorTest, Rank3Corner) {
+  const Tensor t = Iota({4, 4, 4});
+  const Tensor s = ExtractSubtensor(t, {2, 2, 2}, {2, 2, 2});
+  EXPECT_EQ(s.at({0, 0, 0}), t.at({2, 2, 2}));
+  EXPECT_EQ(s.at({1, 1, 1}), t.at({3, 3, 3}));
+}
+
+TEST(ExtractSubtensorDeathTest, OutOfBounds) {
+  const Tensor t = Iota({4, 4});
+  EXPECT_DEATH(ExtractSubtensor(t, {3, 0}, {2, 4}), "");
+  EXPECT_DEATH(ExtractSubtensor(t, {0, 0}, {0, 4}), "");
+}
+
+TEST(SplitIntoBricksTest, EvenSplitCoversAllElements) {
+  const Tensor t = Iota({4, 6});
+  const std::vector<Tensor> bricks = SplitIntoBricks(t, {2, 3});
+  ASSERT_EQ(bricks.size(), 6u);
+  std::map<float, int> seen;
+  size_t total = 0;
+  for (const Tensor& b : bricks) {
+    EXPECT_EQ(b.dims(), std::vector<size_t>({2, 2}));
+    for (size_t i = 0; i < b.size(); ++i) ++seen[b[i]];
+    total += b.size();
+  }
+  EXPECT_EQ(total, t.size());
+  for (const auto& [value, count] : seen) {
+    EXPECT_EQ(count, 1) << value;
+  }
+}
+
+TEST(SplitIntoBricksTest, UnevenSplitShrinksTrailingBricks) {
+  const Tensor t = Iota({5});
+  const std::vector<Tensor> bricks = SplitIntoBricks(t, {2});
+  ASSERT_EQ(bricks.size(), 2u);
+  EXPECT_EQ(bricks[0].size(), 3u);  // ceil(5/2)
+  EXPECT_EQ(bricks[1].size(), 2u);
+  EXPECT_EQ(bricks[1][0], 3.0f);
+}
+
+TEST(SplitIntoBricksTest, SinglePartReturnsWhole) {
+  const Tensor t = Iota({3, 3, 3});
+  const std::vector<Tensor> bricks = SplitIntoBricks(t, {1, 1, 1});
+  ASSERT_EQ(bricks.size(), 1u);
+  EXPECT_TRUE(bricks[0].SameAs(t));
+}
+
+TEST(SplitIntoBricksTest, Rank3GridOrder) {
+  const Tensor t = Iota({4, 4, 4});
+  const std::vector<Tensor> bricks = SplitIntoBricks(t, {2, 2, 2});
+  ASSERT_EQ(bricks.size(), 8u);
+  // First brick is the (0,0,0) corner, last is the (1,1,1) corner.
+  EXPECT_EQ(bricks[0].at({0, 0, 0}), t.at({0, 0, 0}));
+  EXPECT_EQ(bricks[7].at({0, 0, 0}), t.at({2, 2, 2}));
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,97 @@
+#include "src/data/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace fxrz {
+namespace {
+
+TEST(FftTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(100));
+}
+
+TEST(FftTest, DeltaTransformsToFlatSpectrum) {
+  std::vector<std::complex<double>> a(8, 0.0);
+  a[0] = 1.0;
+  Fft1D(&a, false);
+  for (const auto& c : a) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleToneHasOnePeak) {
+  const size_t n = 64;
+  std::vector<std::complex<double>> a(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = std::cos(2.0 * M_PI * 5.0 * i / n);
+  }
+  Fft1D(&a, false);
+  // Peaks at bins 5 and n-5 with magnitude n/2.
+  EXPECT_NEAR(std::abs(a[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(a[n - 5]), n / 2.0, 1e-9);
+  for (size_t k = 0; k < n; ++k) {
+    if (k == 5 || k == n - 5) continue;
+    EXPECT_LT(std::abs(a[k]), 1e-9) << k;
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip1D) {
+  Rng rng(21);
+  std::vector<std::complex<double>> a(256);
+  for (auto& c : a) c = {rng.NextGaussian(), rng.NextGaussian()};
+  const auto original = a;
+  Fft1D(&a, false);
+  Fft1D(&a, true);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(22);
+  const size_t n = 128;
+  std::vector<std::complex<double>> a(n);
+  double time_energy = 0.0;
+  for (auto& c : a) {
+    c = {rng.NextGaussian(), rng.NextGaussian()};
+    time_energy += std::norm(c);
+  }
+  Fft1D(&a, false);
+  double freq_energy = 0.0;
+  for (const auto& c : a) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / n, time_energy, time_energy * 1e-10);
+}
+
+TEST(FftTest, ForwardInverseRoundTrip3D) {
+  Rng rng(23);
+  const size_t nz = 8, ny = 16, nx = 4;
+  std::vector<std::complex<double>> a(nz * ny * nx);
+  for (auto& c : a) c = {rng.NextGaussian(), rng.NextGaussian()};
+  const auto original = a;
+  Fft3D(&a, nz, ny, nx, false);
+  Fft3D(&a, nz, ny, nx, true);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftDeathTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> a(12, 0.0);
+  EXPECT_DEATH(Fft1D(&a, false), "");
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,217 @@
+// Tests on the synthetic dataset generators: determinism, statistical
+// signatures (the Table I story), and the catalog's capability-level
+// bundle structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/generators/catalog.h"
+#include "src/data/generators/grf.h"
+#include "src/data/generators/hurricane.h"
+#include "src/data/generators/nyx.h"
+#include "src/data/generators/qmcpack.h"
+#include "src/data/generators/rtm.h"
+#include "src/data/statistics.h"
+
+namespace fxrz {
+namespace {
+
+TEST(GrfTest, DeterministicForSeed) {
+  const Tensor a = GaussianRandomField3D(16, 16, 16, 3.0, 5);
+  const Tensor b = GaussianRandomField3D(16, 16, 16, 3.0, 5);
+  EXPECT_TRUE(a.SameAs(b));
+}
+
+TEST(GrfTest, DifferentSeedsDiffer) {
+  const Tensor a = GaussianRandomField3D(16, 16, 16, 3.0, 5);
+  const Tensor b = GaussianRandomField3D(16, 16, 16, 3.0, 6);
+  EXPECT_FALSE(a.SameAs(b));
+}
+
+TEST(GrfTest, NormalizedToZeroMeanUnitVariance) {
+  const Tensor g = GaussianRandomField3D(32, 32, 32, 3.0, 7);
+  const SummaryStats s = ComputeSummary(g);
+  EXPECT_NEAR(s.mean, 0.0, 1e-6);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-6);
+}
+
+TEST(GrfTest, SteeperSpectrumIsSmoother) {
+  // Smoothness proxy: mean |neighbor difference| along x.
+  auto roughness = [](const Tensor& t) {
+    double acc = 0.0;
+    for (size_t i = 1; i < t.size(); ++i) {
+      acc += std::fabs(static_cast<double>(t[i]) - t[i - 1]);
+    }
+    return acc / t.size();
+  };
+  const Tensor rough = GaussianRandomField3D(32, 32, 32, 1.0, 8);
+  const Tensor smooth = GaussianRandomField3D(32, 32, 32, 4.0, 8);
+  EXPECT_GT(roughness(rough), 2.0 * roughness(smooth));
+}
+
+TEST(GrfTest, EvolvingFieldChangesGraduallyWithPhase) {
+  const Tensor t0 = EvolvingGaussianRandomField3D(16, 16, 16, 3.0, 9, 0.0);
+  const Tensor t1 = EvolvingGaussianRandomField3D(16, 16, 16, 3.0, 9, 0.1);
+  const Tensor t2 = EvolvingGaussianRandomField3D(16, 16, 16, 3.0, 9, 1.0);
+  const double d01 = ComputeDistortion(t0, t1).rmse;
+  const double d02 = ComputeDistortion(t0, t2).rmse;
+  EXPECT_GT(d01, 0.0);
+  EXPECT_GT(d02, d01);  // further in phase => more different
+}
+
+TEST(NyxTest, BaryonDensityIsPositiveWithUnitMean) {
+  const NyxConfig c = NyxConfig1();
+  const Tensor rho = GenerateNyxField(c, "baryon_density", 0);
+  const SummaryStats s = ComputeSummary(rho);
+  EXPECT_GT(s.min, 0.0);
+  EXPECT_NEAR(s.mean, 1.0, 0.25);  // lognormal normalized to unit mean
+}
+
+TEST(NyxTest, AllFourFieldsGenerate) {
+  const NyxConfig c = NyxConfig1();
+  for (const char* field : kNyxFields) {
+    const Tensor t = GenerateNyxField(c, field, 1);
+    EXPECT_EQ(t.rank(), 3u) << field;
+    for (size_t i = 0; i < t.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(t[i])) << field;
+    }
+  }
+}
+
+TEST(NyxTest, VelocityIsSigned) {
+  const Tensor v = GenerateNyxField(NyxConfig1(), "velocity_x", 0);
+  const SummaryStats s = ComputeSummary(v);
+  EXPECT_LT(s.min, 0.0);
+  EXPECT_GT(s.max, 0.0);
+}
+
+TEST(NyxDeathTest, UnknownFieldAborts) {
+  EXPECT_DEATH(GenerateNyxField(NyxConfig1(), "no_such_field", 0), "");
+}
+
+TEST(RtmTest, WavefieldExpandsOverTime) {
+  RtmConfig c = RtmSmallScaleConfig();
+  c.nz = c.ny = 32;
+  c.nx = 16;
+  const std::vector<Tensor> snaps = SimulateRtmSnapshots(c, {30, 120});
+  ASSERT_EQ(snaps.size(), 2u);
+  // Energy support grows as the wave propagates.
+  auto support = [](const Tensor& t) {
+    const SummaryStats s = ComputeSummary(t);
+    const double thr = 0.01 * std::max(std::fabs(s.min), std::fabs(s.max));
+    size_t n = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (std::fabs(t[i]) > thr) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(support(snaps[1]), support(snaps[0]));
+}
+
+TEST(RtmTest, SmallValueRangeLikeTableI) {
+  const Tensor snap = SimulateRtmSnapshot(RtmSmallScaleConfig(), 200);
+  const SummaryStats s = ComputeSummary(snap);
+  EXPECT_LT(s.value_range, 2.0);  // RTM's signature tiny amplitude
+  EXPECT_GT(s.value_range, 0.0);
+}
+
+TEST(RtmTest, StableSimulation) {
+  const Tensor snap = SimulateRtmSnapshot(RtmSmallScaleConfig(), 380);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(snap[i]));
+    ASSERT_LT(std::fabs(snap[i]), 100.0f);  // no blow-up
+  }
+}
+
+TEST(RtmDeathTest, UnstableCflRejected) {
+  RtmConfig c = RtmSmallScaleConfig();
+  c.dt = 1.0;  // grossly violates CFL
+  EXPECT_DEATH(SimulateRtmSnapshot(c, 10), "unstable");
+}
+
+TEST(QmcpackTest, FourDimensionalWithOrbitalVariation) {
+  const QmcpackConfig c = QmcpackConfig1();
+  const Tensor t = GenerateQmcpackOrbitals(c, 0);
+  ASSERT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.dim(0), c.num_orbitals);
+  // Different orbitals differ.
+  double diff = 0.0;
+  for (size_t i = 0; i < t.dim(1) * t.dim(2) * t.dim(3); ++i) {
+    diff += std::fabs(static_cast<double>(t[i]) -
+                      t[t.dim(1) * t.dim(2) * t.dim(3) + i]);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(QmcpackTest, SpinChannelsDecorrelated) {
+  const QmcpackConfig c = QmcpackConfig1();
+  const Tensor s0 = GenerateQmcpackOrbitals(c, 0);
+  const Tensor s1 = GenerateQmcpackOrbitals(c, 1);
+  EXPECT_FALSE(s0.SameAs(s1));
+}
+
+TEST(HurricaneTest, QcloudIsSparseNonNegative) {
+  const Tensor q =
+      GenerateHurricaneField(HurricaneDefaultConfig(), "QCLOUD", 24);
+  size_t zeros = 0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    ASSERT_GE(q[i], 0.0f);
+    if (q[i] == 0.0f) ++zeros;
+  }
+  // Cloud water is zero over most of the domain (drives the CA story).
+  EXPECT_GT(zeros, q.size() / 2);
+}
+
+TEST(HurricaneTest, TcHasVerticalLapse) {
+  const HurricaneConfig c = HurricaneDefaultConfig();
+  const Tensor tc = GenerateHurricaneField(c, "TC", 24);
+  // Column means decrease with altitude.
+  double bottom = 0, top = 0;
+  const size_t per_level = tc.dim(1) * tc.dim(2);
+  for (size_t i = 0; i < per_level; ++i) {
+    bottom += tc[i];
+    top += tc[(tc.dim(0) - 1) * per_level + i];
+  }
+  EXPECT_GT(bottom, top);
+}
+
+TEST(HurricaneTest, StormIntensifiesOverTime) {
+  const HurricaneConfig c = HurricaneDefaultConfig();
+  const Tensor early = GenerateHurricaneField(c, "QCLOUD", 2);
+  const Tensor late = GenerateHurricaneField(c, "QCLOUD", 48);
+  EXPECT_GT(ComputeSummary(late).max, ComputeSummary(early).max);
+}
+
+TEST(CatalogTest, BundlesHaveTrainAndTest) {
+  CatalogOptions opts;
+  opts.scale = 0.3;
+  for (const TrainTestBundle& b : MakeAllBundles(opts)) {
+    EXPECT_FALSE(b.train.empty()) << b.application << "/" << b.field;
+    EXPECT_FALSE(b.test.empty()) << b.application << "/" << b.field;
+    for (const auto& d : b.train) EXPECT_FALSE(d.data.empty()) << d.name;
+    for (const auto& d : b.test) EXPECT_FALSE(d.data.empty()) << d.name;
+  }
+}
+
+TEST(CatalogTest, CapabilityLevel2BundlesChangeShapeOrConfig) {
+  CatalogOptions opts;
+  opts.scale = 0.3;
+  // RTM: big-scale test grid differs from small-scale training grids.
+  const TrainTestBundle rtm = MakeRtmBundle(opts);
+  EXPECT_NE(rtm.train[0].data.dims(), rtm.test[0].data.dims());
+  // QMCPack: more orbitals in the test config.
+  const TrainTestBundle qmc = MakeQmcpackBundle(0, opts);
+  EXPECT_LT(qmc.train[0].data.dim(0), qmc.test[0].data.dim(0));
+}
+
+TEST(CatalogTest, TrainSnapshotOverrideRespected) {
+  CatalogOptions opts;
+  opts.scale = 0.3;
+  opts.train_snapshots = 2;
+  EXPECT_EQ(MakeHurricaneBundle("TC", opts).train.size(), 2u);
+  EXPECT_EQ(MakeNyxBundle("temperature", opts).train.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,61 @@
+#include "src/data/sampling.h"
+
+#include <gtest/gtest.h>
+
+namespace fxrz {
+namespace {
+
+TEST(StrideSampleTest, StrideOneCopies) {
+  Tensor t({3, 4}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  const Tensor s = StrideSample(t, 1);
+  EXPECT_TRUE(s.SameAs(t));
+}
+
+TEST(StrideSampleTest, Stride2On1D) {
+  Tensor t({7}, {0, 1, 2, 3, 4, 5, 6});
+  const Tensor s = StrideSample(t, 2);
+  ASSERT_EQ(s.dims(), std::vector<size_t>({4}));
+  EXPECT_EQ(s[0], 0.0f);
+  EXPECT_EQ(s[1], 2.0f);
+  EXPECT_EQ(s[2], 4.0f);
+  EXPECT_EQ(s[3], 6.0f);
+}
+
+TEST(StrideSampleTest, Stride2On2DKeepsGridStructure) {
+  Tensor t({4, 4});
+  for (size_t i = 0; i < 16; ++i) t[i] = static_cast<float>(i);
+  const Tensor s = StrideSample(t, 2);
+  ASSERT_EQ(s.dims(), std::vector<size_t>({2, 2}));
+  EXPECT_EQ(s.at({0, 0}), 0.0f);
+  EXPECT_EQ(s.at({0, 1}), 2.0f);
+  EXPECT_EQ(s.at({1, 0}), 8.0f);
+  EXPECT_EQ(s.at({1, 1}), 10.0f);
+}
+
+TEST(StrideSampleTest, StrideLargerThanExtent) {
+  Tensor t({3}, {5, 6, 7});
+  const Tensor s = StrideSample(t, 10);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 5.0f);
+}
+
+TEST(StrideSampleTest, Rank4) {
+  Tensor t({2, 4, 4, 4});
+  for (size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const Tensor s = StrideSample(t, 2);
+  EXPECT_EQ(s.dims(), std::vector<size_t>({1, 2, 2, 2}));
+  EXPECT_EQ(s.at({0, 1, 1, 1}), t.at({0, 2, 2, 2}));
+}
+
+TEST(StrideSampleFractionTest, Stride4In3DIsAboutOnePointFivePercent) {
+  Tensor t({64, 64, 64});
+  EXPECT_NEAR(StrideSampleFraction(t, 4), 1.0 / 64.0, 1e-12);
+}
+
+TEST(StrideSampleFractionTest, StrideOneIsOne) {
+  Tensor t({10, 10});
+  EXPECT_EQ(StrideSampleFraction(t, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace fxrz

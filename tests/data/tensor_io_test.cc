@@ -1,0 +1,95 @@
+#include "src/data/tensor_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/data/generators/grf.h"
+
+namespace fxrz {
+namespace {
+
+TEST(TensorIoTest, SerializeDeserializeRoundTrip) {
+  const Tensor t = GaussianRandomField3D(8, 16, 8, 3.0, 301);
+  std::vector<uint8_t> bytes;
+  SerializeTensor(t, &bytes);
+  size_t pos = 0;
+  Tensor restored;
+  ASSERT_TRUE(DeserializeTensor(bytes.data(), bytes.size(), &pos, &restored).ok());
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_TRUE(t.SameAs(restored));
+}
+
+TEST(TensorIoTest, MultipleTensorsInOneBuffer) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({2, 2}, {4, 5, 6, 7});
+  std::vector<uint8_t> bytes;
+  SerializeTensor(a, &bytes);
+  SerializeTensor(b, &bytes);
+  size_t pos = 0;
+  Tensor ra, rb;
+  ASSERT_TRUE(DeserializeTensor(bytes.data(), bytes.size(), &pos, &ra).ok());
+  ASSERT_TRUE(DeserializeTensor(bytes.data(), bytes.size(), &pos, &rb).ok());
+  EXPECT_TRUE(a.SameAs(ra));
+  EXPECT_TRUE(b.SameAs(rb));
+}
+
+TEST(TensorIoTest, RejectsTruncation) {
+  Tensor t({4, 4});
+  std::vector<uint8_t> bytes;
+  SerializeTensor(t, &bytes);
+  size_t pos = 0;
+  Tensor out;
+  EXPECT_FALSE(DeserializeTensor(bytes.data(), 10, &pos, &out).ok());
+  pos = 0;
+  EXPECT_FALSE(
+      DeserializeTensor(bytes.data(), bytes.size() - 4, &pos, &out).ok());
+}
+
+TEST(TensorIoTest, RejectsBadMagic) {
+  Tensor t({2}, {1, 2});
+  std::vector<uint8_t> bytes;
+  SerializeTensor(t, &bytes);
+  bytes[0] ^= 0xFF;
+  size_t pos = 0;
+  Tensor out;
+  EXPECT_FALSE(DeserializeTensor(bytes.data(), bytes.size(), &pos, &out).ok());
+}
+
+TEST(TensorIoTest, FileRoundTrip) {
+  const Tensor t = GaussianRandomField3D(8, 8, 8, 2.0, 302);
+  const std::string path = ::testing::TempDir() + "/tensor_io_test.fts";
+  ASSERT_TRUE(WriteTensorFile(t, path).ok());
+  Tensor restored;
+  ASSERT_TRUE(ReadTensorFile(path, &restored).ok());
+  EXPECT_TRUE(t.SameAs(restored));
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, MissingFileIsNotFound) {
+  Tensor out;
+  const Status st = ReadTensorFile("/nonexistent/nowhere.fts", &out);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(TensorIoTest, RawF32ReadsHeaderlessData) {
+  // Write raw floats (no header), then read with an explicit shape.
+  const std::string path = ::testing::TempDir() + "/raw_test.f32";
+  const std::vector<float> values = {1.5f, -2.5f, 3.5f, 0.0f, 7.25f, -8.0f};
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(values.data(), sizeof(float), values.size(), f);
+  std::fclose(f);
+
+  Tensor out;
+  ASSERT_TRUE(ReadRawF32File(path, {2, 3}, &out).ok());
+  EXPECT_EQ(out.dims(), std::vector<size_t>({2, 3}));
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(out[i], values[i]);
+
+  // Mismatched shape is rejected.
+  EXPECT_FALSE(ReadRawF32File(path, {7}, &out).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,90 @@
+#include "src/data/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fxrz {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({3, 4, 5});
+  EXPECT_EQ(t.size(), 60u);
+  EXPECT_EQ(t.size_bytes(), 240u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, TakesOwnershipOfValues) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 2}), 3.0f);
+  EXPECT_EQ(t.at({1, 0}), 4.0f);
+  EXPECT_EQ(t.at({1, 2}), 6.0f);
+}
+
+TEST(TensorTest, OffsetRowMajorLastFastest) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.Offset({0, 0, 0}), 0u);
+  EXPECT_EQ(t.Offset({0, 0, 3}), 3u);
+  EXPECT_EQ(t.Offset({0, 1, 0}), 4u);
+  EXPECT_EQ(t.Offset({1, 0, 0}), 12u);
+  EXPECT_EQ(t.Offset({1, 2, 3}), 23u);
+}
+
+TEST(TensorTest, StridesMatchOffsets) {
+  Tensor t({2, 3, 4});
+  const std::vector<size_t> s = t.Strides();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 12u);
+  EXPECT_EQ(s[1], 4u);
+  EXPECT_EQ(s[2], 1u);
+}
+
+TEST(TensorTest, Rank4Supported) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.Offset({1, 2, 3, 4}), 119u);
+}
+
+TEST(TensorTest, MutationThroughAt) {
+  Tensor t({2, 2});
+  t.at({1, 1}) = 42.0f;
+  EXPECT_EQ(t[3], 42.0f);
+}
+
+TEST(TensorTest, SameAsComparesShapeAndValues) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {1, 2, 3, 4});
+  Tensor c({4}, {1, 2, 3, 4});
+  Tensor d({2, 2}, {1, 2, 3, 5});
+  EXPECT_TRUE(a.SameAs(b));
+  EXPECT_FALSE(a.SameAs(c));  // same data, different shape
+  EXPECT_FALSE(a.SameAs(d));
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({512, 512, 512}).ShapeString(), "512x512x512");
+  EXPECT_EQ(Tensor({7}).ShapeString(), "7");
+}
+
+TEST(TensorDeathTest, RejectsZeroExtent) {
+  EXPECT_DEATH(Tensor({3, 0, 2}), "");
+}
+
+TEST(TensorDeathTest, RejectsSizeMismatch) {
+  EXPECT_DEATH(Tensor({2, 2}, {1.0f, 2.0f}), "");
+}
+
+TEST(TensorDeathTest, RejectsRankFive) {
+  EXPECT_DEATH(Tensor({2, 2, 2, 2, 2}), "");
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,107 @@
+#include "src/encoding/bit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/encoding/negabinary.h"
+#include "src/util/random.h"
+
+namespace fxrz {
+namespace {
+
+TEST(BitStreamTest, SingleBits) {
+  BitWriter bw;
+  const std::vector<uint32_t> bits = {1, 0, 1, 1, 0, 0, 0, 1, 1, 0, 1};
+  for (uint32_t b : bits) bw.WriteBit(b);
+  EXPECT_EQ(bw.bit_count(), bits.size());
+  const std::vector<uint8_t> bytes = std::move(bw).Take();
+  BitReader br(bytes);
+  for (uint32_t b : bits) EXPECT_EQ(br.ReadBit(), b);
+  EXPECT_FALSE(br.overrun());
+}
+
+TEST(BitStreamTest, MultiBitValuesLsbFirst) {
+  BitWriter bw;
+  bw.WriteBits(0b1011, 4);
+  bw.WriteBits(0xABCD, 16);
+  bw.WriteBits(0, 1);
+  const std::vector<uint8_t> bytes = std::move(bw).Take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.ReadBits(4), 0b1011u);
+  EXPECT_EQ(br.ReadBits(16), 0xABCDu);
+  EXPECT_EQ(br.ReadBits(1), 0u);
+}
+
+TEST(BitStreamTest, SixtyFourBitValues) {
+  Rng rng(91);
+  BitWriter bw;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(rng.NextUint64());
+    bw.WriteBits(values.back(), 64);
+  }
+  const std::vector<uint8_t> bytes = std::move(bw).Take();
+  BitReader br(bytes);
+  for (uint64_t v : values) EXPECT_EQ(br.ReadBits(64), v);
+}
+
+TEST(BitStreamTest, ReadPastEndSetsOverrun) {
+  BitWriter bw;
+  bw.WriteBits(0xFF, 8);
+  const std::vector<uint8_t> bytes = std::move(bw).Take();
+  BitReader br(bytes);
+  br.ReadBits(8);
+  EXPECT_FALSE(br.overrun());
+  EXPECT_EQ(br.ReadBit(), 0u);
+  EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitStreamTest, BitsRemaining) {
+  std::vector<uint8_t> bytes = {0xFF, 0x00};
+  BitReader br(bytes);
+  EXPECT_EQ(br.bits_remaining(), 16u);
+  br.ReadBits(5);
+  EXPECT_EQ(br.bits_remaining(), 11u);
+}
+
+TEST(LittleEndianHelpersTest, RoundTrip) {
+  std::vector<uint8_t> buf;
+  AppendUint32(&buf, 0xDEADBEEFu);
+  AppendUint64(&buf, 0x0123456789ABCDEFull);
+  AppendDouble(&buf, -3.14159);
+  EXPECT_EQ(ReadUint32(buf.data()), 0xDEADBEEFu);
+  EXPECT_EQ(ReadUint64(buf.data() + 4), 0x0123456789ABCDEFull);
+  EXPECT_EQ(ReadDouble(buf.data() + 12), -3.14159);
+}
+
+TEST(NegabinaryTest, ZeroMapsToZero) {
+  EXPECT_EQ(Int64ToNegabinary(0), 0u);
+  EXPECT_EQ(NegabinaryToInt64(0), 0);
+}
+
+TEST(NegabinaryTest, RoundTripSmallValues) {
+  for (int64_t v = -1000; v <= 1000; ++v) {
+    EXPECT_EQ(NegabinaryToInt64(Int64ToNegabinary(v)), v) << v;
+  }
+}
+
+TEST(NegabinaryTest, RoundTripRandomValues) {
+  Rng rng(92);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextUint64() >> 2) *
+                      (rng.NextBelow(2) ? 1 : -1);
+    EXPECT_EQ(NegabinaryToInt64(Int64ToNegabinary(v)), v);
+  }
+}
+
+TEST(NegabinaryTest, SmallMagnitudesUseLowBits) {
+  // The property bitplane coding relies on: small |x| => only low
+  // negabinary bits set.
+  for (int64_t v = -8; v <= 8; ++v) {
+    EXPECT_LT(Int64ToNegabinary(v), 64u) << v;
+  }
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,81 @@
+#include "src/encoding/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace fxrz {
+namespace {
+
+void RoundTrip(const std::vector<uint32_t>& symbols) {
+  const std::vector<uint8_t> enc = HuffmanEncode(symbols);
+  std::vector<uint32_t> dec;
+  const Status st = HuffmanDecode(enc.data(), enc.size(), &dec);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(symbols, dec);
+}
+
+TEST(HuffmanTest, EmptyInput) { RoundTrip({}); }
+
+TEST(HuffmanTest, SingleSymbol) { RoundTrip({42}); }
+
+TEST(HuffmanTest, SingleDistinctSymbolRepeated) {
+  RoundTrip(std::vector<uint32_t>(1000, 7));
+}
+
+TEST(HuffmanTest, TwoSymbols) { RoundTrip({1, 2, 1, 1, 2, 1}); }
+
+TEST(HuffmanTest, SkewedDistributionCompresses) {
+  // 95% zeros should compress far below 4 bytes/symbol.
+  Rng rng(1);
+  std::vector<uint32_t> symbols(20000);
+  for (auto& s : symbols) {
+    s = rng.NextDouble() < 0.95 ? 0 : static_cast<uint32_t>(rng.NextBelow(16));
+  }
+  const std::vector<uint8_t> enc = HuffmanEncode(symbols);
+  EXPECT_LT(enc.size(), symbols.size());  // < 1 byte/symbol
+  RoundTrip(symbols);
+}
+
+TEST(HuffmanTest, UniformRandomSymbols) {
+  Rng rng(2);
+  std::vector<uint32_t> symbols(5000);
+  for (auto& s : symbols) s = static_cast<uint32_t>(rng.NextBelow(1024));
+  RoundTrip(symbols);
+}
+
+TEST(HuffmanTest, LargeSymbolValues) {
+  RoundTrip({0xFFFFFFFFu, 0, 0xFFFFFFFFu, 123456789u, 0xFFFFFFFFu});
+}
+
+TEST(HuffmanTest, ExponentialFrequencies) {
+  // Deep Huffman tree; exercises the code-length cap path.
+  std::vector<uint32_t> symbols;
+  uint64_t count = 1;
+  for (uint32_t sym = 0; sym < 18; ++sym) {
+    for (uint64_t i = 0; i < count; ++i) symbols.push_back(sym);
+    count *= 2;
+  }
+  RoundTrip(symbols);
+}
+
+TEST(HuffmanTest, DecodeRejectsTruncatedStream) {
+  std::vector<uint32_t> symbols(100, 3);
+  symbols[50] = 9;
+  std::vector<uint8_t> enc = HuffmanEncode(symbols);
+  std::vector<uint32_t> dec;
+  EXPECT_FALSE(HuffmanDecode(enc.data(), 5, &dec).ok());
+  enc.resize(enc.size() / 2);
+  EXPECT_FALSE(HuffmanDecode(enc.data(), enc.size(), &dec).ok());
+}
+
+TEST(HuffmanTest, DecodeRejectsGarbage) {
+  std::vector<uint8_t> garbage(64, 0xAB);
+  std::vector<uint32_t> dec;
+  EXPECT_FALSE(HuffmanDecode(garbage.data(), garbage.size(), &dec).ok());
+}
+
+}  // namespace
+}  // namespace fxrz

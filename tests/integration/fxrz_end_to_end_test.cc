@@ -1,0 +1,159 @@
+// End-to-end tests: train FXRZ on generated bundles and verify the measured
+// compression ratio lands near the target (and beats a naive guess), plus
+// FXRZ-vs-FRaZ cost relationships. These are the library-level guarantees
+// the paper's evaluation rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/compressors/compressor.h"
+#include "src/core/pipeline.h"
+#include "src/data/generators/catalog.h"
+#include "src/fraz/fraz.h"
+
+namespace fxrz {
+namespace {
+
+std::vector<const Tensor*> Pointers(const std::vector<NamedDataset>& sets) {
+  std::vector<const Tensor*> out;
+  out.reserve(sets.size());
+  for (const auto& s : sets) out.push_back(&s.data);
+  return out;
+}
+
+CatalogOptions SmallScale() {
+  CatalogOptions opts;
+  opts.scale = 0.5;
+  return opts;
+}
+
+TEST(FxrzEndToEndTest, NyxBaryonDensitySzCapabilityLevel2) {
+  const TrainTestBundle bundle = MakeNyxBundle("baryon_density", SmallScale());
+  Fxrz fxrz(MakeCompressor("sz"));
+  const TrainingBreakdown breakdown = Fxrz(MakeCompressor("sz")).Train(
+      Pointers(bundle.train));  // breakdown sanity on a throwaway instance
+  EXPECT_GT(breakdown.compressor_runs, 0u);
+  EXPECT_GT(breakdown.training_rows, 0u);
+
+  fxrz.Train(Pointers(bundle.train));
+  const Tensor& test = bundle.test[0].data;
+
+  double total_err = 0.0;
+  int n = 0;
+  for (double tcr : {10.0, 30.0, 60.0, 100.0}) {
+    const auto result = fxrz.CompressToRatio(test, tcr);
+    total_err += EstimationError(tcr, result.measured_ratio);
+    ++n;
+  }
+  // Paper reports ~8% average estimation error; allow generous slack for
+  // the small synthetic setup.
+  EXPECT_LT(total_err / n, 0.40);
+}
+
+TEST(FxrzEndToEndTest, HurricaneTcZfpCapabilityLevel1) {
+  const TrainTestBundle bundle = MakeHurricaneBundle("TC", SmallScale());
+  Fxrz fxrz(MakeCompressor("zfp"));
+  fxrz.Train(Pointers(bundle.train));
+  const Tensor& test = bundle.test[0].data;
+
+  // Targets must lie within the compressor's achievable ratio range (the
+  // paper's "valid compression ratio range", Sec. V-C): ZFP cannot reach
+  // the high ratios SZ can.
+  double total_err = 0.0;
+  int n = 0;
+  for (double tcr : fxrz.model().ValidTargetRatios(4, 0.15)) {
+    const auto result = fxrz.CompressToRatio(test, tcr);
+    total_err += EstimationError(tcr, result.measured_ratio);
+    ++n;
+  }
+  EXPECT_LT(total_err / n, 0.5);  // ZFP's stairwise curve limits accuracy
+}
+
+TEST(FxrzEndToEndTest, FpzipIntegerConfigSpace) {
+  const TrainTestBundle bundle = MakeQmcpackBundle(0, SmallScale());
+  Fxrz fxrz(MakeCompressor("fpzip"));
+  fxrz.Train(Pointers(bundle.train));
+  const Tensor& test = bundle.test[0].data;
+
+  const auto est = fxrz.EstimateConfig(test, 4.0);
+  // Precision must come back as an integer within the knob range.
+  EXPECT_EQ(est.config, std::round(est.config));
+  EXPECT_GE(est.config, 4.0);
+  EXPECT_LE(est.config, 32.0);
+}
+
+TEST(FxrzEndToEndTest, AnalysisIsCompressionFree) {
+  // The estimate must be far cheaper than one compression (Table VIII's
+  // headline). We compare analysis time against compression time.
+  const TrainTestBundle bundle = MakeNyxBundle("temperature", SmallScale());
+  Fxrz fxrz(MakeCompressor("sz"));
+  fxrz.Train(Pointers(bundle.train));
+  const Tensor& test = bundle.test[0].data;
+
+  const auto result = fxrz.CompressToRatio(test, 40.0);
+  EXPECT_LT(result.analysis_seconds, result.compress_seconds * 2.0)
+      << "analysis should not dwarf compression";
+}
+
+TEST(FrazBaselineTest, FindsAccurateConfigWithManyIterations) {
+  const TrainTestBundle bundle = MakeNyxBundle("baryon_density", SmallScale());
+  const auto sz = MakeCompressor("sz");
+  const Tensor& test = bundle.test[0].data;
+
+  FrazOptions opts;
+  opts.total_max_iterations = 15;
+  const FrazResult result = FrazSearch(*sz, test, 50.0, opts);
+  EXPECT_GT(result.compressor_runs, 0);
+  EXPECT_LE(result.compressor_runs, 15);
+  EXPECT_LT(EstimationError(50.0, result.achieved_ratio), 0.35);
+}
+
+TEST(FrazBaselineTest, MoreIterationsNoWorse) {
+  const TrainTestBundle bundle = MakeRtmBundle(SmallScale());
+  const auto sz = MakeCompressor("sz");
+  const Tensor& test = bundle.test[0].data;
+
+  FrazOptions few;
+  few.total_max_iterations = 6;
+  few.tolerance = 1e-4;
+  FrazOptions many;
+  many.total_max_iterations = 15;
+  many.tolerance = 1e-4;
+  const double err6 =
+      EstimationError(80.0, FrazSearch(*sz, test, 80.0, few).achieved_ratio);
+  const double err15 =
+      EstimationError(80.0, FrazSearch(*sz, test, 80.0, many).achieved_ratio);
+  EXPECT_LE(err15, err6 + 1e-9);
+}
+
+TEST(FrazBaselineTest, CostScalesWithIterations) {
+  const TrainTestBundle bundle = MakeNyxBundle("velocity_x", SmallScale());
+  const auto mgard = MakeCompressor("mgard");
+  const Tensor& test = bundle.test[0].data;
+
+  FrazOptions opts;
+  opts.total_max_iterations = 9;
+  opts.tolerance = 0.0;  // disable early exit
+  const FrazResult result = FrazSearch(*mgard, test, 25.0, opts);
+  EXPECT_EQ(result.compressor_runs, 9);
+}
+
+TEST(FxrzModelPersistenceTest, SaveLoadRoundTrip) {
+  const TrainTestBundle bundle = MakeNyxBundle("baryon_density", SmallScale());
+  Fxrz fxrz(MakeCompressor("sz"));
+  fxrz.Train(Pointers(bundle.train));
+  const Tensor& test = bundle.test[0].data;
+  const double before = fxrz.model().EstimateConfig(test, 50.0);
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(fxrz.model().SaveToBytes(&bytes).ok());
+  FxrzModel restored;
+  ASSERT_TRUE(restored.LoadFromBytes(bytes.data(), bytes.size()).ok());
+  EXPECT_DOUBLE_EQ(restored.EstimateConfig(test, 50.0), before);
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,127 @@
+#include "src/ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace fxrz {
+namespace {
+
+TEST(DecisionTreeTest, FitsConstantTarget) {
+  DecisionTreeRegressor tree;
+  tree.Fit({{0.0}, {1.0}, {2.0}}, {5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(tree.Predict({0.5}), 5.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({99.0}), 5.0);
+}
+
+TEST(DecisionTreeTest, LearnsStepFunction) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 50 ? 1.0 : 2.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.Fit(x, y);
+  EXPECT_DOUBLE_EQ(tree.Predict({10.0}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({90.0}), 2.0);
+}
+
+TEST(DecisionTreeTest, ApproximatesSmoothFunction) {
+  Rng rng(31);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(0, 10);
+    x.push_back({v});
+    y.push_back(std::sin(v));
+  }
+  DecisionTreeParams p;
+  p.max_depth = 10;
+  DecisionTreeRegressor tree(p);
+  tree.Fit(x, y);
+  double max_err = 0.0;
+  for (double v = 0.5; v < 9.5; v += 0.25) {
+    max_err = std::max(max_err, std::fabs(tree.Predict({v}) - std::sin(v)));
+  }
+  EXPECT_LT(max_err, 0.2);
+}
+
+TEST(DecisionTreeTest, UsesInformativeFeatureAmongNoise) {
+  Rng rng(32);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double informative = rng.Uniform(0, 1);
+    x.push_back({rng.NextGaussian(), informative, rng.NextGaussian()});
+    y.push_back(informative > 0.5 ? 10.0 : -10.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.Fit(x, y);
+  EXPECT_NEAR(tree.Predict({0.0, 0.9, 0.0}), 10.0, 1.0);
+  EXPECT_NEAR(tree.Predict({0.0, 0.1, 0.0}), -10.0, 1.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthZeroGivesSingleLeaf) {
+  DecisionTreeParams p;
+  p.max_depth = 0;
+  DecisionTreeRegressor tree(p);
+  tree.Fit({{0.0}, {1.0}}, {0.0, 10.0});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({0.0}), 5.0);
+}
+
+TEST(DecisionTreeTest, WeightedFitFavorsHeavySamples) {
+  // Same x, conflicting y; weights decide the leaf value.
+  DecisionTreeParams p;
+  p.max_depth = 0;
+  DecisionTreeRegressor tree(p);
+  tree.FitWeighted({{0.0}, {0.0}}, {0.0, 10.0}, {1.0, 9.0});
+  EXPECT_DOUBLE_EQ(tree.Predict({0.0}), 9.0);
+}
+
+TEST(DecisionTreeTest, SerializeDeserializeRoundTrip) {
+  Rng rng(33);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    y.push_back(x.back()[0] * 3 + x.back()[1]);
+  }
+  DecisionTreeRegressor tree;
+  tree.Fit(x, y);
+
+  std::vector<uint8_t> bytes;
+  tree.Serialize(&bytes);
+  DecisionTreeRegressor restored;
+  ASSERT_EQ(restored.Deserialize(bytes.data(), bytes.size()), bytes.size());
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> q = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    EXPECT_DOUBLE_EQ(tree.Predict(q), restored.Predict(q));
+  }
+}
+
+TEST(DecisionTreeTest, DeserializeRejectsTruncation) {
+  DecisionTreeRegressor tree;
+  tree.Fit({{0.0}, {1.0}, {2.0}, {3.0}}, {0, 1, 2, 3});
+  std::vector<uint8_t> bytes;
+  tree.Serialize(&bytes);
+  DecisionTreeRegressor restored;
+  EXPECT_EQ(restored.Deserialize(bytes.data(), bytes.size() / 2), 0u);
+}
+
+TEST(DecisionTreeDeathTest, PredictBeforeFit) {
+  DecisionTreeRegressor tree;
+  EXPECT_DEATH(tree.Predict({1.0}), "");
+}
+
+TEST(DecisionTreeDeathTest, MismatchedSizes) {
+  DecisionTreeRegressor tree;
+  EXPECT_DEATH(tree.Fit({{1.0}, {2.0}}, {1.0}), "");
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,90 @@
+#include "src/parallel/event_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace fxrz {
+namespace {
+
+IoModelOptions Opts(double bandwidth) {
+  IoModelOptions o;
+  o.aggregate_bandwidth_bytes_per_sec = bandwidth;
+  o.per_dump_latency_sec = 0.0;
+  return o;
+}
+
+TEST(EventIoTest, SingleFlowMatchesAnalyticalModel) {
+  const DumpTiming t =
+      SimulateDumpEventDriven({{0.5, 0.5, 1'000'000}}, Opts(1e6));
+  EXPECT_NEAR(t.total_seconds, 2.0, 1e-9);  // 1s compute + 1s transfer
+  EXPECT_NEAR(t.compute_seconds, 1.0, 1e-9);
+}
+
+TEST(EventIoTest, SimultaneousFlowsShareBandwidth) {
+  // Two equal flows arriving together at 1 MB each on a 1 MB/s pipe: both
+  // finish at t = 2s (processor sharing), same as sequential total.
+  const DumpTiming t = SimulateDumpEventDriven(
+      {{0.0, 0.0, 1'000'000}, {0.0, 0.0, 1'000'000}}, Opts(1e6));
+  EXPECT_NEAR(t.total_seconds, 2.0, 1e-6);
+}
+
+TEST(EventIoTest, StaggeredComputeOverlapsIo) {
+  // Rank A finishes compute at t=0 and writes 1 MB; rank B computes until
+  // t=1. A's transfer fully overlaps B's compute, so the dump ends at
+  // t=2 (B's 1 MB after t=1), not 3.
+  const DumpTiming t = SimulateDumpEventDriven(
+      {{0.0, 0.0, 1'000'000}, {0.0, 1.0, 1'000'000}}, Opts(1e6));
+  EXPECT_NEAR(t.total_seconds, 2.0, 1e-6);
+}
+
+TEST(EventIoTest, NeverFasterThanAggregateBandwidth) {
+  Rng rng(71);
+  std::vector<RankTiming> ranks;
+  size_t total_bytes = 0;
+  for (int i = 0; i < 50; ++i) {
+    RankTiming r;
+    r.analysis_seconds = rng.Uniform(0, 0.01);
+    r.compress_seconds = rng.Uniform(0, 0.05);
+    r.compressed_bytes = 10'000 + rng.NextBelow(100'000);
+    total_bytes += r.compressed_bytes;
+    ranks.push_back(r);
+  }
+  const double bandwidth = 1e6;
+  const DumpTiming t = SimulateDumpEventDriven(ranks, Opts(bandwidth));
+  EXPECT_GE(t.total_seconds, static_cast<double>(total_bytes) / bandwidth);
+}
+
+TEST(EventIoTest, NeverSlowerThanSerializedModel) {
+  // Overlapping compute with I/O can only improve on the two-phase model.
+  Rng rng(72);
+  std::vector<RankTiming> ranks;
+  for (int i = 0; i < 40; ++i) {
+    RankTiming r;
+    r.analysis_seconds = rng.Uniform(0, 0.2);
+    r.compress_seconds = rng.Uniform(0, 0.2);
+    r.compressed_bytes = 1'000 + rng.NextBelow(1'000'000);
+    ranks.push_back(r);
+  }
+  const IoModelOptions opts = Opts(2e6);
+  const DumpTiming event = SimulateDumpEventDriven(ranks, opts);
+  const DumpTiming phased = SimulateDump(ranks, opts);
+  EXPECT_LE(event.total_seconds, phased.total_seconds + 1e-9);
+}
+
+TEST(EventIoTest, SkewedComputeBenefitsMostFromOverlap) {
+  // One straggler computing for 10s while everyone else's bytes drain:
+  // event-driven total ~ 10s + straggler bytes; phased total ~ 10s + all
+  // bytes.
+  std::vector<RankTiming> ranks;
+  for (int i = 0; i < 9; ++i) ranks.push_back({0.0, 0.1, 2'000'000});
+  ranks.push_back({0.0, 10.0, 2'000'000});
+  const IoModelOptions opts = Opts(2e6);
+  const DumpTiming event = SimulateDumpEventDriven(ranks, opts);
+  const DumpTiming phased = SimulateDump(ranks, opts);
+  EXPECT_NEAR(event.total_seconds, 11.0, 0.1);   // 10s + 1s own transfer
+  EXPECT_NEAR(phased.total_seconds, 20.0, 0.1);  // 10s + 10s drain
+}
+
+}  // namespace
+}  // namespace fxrz

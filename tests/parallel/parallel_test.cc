@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/compressors/compressor.h"
+#include "src/core/pipeline.h"
+#include "src/data/generators/grf.h"
+#include "src/parallel/dump.h"
+#include "src/parallel/io_model.h"
+
+namespace fxrz {
+namespace {
+
+TEST(IoModelTest, SingleRank) {
+  IoModelOptions opts;
+  opts.aggregate_bandwidth_bytes_per_sec = 1e6;
+  opts.per_dump_latency_sec = 0.0;
+  const DumpTiming t = SimulateDump({{0.5, 1.0, 2'000'000}}, opts);
+  EXPECT_DOUBLE_EQ(t.compute_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(t.io_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(t.total_seconds, 3.5);
+  EXPECT_EQ(t.total_bytes, 2'000'000u);
+}
+
+TEST(IoModelTest, ComputeIsMaxIoIsSum) {
+  IoModelOptions opts;
+  opts.aggregate_bandwidth_bytes_per_sec = 1e6;
+  opts.per_dump_latency_sec = 0.0;
+  const DumpTiming t = SimulateDump(
+      {{0.1, 0.2, 500'000}, {0.3, 0.9, 500'000}, {0.0, 0.1, 1'000'000}},
+      opts);
+  EXPECT_DOUBLE_EQ(t.compute_seconds, 1.2);  // max(0.3, 1.2, 0.1)
+  EXPECT_DOUBLE_EQ(t.io_seconds, 2.0);       // 2 MB / 1 MB/s
+}
+
+TEST(IoModelTest, MoreRanksMoreIoTime) {
+  IoModelOptions opts;
+  std::vector<RankTiming> few(8, {0.01, 0.02, 1 << 20});
+  std::vector<RankTiming> many(64, {0.01, 0.02, 1 << 20});
+  EXPECT_GT(SimulateDump(many, opts).io_seconds,
+            SimulateDump(few, opts).io_seconds);
+}
+
+class DumpExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (uint64_t s : {1, 2, 3, 4, 5, 6}) {
+      fields_.push_back(GaussianRandomField3D(16, 16, 16, 3.0, s));
+    }
+    for (size_t i = 0; i < 4; ++i) train_.push_back(&fields_[i]);
+    variants_ = {&fields_[4], &fields_[5]};
+  }
+
+  std::vector<Tensor> fields_;
+  std::vector<const Tensor*> train_;
+  std::vector<const Tensor*> variants_;
+};
+
+TEST_F(DumpExperimentTest, FxrzBeatsFrazEndToEnd) {
+  Fxrz fxrz(MakeCompressor("sz"));
+  fxrz.Train(train_);
+
+  DumpExperimentOptions opts;
+  opts.num_ranks = 128;
+  opts.target_ratio = 20.0;
+  opts.measure_threads = 2;
+  ParallelDumpExperiment experiment(&fxrz.compressor(), opts);
+
+  const DumpMethodResult fx = experiment.RunFxrz(fxrz.model(), variants_);
+  FrazOptions fraz;
+  fraz.total_max_iterations = 15;
+  fraz.tolerance = 0.0;  // no early exit: full search cost
+  const DumpMethodResult fr = experiment.RunFraz(fraz, variants_);
+
+  // FRaZ's per-rank analysis runs the compressor ~15x; FXRZ's does not.
+  EXPECT_LT(fx.mean_analysis_seconds, fr.mean_analysis_seconds);
+  EXPECT_LT(fx.timing.total_seconds, fr.timing.total_seconds);
+  // Both dump roughly the target ratio.
+  EXPECT_GT(fx.mean_achieved_ratio, 5.0);
+  EXPECT_GT(fr.mean_achieved_ratio, 5.0);
+}
+
+TEST_F(DumpExperimentTest, RankCountScalesIoNotCompute) {
+  Fxrz fxrz(MakeCompressor("zfp"));
+  fxrz.Train(train_);
+
+  DumpExperimentOptions small;
+  small.num_ranks = 8;
+  small.target_ratio = 8.0;
+  small.measure_threads = 2;
+  small.io.per_dump_latency_sec = 0.0;  // isolate the bandwidth term
+  small.io.aggregate_bandwidth_bytes_per_sec = 1e6;
+  DumpExperimentOptions large = small;
+  large.num_ranks = 512;
+
+  const DumpMethodResult a =
+      ParallelDumpExperiment(&fxrz.compressor(), small)
+          .RunFxrz(fxrz.model(), variants_);
+  const DumpMethodResult b =
+      ParallelDumpExperiment(&fxrz.compressor(), large)
+          .RunFxrz(fxrz.model(), variants_);
+  EXPECT_NEAR(b.timing.io_seconds / a.timing.io_seconds, 64.0, 10.0);
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,130 @@
+#include "src/store/field_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "src/data/generators/grf.h"
+#include "src/data/statistics.h"
+
+namespace fxrz {
+namespace {
+
+class FieldStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (uint64_t s : {401, 402, 403, 404}) {
+      fields_.push_back(GaussianRandomField3D(16, 16, 16, 3.0, s));
+    }
+    std::vector<const Tensor*> train;
+    for (size_t i = 0; i < 3; ++i) train.push_back(&fields_[i]);
+    const auto sz = MakeCompressor("sz");
+    model_.Train(*sz, train);
+  }
+
+  std::vector<Tensor> fields_;
+  FxrzModel model_;
+};
+
+TEST_F(FieldStoreTest, FixedConfigRoundTrip) {
+  FieldStoreWriter writer("sz", nullptr);
+  const auto sz = MakeCompressor("sz");
+  const double eb = sz->config_space(fields_[3]).min * 100;
+  ASSERT_TRUE(writer.AddFieldFixedConfig("density", fields_[3], eb).ok());
+
+  FieldStoreReader reader;
+  ASSERT_TRUE(reader.FromBytes(writer.Serialize()).ok());
+  ASSERT_EQ(reader.entries().size(), 1u);
+  EXPECT_EQ(reader.entries()[0].name, "density");
+  EXPECT_EQ(reader.entries()[0].compressor, "sz");
+
+  Tensor restored;
+  ASSERT_TRUE(reader.ReadField("density", &restored).ok());
+  EXPECT_EQ(restored.dims(), fields_[3].dims());
+  EXPECT_LE(ComputeDistortion(fields_[3], restored).max_abs_error, eb * 1.001);
+}
+
+TEST_F(FieldStoreTest, FixedRatioUsesModel) {
+  FieldStoreWriter writer("sz", &model_);
+  ASSERT_TRUE(writer.AddFieldFixedRatio("f0", fields_[3], 20.0).ok());
+  const FieldEntry& e = writer.entries()[0];
+  EXPECT_EQ(e.target_ratio, 20.0);
+  EXPECT_GT(e.config, 0.0);
+  // Achieved ratio lands in the target's neighborhood.
+  EXPECT_GT(e.achieved_ratio, 20.0 * 0.4);
+  EXPECT_LT(e.achieved_ratio, 20.0 * 2.5);
+}
+
+TEST_F(FieldStoreTest, FixedRatioWithoutModelFails) {
+  FieldStoreWriter writer("sz", nullptr);
+  EXPECT_FALSE(writer.AddFieldFixedRatio("x", fields_[0], 10.0).ok());
+}
+
+TEST_F(FieldStoreTest, DuplicateNamesRejected) {
+  FieldStoreWriter writer("sz", &model_);
+  ASSERT_TRUE(writer.AddFieldFixedRatio("a", fields_[0], 10.0).ok());
+  EXPECT_FALSE(writer.AddFieldFixedRatio("a", fields_[1], 10.0).ok());
+}
+
+TEST_F(FieldStoreTest, MultipleFieldsIndependentlyReadable) {
+  FieldStoreWriter writer("zfp", nullptr);
+  const auto zfp = MakeCompressor("zfp");
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const double eb = zfp->config_space(fields_[i]).min * 50;
+    ASSERT_TRUE(writer
+                    .AddFieldFixedConfig("field" + std::to_string(i),
+                                         fields_[i], eb)
+                    .ok());
+  }
+  FieldStoreReader reader;
+  ASSERT_TRUE(reader.FromBytes(writer.Serialize()).ok());
+  ASSERT_EQ(reader.entries().size(), 4u);
+  // Read out of order.
+  for (size_t i = fields_.size(); i-- > 0;) {
+    Tensor t;
+    ASSERT_TRUE(reader.ReadField("field" + std::to_string(i), &t).ok());
+    EXPECT_EQ(t.dims(), fields_[i].dims());
+  }
+}
+
+TEST_F(FieldStoreTest, MissingFieldIsNotFound) {
+  FieldStoreWriter writer("sz", &model_);
+  ASSERT_TRUE(writer.AddFieldFixedRatio("a", fields_[0], 10.0).ok());
+  FieldStoreReader reader;
+  ASSERT_TRUE(reader.FromBytes(writer.Serialize()).ok());
+  Tensor t;
+  EXPECT_EQ(reader.ReadField("zzz", &t).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FieldStoreTest, CorruptArchiveRejected) {
+  FieldStoreWriter writer("sz", &model_);
+  ASSERT_TRUE(writer.AddFieldFixedRatio("a", fields_[0], 10.0).ok());
+  std::vector<uint8_t> bytes = writer.Serialize();
+
+  FieldStoreReader reader;
+  std::vector<uint8_t> bad = bytes;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(reader.FromBytes(bad).ok());
+
+  bad = bytes;
+  bad.resize(bad.size() / 2);  // truncated payload
+  EXPECT_FALSE(reader.FromBytes(bad).ok());
+}
+
+TEST_F(FieldStoreTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/store_test.fxst";
+  FieldStoreWriter writer("sz", &model_);
+  ASSERT_TRUE(writer.AddFieldFixedRatio("a", fields_[0], 15.0).ok());
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+
+  FieldStoreReader reader;
+  ASSERT_TRUE(reader.OpenFile(path).ok());
+  Tensor t;
+  ASSERT_TRUE(reader.ReadField("a", &t).ok());
+  EXPECT_EQ(t.dims(), fields_[0].dims());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fxrz

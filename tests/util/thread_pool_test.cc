@@ -1,0 +1,75 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace fxrz {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitMoreWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(1); });
+  });
+  // Two Waits: the nested task may be enqueued after the first Wait
+  // observes zero in-flight.
+  pool.Wait();
+  pool.Wait();
+  EXPECT_GE(counter.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 0, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 5, 5, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelForTest, SingleElementRange) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  ParallelFor(&pool, 7, 8, [&](size_t i) {
+    EXPECT_EQ(i, 7u);
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+}  // namespace
+}  // namespace fxrz
