@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stationary_points.dir/ablation_stationary_points.cc.o"
+  "CMakeFiles/ablation_stationary_points.dir/ablation_stationary_points.cc.o.d"
+  "ablation_stationary_points"
+  "ablation_stationary_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stationary_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sz3.dir/ablation_sz3.cc.o"
+  "CMakeFiles/ablation_sz3.dir/ablation_sz3.cc.o.d"
+  "ablation_sz3"
+  "ablation_sz3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sz3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_interpolation.dir/fig02_interpolation.cc.o"
+  "CMakeFiles/fig02_interpolation.dir/fig02_interpolation.cc.o.d"
+  "fig02_interpolation"
+  "fig02_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

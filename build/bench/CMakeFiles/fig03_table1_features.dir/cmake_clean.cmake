@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_table1_features.dir/fig03_table1_features.cc.o"
+  "CMakeFiles/fig03_table1_features.dir/fig03_table1_features.cc.o.d"
+  "fig03_table1_features"
+  "fig03_table1_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_table1_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_table1_features.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_wave_texture.dir/fig04_wave_texture.cc.o"
+  "CMakeFiles/fig04_wave_texture.dir/fig04_wave_texture.cc.o.d"
+  "fig04_wave_texture"
+  "fig04_wave_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_wave_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ca.dir/fig07_ca.cc.o"
+  "CMakeFiles/fig07_ca.dir/fig07_ca.cc.o.d"
+  "fig07_ca"
+  "fig07_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

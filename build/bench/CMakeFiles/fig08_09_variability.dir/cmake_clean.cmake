@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_variability.dir/fig08_09_variability.cc.o"
+  "CMakeFiles/fig08_09_variability.dir/fig08_09_variability.cc.o.d"
+  "fig08_09_variability"
+  "fig08_09_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

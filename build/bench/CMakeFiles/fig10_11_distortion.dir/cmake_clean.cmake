@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_distortion.dir/fig10_11_distortion.cc.o"
+  "CMakeFiles/fig10_11_distortion.dir/fig10_11_distortion.cc.o.d"
+  "fig10_11_distortion"
+  "fig10_11_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

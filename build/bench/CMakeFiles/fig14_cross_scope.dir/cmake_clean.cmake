@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cross_scope.dir/fig14_cross_scope.cc.o"
+  "CMakeFiles/fig14_cross_scope.dir/fig14_cross_scope.cc.o.d"
+  "fig14_cross_scope"
+  "fig14_cross_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cross_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

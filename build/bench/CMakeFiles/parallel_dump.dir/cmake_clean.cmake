@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_dump.dir/parallel_dump.cc.o"
+  "CMakeFiles/parallel_dump.dir/parallel_dump.cc.o.d"
+  "parallel_dump"
+  "parallel_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

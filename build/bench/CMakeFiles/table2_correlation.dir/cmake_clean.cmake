@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_correlation.dir/table2_correlation.cc.o"
+  "CMakeFiles/table2_correlation.dir/table2_correlation.cc.o.d"
+  "table2_correlation"
+  "table2_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

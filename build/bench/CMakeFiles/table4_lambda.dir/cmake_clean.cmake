@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_lambda.dir/table4_lambda.cc.o"
+  "CMakeFiles/table4_lambda.dir/table4_lambda.cc.o.d"
+  "table4_lambda"
+  "table4_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

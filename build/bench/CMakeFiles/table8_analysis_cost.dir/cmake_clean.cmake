@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_analysis_cost.dir/table8_analysis_cost.cc.o"
+  "CMakeFiles/table8_analysis_cost.dir/table8_analysis_cost.cc.o.d"
+  "table8_analysis_cost"
+  "table8_analysis_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_analysis_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

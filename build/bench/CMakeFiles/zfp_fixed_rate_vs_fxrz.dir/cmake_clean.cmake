@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zfp_fixed_rate_vs_fxrz.dir/zfp_fixed_rate_vs_fxrz.cc.o"
+  "CMakeFiles/zfp_fixed_rate_vs_fxrz.dir/zfp_fixed_rate_vs_fxrz.cc.o.d"
+  "zfp_fixed_rate_vs_fxrz"
+  "zfp_fixed_rate_vs_fxrz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zfp_fixed_rate_vs_fxrz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

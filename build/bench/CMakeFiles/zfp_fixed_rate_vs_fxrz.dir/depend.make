@@ -1,0 +1,2 @@
+# Empty dependencies file for zfp_fixed_rate_vs_fxrz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fixed_ratio_archiver.dir/fixed_ratio_archiver.cpp.o"
+  "CMakeFiles/example_fixed_ratio_archiver.dir/fixed_ratio_archiver.cpp.o.d"
+  "example_fixed_ratio_archiver"
+  "example_fixed_ratio_archiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fixed_ratio_archiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fixed_ratio_archiver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fxrz_cli.dir/fxrz_cli.cpp.o"
+  "CMakeFiles/example_fxrz_cli.dir/fxrz_cli.cpp.o.d"
+  "example_fxrz_cli"
+  "example_fxrz_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fxrz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

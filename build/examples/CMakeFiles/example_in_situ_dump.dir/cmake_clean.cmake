@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_in_situ_dump.dir/in_situ_dump.cpp.o"
+  "CMakeFiles/example_in_situ_dump.dir/in_situ_dump.cpp.o.d"
+  "example_in_situ_dump"
+  "example_in_situ_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_in_situ_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_in_situ_dump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rate_distortion_explorer.dir/rate_distortion_explorer.cpp.o"
+  "CMakeFiles/example_rate_distortion_explorer.dir/rate_distortion_explorer.cpp.o.d"
+  "example_rate_distortion_explorer"
+  "example_rate_distortion_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rate_distortion_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_rate_distortion_explorer.
+# This may be replaced when dependencies are built.

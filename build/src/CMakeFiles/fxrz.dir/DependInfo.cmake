@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compressors/chunked.cc" "src/CMakeFiles/fxrz.dir/compressors/chunked.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/chunked.cc.o.d"
+  "/root/repo/src/compressors/compressor.cc" "src/CMakeFiles/fxrz.dir/compressors/compressor.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/compressor.cc.o.d"
+  "/root/repo/src/compressors/fpzip.cc" "src/CMakeFiles/fxrz.dir/compressors/fpzip.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/fpzip.cc.o.d"
+  "/root/repo/src/compressors/mgard.cc" "src/CMakeFiles/fxrz.dir/compressors/mgard.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/mgard.cc.o.d"
+  "/root/repo/src/compressors/psnr.cc" "src/CMakeFiles/fxrz.dir/compressors/psnr.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/psnr.cc.o.d"
+  "/root/repo/src/compressors/relative.cc" "src/CMakeFiles/fxrz.dir/compressors/relative.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/relative.cc.o.d"
+  "/root/repo/src/compressors/sz.cc" "src/CMakeFiles/fxrz.dir/compressors/sz.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/sz.cc.o.d"
+  "/root/repo/src/compressors/sz3.cc" "src/CMakeFiles/fxrz.dir/compressors/sz3.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/sz3.cc.o.d"
+  "/root/repo/src/compressors/zfp.cc" "src/CMakeFiles/fxrz.dir/compressors/zfp.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/zfp.cc.o.d"
+  "/root/repo/src/core/augmentation.cc" "src/CMakeFiles/fxrz.dir/core/augmentation.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/augmentation.cc.o.d"
+  "/root/repo/src/core/budget.cc" "src/CMakeFiles/fxrz.dir/core/budget.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/budget.cc.o.d"
+  "/root/repo/src/core/compressibility.cc" "src/CMakeFiles/fxrz.dir/core/compressibility.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/compressibility.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/CMakeFiles/fxrz.dir/core/drift.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/drift.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/CMakeFiles/fxrz.dir/core/features.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/features.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/fxrz.dir/core/model.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/model.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/fxrz.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/CMakeFiles/fxrz.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/selector.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/CMakeFiles/fxrz.dir/core/verify.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/verify.cc.o.d"
+  "/root/repo/src/data/bricks.cc" "src/CMakeFiles/fxrz.dir/data/bricks.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/bricks.cc.o.d"
+  "/root/repo/src/data/fft.cc" "src/CMakeFiles/fxrz.dir/data/fft.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/fft.cc.o.d"
+  "/root/repo/src/data/generators/catalog.cc" "src/CMakeFiles/fxrz.dir/data/generators/catalog.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/generators/catalog.cc.o.d"
+  "/root/repo/src/data/generators/grf.cc" "src/CMakeFiles/fxrz.dir/data/generators/grf.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/generators/grf.cc.o.d"
+  "/root/repo/src/data/generators/hurricane.cc" "src/CMakeFiles/fxrz.dir/data/generators/hurricane.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/generators/hurricane.cc.o.d"
+  "/root/repo/src/data/generators/nyx.cc" "src/CMakeFiles/fxrz.dir/data/generators/nyx.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/generators/nyx.cc.o.d"
+  "/root/repo/src/data/generators/qmcpack.cc" "src/CMakeFiles/fxrz.dir/data/generators/qmcpack.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/generators/qmcpack.cc.o.d"
+  "/root/repo/src/data/generators/rtm.cc" "src/CMakeFiles/fxrz.dir/data/generators/rtm.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/generators/rtm.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/CMakeFiles/fxrz.dir/data/sampling.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/sampling.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/CMakeFiles/fxrz.dir/data/statistics.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/statistics.cc.o.d"
+  "/root/repo/src/data/tensor.cc" "src/CMakeFiles/fxrz.dir/data/tensor.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/tensor.cc.o.d"
+  "/root/repo/src/data/tensor_io.cc" "src/CMakeFiles/fxrz.dir/data/tensor_io.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/data/tensor_io.cc.o.d"
+  "/root/repo/src/encoding/arith.cc" "src/CMakeFiles/fxrz.dir/encoding/arith.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/encoding/arith.cc.o.d"
+  "/root/repo/src/encoding/bit_stream.cc" "src/CMakeFiles/fxrz.dir/encoding/bit_stream.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/encoding/bit_stream.cc.o.d"
+  "/root/repo/src/encoding/huffman.cc" "src/CMakeFiles/fxrz.dir/encoding/huffman.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/encoding/huffman.cc.o.d"
+  "/root/repo/src/encoding/zlite.cc" "src/CMakeFiles/fxrz.dir/encoding/zlite.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/encoding/zlite.cc.o.d"
+  "/root/repo/src/fraz/fraz.cc" "src/CMakeFiles/fxrz.dir/fraz/fraz.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/fraz/fraz.cc.o.d"
+  "/root/repo/src/ml/adaboost.cc" "src/CMakeFiles/fxrz.dir/ml/adaboost.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/ml/adaboost.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/CMakeFiles/fxrz.dir/ml/cross_validation.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/ml/cross_validation.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/fxrz.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/fxrz.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/fxrz.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/CMakeFiles/fxrz.dir/ml/svr.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/ml/svr.cc.o.d"
+  "/root/repo/src/parallel/dump.cc" "src/CMakeFiles/fxrz.dir/parallel/dump.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/parallel/dump.cc.o.d"
+  "/root/repo/src/parallel/event_io.cc" "src/CMakeFiles/fxrz.dir/parallel/event_io.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/parallel/event_io.cc.o.d"
+  "/root/repo/src/parallel/io_model.cc" "src/CMakeFiles/fxrz.dir/parallel/io_model.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/parallel/io_model.cc.o.d"
+  "/root/repo/src/store/field_store.cc" "src/CMakeFiles/fxrz.dir/store/field_store.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/store/field_store.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/fxrz.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

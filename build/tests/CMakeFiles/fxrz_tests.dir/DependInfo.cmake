@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compressors/chunked_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/chunked_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/chunked_test.cc.o.d"
+  "/root/repo/tests/compressors/corruption_fuzz_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/corruption_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/corruption_fuzz_test.cc.o.d"
+  "/root/repo/tests/compressors/fpzip_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/fpzip_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/fpzip_test.cc.o.d"
+  "/root/repo/tests/compressors/mgard_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/mgard_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/mgard_test.cc.o.d"
+  "/root/repo/tests/compressors/relative_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/relative_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/relative_test.cc.o.d"
+  "/root/repo/tests/compressors/roundtrip_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/roundtrip_test.cc.o.d"
+  "/root/repo/tests/compressors/sz3_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz3_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz3_test.cc.o.d"
+  "/root/repo/tests/compressors/sz_regression_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz_regression_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz_regression_test.cc.o.d"
+  "/root/repo/tests/compressors/zfp_modes_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/zfp_modes_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/zfp_modes_test.cc.o.d"
+  "/root/repo/tests/core/augmentation_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/augmentation_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/augmentation_test.cc.o.d"
+  "/root/repo/tests/core/budget_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/budget_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/budget_test.cc.o.d"
+  "/root/repo/tests/core/compressibility_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/compressibility_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/compressibility_test.cc.o.d"
+  "/root/repo/tests/core/drift_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/drift_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/drift_test.cc.o.d"
+  "/root/repo/tests/core/features_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/features_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/features_test.cc.o.d"
+  "/root/repo/tests/core/model_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/model_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/model_test.cc.o.d"
+  "/root/repo/tests/core/quality_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/quality_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/quality_test.cc.o.d"
+  "/root/repo/tests/core/refinement_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/refinement_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/refinement_test.cc.o.d"
+  "/root/repo/tests/core/selector_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/selector_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/selector_test.cc.o.d"
+  "/root/repo/tests/core/verify_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/verify_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/verify_test.cc.o.d"
+  "/root/repo/tests/data/bricks_test.cc" "tests/CMakeFiles/fxrz_tests.dir/data/bricks_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/data/bricks_test.cc.o.d"
+  "/root/repo/tests/data/fft_test.cc" "tests/CMakeFiles/fxrz_tests.dir/data/fft_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/data/fft_test.cc.o.d"
+  "/root/repo/tests/data/generators_test.cc" "tests/CMakeFiles/fxrz_tests.dir/data/generators_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/data/generators_test.cc.o.d"
+  "/root/repo/tests/data/sampling_test.cc" "tests/CMakeFiles/fxrz_tests.dir/data/sampling_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/data/sampling_test.cc.o.d"
+  "/root/repo/tests/data/statistics_test.cc" "tests/CMakeFiles/fxrz_tests.dir/data/statistics_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/data/statistics_test.cc.o.d"
+  "/root/repo/tests/data/tensor_io_test.cc" "tests/CMakeFiles/fxrz_tests.dir/data/tensor_io_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/data/tensor_io_test.cc.o.d"
+  "/root/repo/tests/data/tensor_test.cc" "tests/CMakeFiles/fxrz_tests.dir/data/tensor_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/data/tensor_test.cc.o.d"
+  "/root/repo/tests/encoding/arith_test.cc" "tests/CMakeFiles/fxrz_tests.dir/encoding/arith_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/encoding/arith_test.cc.o.d"
+  "/root/repo/tests/encoding/bit_stream_test.cc" "tests/CMakeFiles/fxrz_tests.dir/encoding/bit_stream_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/encoding/bit_stream_test.cc.o.d"
+  "/root/repo/tests/encoding/huffman_test.cc" "tests/CMakeFiles/fxrz_tests.dir/encoding/huffman_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/encoding/huffman_test.cc.o.d"
+  "/root/repo/tests/encoding/zlite_test.cc" "tests/CMakeFiles/fxrz_tests.dir/encoding/zlite_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/encoding/zlite_test.cc.o.d"
+  "/root/repo/tests/fraz/fraz_test.cc" "tests/CMakeFiles/fxrz_tests.dir/fraz/fraz_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/fraz/fraz_test.cc.o.d"
+  "/root/repo/tests/integration/fxrz_end_to_end_test.cc" "tests/CMakeFiles/fxrz_tests.dir/integration/fxrz_end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/integration/fxrz_end_to_end_test.cc.o.d"
+  "/root/repo/tests/ml/cross_validation_test.cc" "tests/CMakeFiles/fxrz_tests.dir/ml/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/ml/cross_validation_test.cc.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cc" "tests/CMakeFiles/fxrz_tests.dir/ml/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/ml/decision_tree_test.cc.o.d"
+  "/root/repo/tests/ml/regressors_test.cc" "tests/CMakeFiles/fxrz_tests.dir/ml/regressors_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/ml/regressors_test.cc.o.d"
+  "/root/repo/tests/parallel/event_io_test.cc" "tests/CMakeFiles/fxrz_tests.dir/parallel/event_io_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/parallel/event_io_test.cc.o.d"
+  "/root/repo/tests/parallel/parallel_test.cc" "tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o.d"
+  "/root/repo/tests/store/field_store_test.cc" "tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fxrz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

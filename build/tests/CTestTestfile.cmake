@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fxrz_tests[1]_include.cmake")
+add_test(example_quickstart_smoke "/root/repo/build/examples/example_quickstart")
+set_tests_properties(example_quickstart_smoke PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_smoke "/root/repo/build/examples/example_fxrz_cli" "generate" "--app" "hurricane" "--field" "QCLOUD" "--tstep" "5" "--out" "/root/repo/build/tests/cli_smoke.fts")
+set_tests_properties(example_cli_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;0;")
