@@ -208,6 +208,11 @@ bench/CMakeFiles/ablation_sampling.dir/ablation_sampling.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/ml/regressor.h \

@@ -232,6 +232,10 @@ bench/CMakeFiles/ablation_sz3.dir/ablation_sz3.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/ml/regressor.h

@@ -208,5 +208,10 @@ bench/CMakeFiles/fig07_ca.dir/fig07_ca.cc.o: /root/repo/bench/fig07_ca.cc \
  /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/ml/regressor.h

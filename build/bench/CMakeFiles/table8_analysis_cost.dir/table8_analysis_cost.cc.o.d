@@ -209,10 +209,12 @@ bench/CMakeFiles/table8_analysis_cost.dir/table8_analysis_cost.cc.o: \
  /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/ml/regressor.h \
  /root/repo/src/../src/data/sampling.h /root/repo/src/../src/fraz/fraz.h \
- /root/repo/src/../src/util/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h
+ /root/repo/src/../src/util/timer.h /usr/include/c++/12/chrono

@@ -211,9 +211,14 @@ examples/CMakeFiles/example_fixed_ratio_archiver.dir/fixed_ratio_archiver.cpp.o:
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/budget.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
- /root/repo/src/../src/core/augmentation.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/features.h \
+ /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/ml/regressor.h \
  /root/repo/src/../src/data/generators/nyx.h \
  /root/repo/src/../src/data/statistics.h \

@@ -212,8 +212,13 @@ examples/CMakeFiles/example_fxrz_cli.dir/fxrz_cli.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
- /root/repo/src/../src/core/augmentation.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/compressibility.h \
+ /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/ml/regressor.h \
  /root/repo/src/../src/data/generators/hurricane.h \
  /root/repo/src/../src/data/generators/nyx.h \

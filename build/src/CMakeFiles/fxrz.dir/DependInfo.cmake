@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/compressors/sz.cc" "src/CMakeFiles/fxrz.dir/compressors/sz.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/sz.cc.o.d"
   "/root/repo/src/compressors/sz3.cc" "src/CMakeFiles/fxrz.dir/compressors/sz3.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/sz3.cc.o.d"
   "/root/repo/src/compressors/zfp.cc" "src/CMakeFiles/fxrz.dir/compressors/zfp.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/compressors/zfp.cc.o.d"
+  "/root/repo/src/core/analysis.cc" "src/CMakeFiles/fxrz.dir/core/analysis.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/analysis.cc.o.d"
   "/root/repo/src/core/augmentation.cc" "src/CMakeFiles/fxrz.dir/core/augmentation.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/augmentation.cc.o.d"
   "/root/repo/src/core/budget.cc" "src/CMakeFiles/fxrz.dir/core/budget.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/budget.cc.o.d"
   "/root/repo/src/core/compressibility.cc" "src/CMakeFiles/fxrz.dir/core/compressibility.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/compressibility.cc.o.d"

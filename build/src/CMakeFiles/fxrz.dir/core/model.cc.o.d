@@ -204,9 +204,14 @@ src/CMakeFiles/fxrz.dir/core/model.cc.o: /root/repo/src/core/model.cc \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/../src/util/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/../src/core/augmentation.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/features.h \
+ /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/ml/regressor.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -224,8 +229,7 @@ src/CMakeFiles/fxrz.dir/core/model.cc.o: /root/repo/src/core/model.cc \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -240,8 +244,6 @@ src/CMakeFiles/fxrz.dir/core/model.cc.o: /root/repo/src/core/model.cc \
  /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -259,9 +261,7 @@ src/CMakeFiles/fxrz.dir/core/model.cc.o: /root/repo/src/core/model.cc \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/../src/ml/random_forest.h /root/repo/src/../src/ml/svr.h \
  /root/repo/src/../src/util/thread_pool.h \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/../src/util/timer.h \
- /usr/include/c++/12/chrono
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/util/timer.h /usr/include/c++/12/chrono

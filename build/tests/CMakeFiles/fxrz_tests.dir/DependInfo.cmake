@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/compressors/sz3_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz3_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz3_test.cc.o.d"
   "/root/repo/tests/compressors/sz_regression_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz_regression_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz_regression_test.cc.o.d"
   "/root/repo/tests/compressors/zfp_modes_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/zfp_modes_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/zfp_modes_test.cc.o.d"
+  "/root/repo/tests/core/analysis_cache_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/analysis_cache_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/analysis_cache_test.cc.o.d"
   "/root/repo/tests/core/augmentation_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/augmentation_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/augmentation_test.cc.o.d"
   "/root/repo/tests/core/budget_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/budget_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/budget_test.cc.o.d"
   "/root/repo/tests/core/compressibility_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/compressibility_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/compressibility_test.cc.o.d"

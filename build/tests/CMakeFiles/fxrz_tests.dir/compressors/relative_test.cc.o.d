@@ -297,9 +297,12 @@ tests/CMakeFiles/fxrz_tests.dir/compressors/relative_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
- /root/repo/src/../src/core/augmentation.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/features.h \
+ /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/ml/regressor.h \
  /root/repo/src/../src/data/generators/grf.h \
  /root/repo/src/../src/data/statistics.h

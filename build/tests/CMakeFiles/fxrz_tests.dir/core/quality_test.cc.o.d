@@ -298,9 +298,12 @@ tests/CMakeFiles/fxrz_tests.dir/core/quality_test.cc.o: \
  /root/repo/src/../src/util/status.h \
  /root/repo/src/../src/compressors/psnr.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
- /root/repo/src/../src/core/augmentation.h \
+ /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/features.h \
+ /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/ml/regressor.h \
  /root/repo/src/../src/data/generators/grf.h \
  /root/repo/src/../src/data/statistics.h

@@ -5,16 +5,53 @@
 
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace fxrz {
 
 namespace {
+
 constexpr uint32_t kMagic = 0x43484B31;  // "CHK1"
+
+// Byte extent of one chunk's payload inside the archive.
+struct ChunkSpan {
+  size_t offset = 0;  // first payload byte
+  size_t size = 0;
+};
+
+// Walks the archive once, validating framing and collecting every chunk's
+// payload span. On return `dims` holds the full-tensor shape.
+Status ParseChunkIndex(const uint8_t* data, size_t size,
+                       std::vector<size_t>* dims,
+                       std::vector<ChunkSpan>* spans) {
+  size_t pos = 0;
+  FXRZ_RETURN_IF_ERROR(
+      compressor_internal::ParseHeader(data, size, kMagic, dims, &pos));
+  if (pos + 4 > size) return Status::Corruption("chunked: short header");
+  const uint32_t num_chunks = ReadUint32(data + pos);
+  pos += 4;
+  spans->clear();
+  spans->reserve(num_chunks);
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    if (pos + 8 > size) return Status::Corruption("chunked: truncated index");
+    const uint64_t chunk_size = ReadUint64(data + pos);
+    pos += 8;
+    if (chunk_size > size - pos) {
+      return Status::Corruption("chunked: truncated chunk");
+    }
+    spans->push_back(ChunkSpan{pos, static_cast<size_t>(chunk_size)});
+    pos += chunk_size;
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 ChunkedCompressor::ChunkedCompressor(std::unique_ptr<Compressor> base,
-                                     size_t target_chunk_elems)
-    : base_(std::move(base)), target_chunk_elems_(target_chunk_elems) {
+                                     size_t target_chunk_elems, int threads)
+    : base_(std::move(base)),
+      target_chunk_elems_(target_chunk_elems),
+      threads_(threads) {
   FXRZ_CHECK(base_ != nullptr);
   FXRZ_CHECK_GT(target_chunk_elems_, 0u);
 }
@@ -28,11 +65,10 @@ std::vector<uint8_t> ChunkedCompressor::Compress(const Tensor& data,
   const size_t num_chunks =
       (data.dim(0) + rows_per_chunk - 1) / rows_per_chunk;
 
-  std::vector<uint8_t> out;
-  compressor_internal::AppendHeader(&out, kMagic, data);
-  AppendUint32(&out, static_cast<uint32_t>(num_chunks));
-
-  for (size_t c = 0; c < num_chunks; ++c) {
+  // Compress every chunk into its own buffer, then concatenate in chunk
+  // order -- the archive is byte-identical at any thread count.
+  std::vector<std::vector<uint8_t>> chunks(num_chunks);
+  auto compress_chunk = [&](size_t c) {
     const size_t row_lo = c * rows_per_chunk;
     const size_t rows = std::min(rows_per_chunk, data.dim(0) - row_lo);
     std::vector<size_t> slab_dims = data.dims();
@@ -40,9 +76,20 @@ std::vector<uint8_t> ChunkedCompressor::Compress(const Tensor& data,
     std::vector<float> values(rows * row_elems);
     std::memcpy(values.data(), data.data() + row_lo * row_elems,
                 values.size() * sizeof(float));
-    const std::vector<uint8_t> chunk =
-        base_->Compress(Tensor(std::move(slab_dims), std::move(values)),
-                        config);
+    chunks[c] = base_->Compress(
+        Tensor(std::move(slab_dims), std::move(values)), config);
+  };
+  if (threads_ == 1 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) compress_chunk(c);
+  } else {
+    ParallelFor(SharedThreadPool(), 0, num_chunks, compress_chunk,
+                /*grain=*/1);
+  }
+
+  std::vector<uint8_t> out;
+  compressor_internal::AppendHeader(&out, kMagic, data);
+  AppendUint32(&out, static_cast<uint32_t>(num_chunks));
+  for (const std::vector<uint8_t>& chunk : chunks) {
     AppendUint64(&out, chunk.size());
     out.insert(out.end(), chunk.begin(), chunk.end());
   }
@@ -62,46 +109,43 @@ Status ChunkedCompressor::DecompressChunk(const uint8_t* data, size_t size,
                                           size_t index, Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
   std::vector<size_t> dims;
-  size_t pos = 0;
-  FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
-  if (pos + 4 > size) return Status::Corruption("chunked: short header");
-  const uint32_t num_chunks = ReadUint32(data + pos);
-  pos += 4;
-  if (index >= num_chunks) return Status::InvalidArgument("chunk index");
-
-  for (uint32_t c = 0; c < num_chunks; ++c) {
-    if (pos + 8 > size) return Status::Corruption("chunked: truncated index");
-    const uint64_t chunk_size = ReadUint64(data + pos);
-    pos += 8;
-    if (pos + chunk_size > size) {
-      return Status::Corruption("chunked: truncated chunk");
-    }
-    if (c == index) {
-      return base_->Decompress(data + pos, chunk_size, out);
-    }
-    pos += chunk_size;
-  }
-  return Status::Internal("unreachable");
+  std::vector<ChunkSpan> spans;
+  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &dims, &spans));
+  if (index >= spans.size()) return Status::InvalidArgument("chunk index");
+  return base_->Decompress(data + spans[index].offset, spans[index].size, out);
 }
 
 Status ChunkedCompressor::Decompress(const uint8_t* data, size_t size,
                                      Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
   std::vector<size_t> dims;
-  size_t pos = 0;
-  FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
-  if (pos + 4 > size) return Status::Corruption("chunked: short header");
-  const uint32_t num_chunks = ReadUint32(data + pos);
-  if (num_chunks == 0) return Status::Corruption("chunked: no chunks");
+  std::vector<ChunkSpan> spans;
+  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &dims, &spans));
+  if (spans.empty()) return Status::Corruption("chunked: no chunks");
 
+  // Phase 1: decompress every chunk (independently, in parallel). Slab row
+  // counts are only known from each chunk's own header, so placement into
+  // the output waits for phase 2.
+  std::vector<Tensor> slabs(spans.size());
+  std::vector<Status> statuses(spans.size(), Status::Ok());
+  auto decompress_chunk = [&](size_t c) {
+    statuses[c] =
+        base_->Decompress(data + spans[c].offset, spans[c].size, &slabs[c]);
+  };
+  if (threads_ == 1 || spans.size() == 1) {
+    for (size_t c = 0; c < spans.size(); ++c) decompress_chunk(c);
+  } else {
+    ParallelFor(SharedThreadPool(), 0, spans.size(), decompress_chunk,
+                /*grain=*/1);
+  }
+
+  // Phase 2: validate shapes in chunk order and stitch the slabs together.
   Tensor result(dims);
-  size_t row = 0;
   const size_t row_elems = result.size() / result.dim(0);
-  for (uint32_t c = 0; c < num_chunks; ++c) {
-    Tensor slab;
-    FXRZ_RETURN_IF_ERROR(DecompressChunk(data, size, c, &slab));
+  size_t row = 0;
+  for (size_t c = 0; c < slabs.size(); ++c) {
+    FXRZ_RETURN_IF_ERROR(statuses[c]);
+    const Tensor& slab = slabs[c];
     if (slab.rank() != result.rank() || row + slab.dim(0) > result.dim(0)) {
       return Status::Corruption("chunked: slab shape mismatch");
     }

@@ -6,6 +6,13 @@
 // independently with the base compressor, and frames them with an index --
 // so decompression can target a single slab without touching the rest, and
 // peak memory stays bounded by one slab.
+//
+// Chunks are independent, so full-tensor Compress/Decompress run the
+// per-chunk work in parallel: each chunk compresses into its own buffer
+// (concatenated in chunk order -> archives are byte-identical to serial),
+// and each chunk decompresses directly into its disjoint slab of the
+// output tensor. The index is parsed once up front, not re-walked per
+// chunk.
 
 #ifndef FXRZ_COMPRESSORS_CHUNKED_H_
 #define FXRZ_COMPRESSORS_CHUNKED_H_
@@ -20,8 +27,12 @@ class ChunkedCompressor : public Compressor {
  public:
   // Slabs are sized to at most `target_chunk_elems` elements (rounded to
   // whole rows of the first dimension; a slab holds at least one row).
+  // `threads` controls per-chunk parallelism: 1 = serial, 0 = hardware
+  // concurrency. Results are identical at any thread count; the base
+  // compressor must be safe to call concurrently (all built-in codecs are).
   explicit ChunkedCompressor(std::unique_ptr<Compressor> base,
-                             size_t target_chunk_elems = size_t{1} << 18);
+                             size_t target_chunk_elems = size_t{1} << 18,
+                             int threads = 0);
 
   std::string name() const override { return base_->name() + "-chunked"; }
   ConfigSpace config_space(const Tensor& data) const override {
@@ -42,6 +53,7 @@ class ChunkedCompressor : public Compressor {
  private:
   std::unique_ptr<Compressor> base_;
   size_t target_chunk_elems_;
+  int threads_;
 };
 
 }  // namespace fxrz

@@ -1,0 +1,100 @@
+#include "src/core/analysis.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+uint64_t TensorFingerprint(const Tensor& t) {
+  uint64_t h = 0x9E3779B97F4A7C15ull * (t.size() + 1);
+  const size_t probes = std::min<size_t>(t.size(), 64);
+  if (probes == 0) return h;
+  const size_t step = t.size() / probes;
+  for (size_t i = 0; i < probes; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &t.data()[i * step], sizeof(bits));
+    // splitmix64 round over the running hash and the probed value.
+    h += bits + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    h ^= h >> 31;
+  }
+  return h;
+}
+
+AnalysisCache::AnalysisCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TensorAnalysis AnalysisCache::Get(const Tensor& data,
+                                  const FeatureOptions& features, bool use_ca,
+                                  const CaOptions& ca) {
+  FXRZ_CHECK(!data.empty());
+  Key key;
+  key.data = data.data();
+  key.size = data.size();
+  key.dims = data.dims();
+  key.stride = features.stride;
+  key.use_ca = use_ca;
+  key.block = ca.block;
+  key.lambda = ca.lambda;
+  key.fingerprint = TensorFingerprint(data);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (e.key == key) {
+        e.tick = ++tick_;
+        ++hits_;
+        return e.value;
+      }
+    }
+    ++misses_;
+  }
+
+  // Compute outside the lock so concurrent misses on different tensors
+  // analyze in parallel.
+  TensorAnalysis analysis;
+  analysis.features = ExtractFeatures(data, features);
+  if (use_ca) {
+    analysis.ca = ScanConstantBlocks(data, ca);
+    analysis.has_ca = true;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (e.key == key) {  // raced with another miss; keep theirs
+        e.tick = ++tick_;
+        return e.value;
+      }
+    }
+    if (entries_.size() >= capacity_) {
+      auto oldest = std::min_element(
+          entries_.begin(), entries_.end(),
+          [](const Entry& a, const Entry& b) { return a.tick < b.tick; });
+      *oldest = Entry{std::move(key), analysis, ++tick_};
+    } else {
+      entries_.push_back(Entry{std::move(key), analysis, ++tick_});
+    }
+  }
+  return analysis;
+}
+
+void AnalysisCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+uint64_t AnalysisCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t AnalysisCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,82 @@
+// Per-tensor analysis caching.
+//
+// A refined fixed-ratio compression queries the model up to three times for
+// the SAME tensor (the initial estimate plus two refinement queries), and
+// every query needs the tensor's features and constant-block ratio. This
+// cache memoizes both products, keyed by tensor identity (data pointer,
+// shape, and a small content fingerprint) together with the analysis
+// options, so each tensor is feature-extracted and block-scanned exactly
+// once no matter how many model queries it serves.
+
+#ifndef FXRZ_CORE_ANALYSIS_H_
+#define FXRZ_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/core/compressibility.h"
+#include "src/core/features.h"
+#include "src/data/tensor.h"
+
+namespace fxrz {
+
+// The cached per-tensor analysis products.
+struct TensorAnalysis {
+  FeatureVector features;
+  BlockScanResult ca;  // meaningful only when computed with use_ca
+  bool has_ca = false;
+};
+
+// Cheap 64-bit identity fingerprint: tensor size mixed with up to 64 value
+// probes spread across the buffer. Guards the pointer-based cache key
+// against an address being reused by a different tensor.
+uint64_t TensorFingerprint(const Tensor& t);
+
+// Small thread-safe LRU memo of TensorAnalysis results.
+class AnalysisCache {
+ public:
+  explicit AnalysisCache(size_t capacity = 8);
+
+  // Returns the analysis of `data` under the given options, computing and
+  // inserting it on a miss. Concurrent misses for the same key may compute
+  // twice (the computation is idempotent); the cache itself is locked only
+  // around lookup and insert.
+  TensorAnalysis Get(const Tensor& data, const FeatureOptions& features,
+                     bool use_ca, const CaOptions& ca);
+
+  void Clear();
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Key {
+    const void* data = nullptr;
+    size_t size = 0;
+    std::vector<size_t> dims;
+    size_t stride = 0;
+    bool use_ca = false;
+    size_t block = 0;
+    double lambda = 0.0;
+    uint64_t fingerprint = 0;
+
+    bool operator==(const Key& o) const = default;
+  };
+  struct Entry {
+    Key key;
+    TensorAnalysis value;
+    uint64_t tick = 0;  // LRU stamp
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_CORE_ANALYSIS_H_

@@ -5,11 +5,17 @@
 // dataset into small blocks, classifies each as constant (value range below
 // lambda * |dataset mean|) or non-constant, and adjusts the target ratio:
 //   ACR = TCR * R,   R = fraction of non-constant blocks.
+//
+// The scan is a fused single pass: per-block min/max and the global value
+// sum (for the mean threshold) are gathered together in memory order, split
+// into block-aligned units whose partial sums merge in unit order -- so the
+// result is bit-identical at any thread count.
 
 #ifndef FXRZ_CORE_COMPRESSIBILITY_H_
 #define FXRZ_CORE_COMPRESSIBILITY_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "src/data/tensor.h"
 
@@ -18,6 +24,9 @@ namespace fxrz {
 struct CaOptions {
   size_t block = 4;      // block edge length per dimension (paper: 4x4x4)
   double lambda = 0.15;  // threshold coefficient on |mean| (paper Table IV)
+  // Worker threads for the scan: 0 = the shared pool, 1 = serial. Any
+  // setting produces bit-identical results.
+  int threads = 0;
 };
 
 // Statistics from the constant-block scan.
@@ -31,6 +40,15 @@ struct BlockScanResult {
 // Scans `data` in block x block x ... tiles over its last <=3 dimensions.
 BlockScanResult ScanConstantBlocks(const Tensor& data,
                                    const CaOptions& options = {});
+
+// Legacy three-pass implementation (summary statistics pass + block-order
+// walk), retained as the baseline for the micro_analysis benchmark.
+BlockScanResult ScanConstantBlocksReference(const Tensor& data,
+                                            const CaOptions& options = {});
+
+// Number of (fused) ScanConstantBlocks calls made by this process. Test
+// hook for verifying that analysis caching eliminates redundant scans.
+uint64_t ConstantBlockScanCount();
 
 // ACR = TCR * R (paper Formula 4).
 double AdjustTargetRatio(double target_ratio, double non_constant_ratio);

@@ -1,15 +1,20 @@
 #include "src/core/features.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 
 #include "src/data/sampling.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace fxrz {
 
 namespace {
+
+std::atomic<uint64_t> g_extract_count{0};
 
 // Signed log compression for features that may be negative (mean value).
 double SignedLog(double v) {
@@ -19,6 +24,7 @@ double SignedLog(double v) {
 double Log(double v) { return std::log10(v + 1e-12); }
 
 // Iterates a tensor with a multi-index odometer, calling fn(idx, linear).
+// Only used by the legacy reference extractor below.
 template <typename Fn>
 void ForEachIndex(const Tensor& t, Fn&& fn) {
   std::vector<size_t> idx(t.rank(), 0);
@@ -31,10 +37,248 @@ void ForEachIndex(const Tensor& t, Fn&& fn) {
   }
 }
 
+// Partial sums of every fused feature over one slab. Slabs are fixed-size
+// blocks of the outer dimension chosen from the shape alone, and partials
+// are merged in slab order, so the final result does not depend on how the
+// slabs were scheduled across threads.
+struct FeatureAccum {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  double mnd = 0.0, mld = 0.0, msd = 0.0, grad = 0.0;
+  double grad_min = std::numeric_limits<double>::infinity();
+  double grad_max = 0.0;
+  size_t mnd_n = 0, mld_n = 0, msd_n = 0, grad_n = 0;
+
+  void Merge(const FeatureAccum& o) {
+    lo = std::min(lo, o.lo);
+    hi = std::max(hi, o.hi);
+    sum += o.sum;
+    mnd += o.mnd;
+    mld += o.mld;
+    msd += o.msd;
+    grad += o.grad;
+    mnd_n += o.mnd_n;
+    mld_n += o.mld_n;
+    msd_n += o.msd_n;
+    grad_n += o.grad_n;
+    grad_min = std::min(grad_min, o.grad_min);
+    grad_max = std::max(grad_max, o.grad_max);
+  }
+};
+
+// Fused sweep over the rows whose outer index lies in [i0_lo, i0_hi); for
+// rank-1 tensors the range restricts the single dimension instead. All
+// feature stencils read the full tensor (neighbor reads may cross slab
+// borders); only `a` is written.
+void AccumulateSlab(const Tensor& s, size_t i0_lo, size_t i0_hi,
+                    FeatureAccum* a) {
+  const size_t rank = s.rank();
+  const float* p = s.data();
+  size_t dim[Tensor::kMaxRank] = {1, 1, 1, 1};
+  size_t st[Tensor::kMaxRank] = {0, 0, 0, 0};
+  {
+    const std::vector<size_t> strides = s.Strides();
+    for (size_t d = 0; d < rank; ++d) {
+      dim[d] = s.dim(d);
+      st[d] = strides[d];
+    }
+  }
+  const size_t nx = dim[rank - 1];
+  const size_t nd = std::min<size_t>(rank, 3);  // Lorenzo dimensionality
+  const size_t lead = rank - nd;
+  const ptrdiff_t sy = rank >= 2 ? static_cast<ptrdiff_t>(st[rank - 2]) : 0;
+  const ptrdiff_t sz = rank >= 3 ? static_cast<ptrdiff_t>(st[rank - 3]) : 0;
+
+  size_t idx[Tensor::kMaxRank] = {i0_lo, 0, 0, 0};
+  const bool rank1 = rank == 1;
+  const size_t x_begin = rank1 ? i0_lo : 0;
+  const size_t x_end = rank1 ? i0_hi : nx;
+
+  while (rank1 || idx[0] < i0_hi) {
+    // Per-row setup: flat base offset plus the row-invariant parts of each
+    // stencil (which neighbors exist along the non-last dimensions).
+    size_t base = 0;
+    for (size_t d = 0; d + 1 < rank; ++d) base += idx[d] * st[d];
+
+    // MND neighbor offsets along non-last dimensions, in dimension order.
+    ptrdiff_t noff[2 * (Tensor::kMaxRank - 1)];
+    int nn = 0;
+    for (size_t d = 0; d + 1 < rank; ++d) {
+      if (idx[d] > 0) noff[nn++] = -static_cast<ptrdiff_t>(st[d]);
+      if (idx[d] + 1 < dim[d]) noff[nn++] = static_cast<ptrdiff_t>(st[d]);
+    }
+
+    // Lorenzo: all its dimensions except the last must be interior here;
+    // the last dimension is checked per element (x >= 1).
+    bool lorenzo_row = true;
+    for (size_t d = lead; d + 1 < rank; ++d) {
+      if (idx[d] == 0) {
+        lorenzo_row = false;
+        break;
+      }
+    }
+
+    // Spline strides for the non-last dimensions where the +-3 stencil
+    // fits, in dimension order (the last dimension is appended per element).
+    ptrdiff_t spl[Tensor::kMaxRank - 1];
+    int nspl = 0;
+    for (size_t d = 0; d + 1 < rank; ++d) {
+      if (idx[d] >= 3 && idx[d] + 3 < dim[d]) {
+        spl[nspl++] = static_cast<ptrdiff_t>(st[d]);
+      }
+    }
+
+    const float* row = p + base;
+    for (size_t x = x_begin; x < x_end; ++x) {
+      const float* e = row + x;
+      const double v = *e;
+
+      a->lo = std::min(a->lo, v);
+      a->hi = std::max(a->hi, v);
+      a->sum += v;
+
+      // MND: |v - mean(adjacent neighbors along every dimension)|.
+      {
+        double nsum = 0.0;
+        int n = nn;
+        for (int k = 0; k < nn; ++k) nsum += e[noff[k]];
+        if (x > 0) {
+          nsum += e[-1];
+          ++n;
+        }
+        if (x + 1 < nx) {
+          nsum += e[1];
+          ++n;
+        }
+        if (n > 0) {
+          a->mnd += std::fabs(v - nsum / static_cast<double>(n));
+          ++a->mnd_n;
+        }
+      }
+
+      // MLD: |v - Lorenzo prediction| over the last min(3, rank) dims
+      // (paper Eq. 1 and 2). Only fully interior points participate.
+      if (lorenzo_row && x >= 1) {
+        double pred;
+        switch (nd) {
+          case 1:
+            pred = e[-1];
+            break;
+          case 2:
+            pred = static_cast<double>(e[-1]) + e[-sy] - e[-sy - 1];
+            break;
+          default:
+            pred = static_cast<double>(e[-1]) + e[-sy] + e[-sz] -
+                   e[-sy - 1] - e[-sz - 1] - e[-sz - sy] + e[-sz - sy - 1];
+            break;
+        }
+        a->mld += std::fabs(v - pred);
+        ++a->mld_n;
+      }
+
+      // MSD: 4-point cubic-spline fit -1/16, 9/16, 9/16, -1/16 at offsets
+      // -3, -1, +1, +3 along each dimension where the stencil fits (paper
+      // Eq. 3), averaged across those dimensions.
+      {
+        double fit_sum = 0.0;
+        int dims_used = nspl;
+        for (int k = 0; k < nspl; ++k) {
+          const ptrdiff_t sd = spl[k];
+          const double fit = -1.0 / 16.0 * e[-3 * sd] +
+                             9.0 / 16.0 * e[-sd] + 9.0 / 16.0 * e[sd] -
+                             1.0 / 16.0 * e[3 * sd];
+          fit_sum += fit;
+        }
+        if (x >= 3 && x + 3 < nx) {
+          const double fit = -1.0 / 16.0 * e[-3] + 9.0 / 16.0 * e[-1] +
+                             9.0 / 16.0 * e[1] - 1.0 / 16.0 * e[3];
+          fit_sum += fit;
+          ++dims_used;
+        }
+        if (dims_used > 0) {
+          a->msd += std::fabs(v - fit_sum / static_cast<double>(dims_used));
+          ++a->msd_n;
+        }
+      }
+
+      // Gradient: |v - previous value| along the fastest dimension.
+      if (x > 0) {
+        const double g = std::fabs(e[0] - e[-1]);
+        a->grad += g;
+        a->grad_min = std::min(a->grad_min, g);
+        a->grad_max = std::max(a->grad_max, g);
+        ++a->grad_n;
+      }
+    }
+
+    if (rank1) break;
+    // Advance the prefix odometer (dims [0, rank-1), last prefix fastest).
+    size_t d = rank - 1;
+    for (;;) {
+      --d;
+      ++idx[d];
+      if (d == 0 || idx[d] < dim[d]) break;
+      idx[d] = 0;
+    }
+  }
+}
+
+FeatureVector Finalize(const FeatureAccum& t, size_t total_elems) {
+  FeatureVector f;
+  f.value_range = t.hi - t.lo;
+  f.mean_value = t.sum / static_cast<double>(total_elems);
+  f.mnd = t.mnd_n ? t.mnd / static_cast<double>(t.mnd_n) : 0.0;
+  f.mld = t.mld_n ? t.mld / static_cast<double>(t.mld_n) : 0.0;
+  f.msd = t.msd_n ? t.msd / static_cast<double>(t.msd_n) : 0.0;
+  f.mean_gradient = t.grad_n ? t.grad / static_cast<double>(t.grad_n) : 0.0;
+  f.min_gradient = t.grad_n ? t.grad_min : 0.0;
+  f.max_gradient = t.grad_max;
+  return f;
+}
+
 }  // namespace
+
+uint64_t FeatureExtractionCount() {
+  return g_extract_count.load(std::memory_order_relaxed);
+}
 
 FeatureVector ExtractFeatures(const Tensor& data,
                               const FeatureOptions& options) {
+  FXRZ_CHECK(!data.empty());
+  FXRZ_CHECK_GT(options.stride, 0u);
+  g_extract_count.fetch_add(1, std::memory_order_relaxed);
+  const Tensor s = StrideSample(data, options.stride);
+
+  // Fixed-size slab decomposition of the outer dimension. The slab size
+  // depends only on the shape, never on the thread count, so the ordered
+  // merge below is bit-identical for serial and parallel runs.
+  constexpr size_t kMinSlabElems = 4096;
+  const size_t d0 = s.dim(0);
+  const size_t inner = s.size() / d0;
+  const size_t slab_rows =
+      std::max<size_t>(1, (kMinSlabElems + inner - 1) / inner);
+  const size_t num_slabs = (d0 + slab_rows - 1) / slab_rows;
+
+  std::vector<FeatureAccum> partials(num_slabs);
+  auto run_slab = [&](size_t i) {
+    const size_t lo = i * slab_rows;
+    const size_t hi = std::min(d0, lo + slab_rows);
+    AccumulateSlab(s, lo, hi, &partials[i]);
+  };
+  if (options.threads == 1 || num_slabs == 1) {
+    for (size_t i = 0; i < num_slabs; ++i) run_slab(i);
+  } else {
+    ParallelFor(SharedThreadPool(), 0, num_slabs, run_slab, /*grain=*/1);
+  }
+
+  FeatureAccum total;
+  for (const FeatureAccum& p : partials) total.Merge(p);
+  return Finalize(total, s.size());
+}
+
+FeatureVector ExtractFeaturesReference(const Tensor& data,
+                                       const FeatureOptions& options) {
   FXRZ_CHECK(!data.empty());
   FXRZ_CHECK_GT(options.stride, 0u);
   const Tensor s = StrideSample(data, options.stride);

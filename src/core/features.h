@@ -5,11 +5,17 @@
 // Neighbor Difference, Mean Lorenzo Difference, Mean Spline Difference) form
 // the model inputs; the three gradient features are computed for the
 // correlation study (Table II) but excluded from the model.
+//
+// The extractor is a fused single-pass kernel: every feature's per-element
+// contribution is computed in one sweep with flat-index arithmetic, and the
+// outer dimension is split into fixed-size slabs whose partial sums are
+// merged in slab order -- so results are bit-identical at any thread count.
 
 #ifndef FXRZ_CORE_FEATURES_H_
 #define FXRZ_CORE_FEATURES_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,11 +38,26 @@ struct FeatureVector {
 struct FeatureOptions {
   // Sampling stride per dimension (paper default 4 => ~1.5% of points in 3D).
   size_t stride = 4;
+  // Worker threads for the slab sweep: 0 = the shared pool, 1 = serial.
+  // Any setting produces bit-identical results (fixed slab decomposition,
+  // ordered reduction).
+  int threads = 0;
 };
 
-// Extracts all eight features from a stride-sampled view of `data`.
+// Extracts all eight features from a stride-sampled view of `data` with the
+// fused single-pass kernel.
 FeatureVector ExtractFeatures(const Tensor& data,
                               const FeatureOptions& options = {});
+
+// Legacy multi-pass odometer implementation, retained as the baseline for
+// the micro_analysis benchmark and as a cross-check in tests. Semantically
+// identical to ExtractFeatures up to floating-point summation order.
+FeatureVector ExtractFeaturesReference(const Tensor& data,
+                                       const FeatureOptions& options = {});
+
+// Number of (fused) ExtractFeatures calls made by this process. Test hook
+// for verifying that analysis caching eliminates redundant extractions.
+uint64_t FeatureExtractionCount();
 
 // The five adopted features, transformed for the regressor: heavy-tailed
 // magnitudes are log-compressed (log10(x + eps)), the mean uses a signed

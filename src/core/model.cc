@@ -129,6 +129,7 @@ TrainingBreakdown FxrzModel::Train(const Compressor& compressor,
                                    const FxrzTrainingOptions& options) {
   FXRZ_CHECK(!datasets.empty());
   options_ = options;
+  analysis_cache_.Clear();  // keys depend on the (possibly new) options
   TrainingBreakdown breakdown;
 
   FeatureMatrix x;
@@ -206,13 +207,12 @@ TrainingBreakdown FxrzModel::Train(const Compressor& compressor,
 
     // (2) Features + CA + interpolation augmentation.
     WallTimer augment_timer;
-    const FeatureVector features = ExtractFeatures(*data, options.features);
+    const TensorAnalysis analysis = Analyze(*data);
     const std::vector<double> feature_inputs =
-        MaskFeatures(FeatureModelInputs(features), options.feature_mask);
+        MaskFeatures(FeatureModelInputs(analysis.features),
+                     options.feature_mask);
     const double r =
-        options.use_ca
-            ? ScanConstantBlocks(*data, options.ca).non_constant_ratio
-            : 1.0;
+        analysis.has_ca ? analysis.ca.non_constant_ratio : 1.0;
 
     const RatioConfigCurve curve(points, space);
     if (breakdown.training_rows == 0) {
@@ -291,15 +291,18 @@ std::vector<double> FxrzModel::ValidTargetRatios(int n, double margin) const {
   return out;
 }
 
+TensorAnalysis FxrzModel::Analyze(const Tensor& data) const {
+  return analysis_cache_.Get(data, options_.features, options_.use_ca,
+                             options_.ca);
+}
+
 std::vector<double> FxrzModel::BuildInputs(const Tensor& data,
                                            double target_ratio) const {
-  const FeatureVector features = ExtractFeatures(data, options_.features);
+  const TensorAnalysis analysis = Analyze(data);
   std::vector<double> inputs =
-      MaskFeatures(FeatureModelInputs(features), options_.feature_mask);
-  const double r =
-      options_.use_ca
-          ? ScanConstantBlocks(data, options_.ca).non_constant_ratio
-          : 1.0;
+      MaskFeatures(FeatureModelInputs(analysis.features),
+                   options_.feature_mask);
+  const double r = analysis.has_ca ? analysis.ca.non_constant_ratio : 1.0;
   const double acr = AdjustTargetRatio(target_ratio, r);
   inputs.push_back(std::log10(std::max(acr, 1e-3)));
   return inputs;
@@ -364,6 +367,7 @@ Status FxrzModel::LoadFromBytes(const uint8_t* data, size_t size) {
   log_scale_ = data[4] != 0;
   integer_ = data[5] != 0;
   options_ = FxrzTrainingOptions();
+  analysis_cache_.Clear();
   options_.use_ca = data[6] != 0;
   options_.features.stride = ReadUint32(data + 7);
   if (options_.features.stride == 0 || options_.features.stride > 64) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/compressors/compressor.h"
+#include "src/core/analysis.h"
 #include "src/core/augmentation.h"
 #include "src/core/compressibility.h"
 #include "src/core/features.h"
@@ -117,15 +118,24 @@ class FxrzModel {
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
 
+  // Per-tensor analysis cache hit/miss counters (test/diagnostic hook).
+  uint64_t analysis_cache_hits() const { return analysis_cache_.hits(); }
+  uint64_t analysis_cache_misses() const { return analysis_cache_.misses(); }
+
  private:
   std::vector<double> BuildInputs(const Tensor& data,
                                   double target_ratio) const;
+  // Cached features + constant-block scan under the trained options.
+  TensorAnalysis Analyze(const Tensor& data) const;
   double ToKnob(double config) const;
   double FromKnob(double knob) const;
 
   FxrzTrainingOptions options_;
   std::unique_ptr<Regressor> model_;
   std::unique_ptr<Regressor> quality_model_;  // optional PSNR preview
+  // Memoized per-tensor analysis: one feature extraction + one CA scan per
+  // tensor, shared by EstimateConfig / RefineConfig / EstimatePsnr.
+  mutable AnalysisCache analysis_cache_;
   // Config-space shape captured at training time.
   bool log_scale_ = true;
   bool integer_ = false;

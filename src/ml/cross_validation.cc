@@ -49,12 +49,15 @@ double CrossValidationError(const RegressorFactory& factory,
     std::unique_ptr<Regressor> model = factory();
     model->Fit(tx, ty);
 
-    std::vector<double> truth, pred;
+    FeatureMatrix test_x;
+    std::vector<double> truth;
+    test_x.reserve(fold.test.size());
     truth.reserve(fold.test.size());
     for (size_t i : fold.test) {
+      test_x.push_back(x[i]);
       truth.push_back(y[i]);
-      pred.push_back(model->Predict(x[i]));
     }
+    const std::vector<double> pred = model->PredictBatch(test_x);
     total += MeanAbsolutePercentageError(truth, pred);
   }
   return total / static_cast<double>(folds.size());

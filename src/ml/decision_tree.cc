@@ -30,6 +30,19 @@ void DecisionTreeRegressor::FitWeighted(const FeatureMatrix& x,
         params_.seed);
 }
 
+void DecisionTreeRegressor::FitSampled(const FeatureMatrix& x,
+                                       const std::vector<double>& y,
+                                       const std::vector<int>& sample_indices) {
+  FXRZ_CHECK(!x.empty());
+  FXRZ_CHECK_EQ(x.size(), y.size());
+  FXRZ_CHECK(!sample_indices.empty());
+  nodes_.clear();
+  const std::vector<double> weights(y.size(), 1.0);
+  std::vector<int> indices = sample_indices;
+  Build(x, y, weights, indices, 0, static_cast<int>(indices.size()), 0,
+        params_.seed);
+}
+
 int DecisionTreeRegressor::Build(const FeatureMatrix& x,
                                  const std::vector<double>& y,
                                  const std::vector<double>& w,

@@ -35,6 +35,13 @@ class DecisionTreeRegressor : public Regressor {
   void FitWeighted(const FeatureMatrix& x, const std::vector<double>& y,
                    const std::vector<double>& weights);
 
+  // Fits on the multiset of rows named by `sample_indices` (duplicates
+  // allowed) without materializing the sampled matrix. Used for bootstrap
+  // fits: a forest's trees all index one shared (x, y) instead of each
+  // deep-copying its resample.
+  void FitSampled(const FeatureMatrix& x, const std::vector<double>& y,
+                  const std::vector<int>& sample_indices);
+
   double Predict(const std::vector<double>& x) const override;
 
   // Number of nodes in the fitted tree (0 before Fit).

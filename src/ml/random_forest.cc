@@ -5,6 +5,7 @@
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
+#include "src/util/thread_pool.h"
 
 namespace fxrz {
 
@@ -12,31 +13,43 @@ void RandomForestRegressor::Fit(const FeatureMatrix& x,
                                 const std::vector<double>& y) {
   FXRZ_CHECK(!x.empty());
   FXRZ_CHECK_EQ(x.size(), y.size());
-  trees_.clear();
-  trees_.reserve(params_.num_trees);
 
   const int num_features = static_cast<int>(x[0].size());
   int max_features = params_.max_features;
   if (max_features <= 0) max_features = num_features;
 
-  Rng rng(params_.seed);
+  // All randomness comes from one serial stream, drawn up front in tree
+  // order: each tree gets its bootstrap index multiset and split seed
+  // before any fitting starts. The fits themselves touch only per-tree
+  // state, so running them in parallel yields the exact forest the serial
+  // loop would.
   const size_t n = x.size();
-  FeatureMatrix bx(n);
-  std::vector<double> by(n);
-  for (int t = 0; t < params_.num_trees; ++t) {
-    // Bootstrap sample with replacement.
+  const size_t num_trees = static_cast<size_t>(params_.num_trees);
+  Rng rng(params_.seed);
+  std::vector<std::vector<int>> bootstraps(num_trees);
+  std::vector<uint64_t> tree_seeds(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    bootstraps[t].resize(n);
     for (size_t i = 0; i < n; ++i) {
-      const size_t j = rng.NextBelow(n);
-      bx[i] = x[j];
-      by[i] = y[j];
+      bootstraps[t][i] = static_cast<int>(rng.NextBelow(n));
     }
+    tree_seeds[t] = rng.NextUint64();
+  }
+
+  trees_.assign(num_trees, DecisionTreeRegressor());
+  auto fit_tree = [&](size_t t) {
     DecisionTreeParams tp;
     tp.max_depth = params_.max_depth;
     tp.min_samples_leaf = params_.min_samples_leaf;
     tp.max_features = max_features;
-    tp.seed = rng.NextUint64();
-    trees_.emplace_back(tp);
-    trees_.back().Fit(bx, by);
+    tp.seed = tree_seeds[t];
+    trees_[t] = DecisionTreeRegressor(tp);
+    trees_[t].FitSampled(x, y, bootstraps[t]);
+  };
+  if (params_.threads == 1 || num_trees <= 1) {
+    for (size_t t = 0; t < num_trees; ++t) fit_tree(t);
+  } else {
+    ParallelFor(SharedThreadPool(), 0, num_trees, fit_tree, /*grain=*/1);
   }
 }
 
@@ -45,6 +58,19 @@ double RandomForestRegressor::Predict(const std::vector<double>& x) const {
   double sum = 0.0;
   for (const auto& tree : trees_) sum += tree.Predict(x);
   return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::PredictBatch(
+    const FeatureMatrix& x) const {
+  FXRZ_CHECK(!trees_.empty()) << "Predict before Fit";
+  std::vector<double> out(x.size());
+  auto predict_row = [&](size_t i) { out[i] = Predict(x[i]); };
+  if (params_.threads == 1 || x.size() <= 1) {
+    for (size_t i = 0; i < x.size(); ++i) predict_row(i);
+  } else {
+    ParallelFor(SharedThreadPool(), 0, x.size(), predict_row);
+  }
+  return out;
 }
 
 void RandomForestRegressor::Serialize(std::vector<uint8_t>* out) const {

@@ -25,6 +25,10 @@ struct RandomForestParams {
   // wastes most splits).
   int max_features = 0;
   uint64_t seed = 17;
+  // Tree-level parallelism for Fit/PredictBatch: 1 = serial, 0 = hardware
+  // concurrency. Fitted trees and predictions are bit-identical at any
+  // thread count (all randomness is drawn serially up front).
+  int threads = 0;
 };
 
 class RandomForestRegressor : public Regressor {
@@ -34,6 +38,7 @@ class RandomForestRegressor : public Regressor {
 
   void Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
   double Predict(const std::vector<double>& x) const override;
+  std::vector<double> PredictBatch(const FeatureMatrix& x) const override;
 
   size_t tree_count() const { return trees_.size(); }
 

@@ -22,6 +22,16 @@ class Regressor {
 
   // Predicts the target for one feature vector. Requires a prior Fit.
   virtual double Predict(const std::vector<double>& x) const = 0;
+
+  // Predicts every row of `x`. The default is a serial loop over Predict;
+  // models whose per-sample cost is large enough to amortize dispatch
+  // (e.g. forests) override it with a parallel version. Output order and
+  // values are identical to the serial loop.
+  virtual std::vector<double> PredictBatch(const FeatureMatrix& x) const {
+    std::vector<double> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i) out[i] = Predict(x[i]);
+    return out;
+  }
 };
 
 }  // namespace fxrz

@@ -1,6 +1,8 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "src/util/check.h"
 
@@ -34,8 +36,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -52,32 +59,111 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
-                 const std::function<void(size_t)>& fn) {
+ThreadPool* SharedThreadPool() {
+  // Leaked on purpose: workers must not be joined from static destructors
+  // that may run after other globals the queued tasks touch.
+  static ThreadPool* pool =
+      new ThreadPool(std::thread::hardware_concurrency());
+  return pool;
+}
+
+namespace {
+
+// Shared state of one ParallelForBlocked call. Helpers and the caller claim
+// blocks from `next` until the range is exhausted; the caller then waits for
+// the last claimed block to finish.
+struct BlockedState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t total_blocks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  void Drain() {
+    for (;;) {
+      const size_t block = next.fetch_add(1, std::memory_order_relaxed);
+      if (block >= total_blocks) return;
+      const size_t lo = begin + block * grain;
+      const size_t hi = std::min(end, lo + grain);
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == total_blocks) {
+        std::lock_guard<std::mutex> lock(mu);  // pair with the caller's wait
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelForBlocked(ThreadPool* pool, size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& body,
+                        size_t grain) {
   FXRZ_CHECK(pool != nullptr);
   if (begin >= end) return;
   const size_t n = end - begin;
-  const size_t num_chunks =
-      std::min(n, pool->num_threads() * 4);  // mild load balancing
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  for (size_t c = 0; c < num_chunks; ++c) {
-    const size_t lo = begin + c * chunk;
-    const size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool->Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+  if (grain == 0) {
+    // ~8 blocks per worker for load balancing without dispatch overhead.
+    grain = std::max<size_t>(1, n / ((pool->num_threads() + 1) * 8));
+  }
+
+  auto state = std::make_shared<BlockedState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->total_blocks = (n + grain - 1) / grain;
+  state->body = &body;
+
+  // The caller works too, so only total_blocks - 1 helpers can ever be busy.
+  const size_t helpers =
+      std::min(pool->num_threads(), state->total_blocks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) ==
+             state->total_blocks;
     });
   }
-  pool->Wait();
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t grain) {
+  ParallelForBlocked(
+      pool, begin, end,
+      [&fn](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
 }
 
 }  // namespace fxrz

@@ -1,11 +1,12 @@
-// Fixed-size thread pool used by the parallel-dump simulator and by
-// embarrassingly parallel training loops.
+// Fixed-size thread pool used by the fused analysis kernels, chunked
+// compression, random-forest training, and the parallel-dump simulator.
 
 #ifndef FXRZ_UTIL_THREAD_POOL_H_
 #define FXRZ_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -15,7 +16,7 @@
 namespace fxrz {
 
 // A minimal work-queue thread pool. Tasks are std::function<void()>; use
-// ParallelFor for the common indexed-loop case.
+// ParallelFor / ParallelForBlocked for the common indexed-loop case.
 class ThreadPool {
  public:
   // Creates `num_threads` workers (at least 1).
@@ -30,7 +31,9 @@ class ThreadPool {
   // Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished.
+  // Blocks until every submitted task has finished. If any task exited via
+  // an exception since the last Wait, the first captured exception is
+  // rethrown here (and cleared); the remaining tasks still ran.
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
@@ -43,14 +46,31 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
+  std::exception_ptr first_error_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
 };
 
-// Runs fn(i) for i in [begin, end) across the pool and blocks until done.
-// fn must be safe to invoke concurrently for distinct i.
+// Lazily constructed process-wide pool sized to the hardware concurrency.
+// Kernels whose options say `threads = 0` dispatch here; sharing one pool
+// keeps nested parallel sections from multiplying OS threads.
+ThreadPool* SharedThreadPool();
+
+// Runs body(lo, hi) over disjoint sub-ranges that cover [begin, end), each
+// at most `grain` indices wide (grain 0 picks a size that spreads the range
+// across the pool). The calling thread claims ranges too, so nested calls --
+// including from inside pool workers -- always make progress and cannot
+// deadlock. Exceptions thrown by `body` are rethrown to the caller after the
+// whole range has been processed (first exception wins).
+void ParallelForBlocked(ThreadPool* pool, size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& body,
+                        size_t grain = 0);
+
+// Runs fn(i) for i in [begin, end) and blocks until done. Dispatch happens
+// in blocks of `grain` indices so per-index std::function overhead stays off
+// fine-grained loops. fn must be safe to invoke concurrently for distinct i.
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
-                 const std::function<void(size_t)>& fn);
+                 const std::function<void(size_t)>& fn, size_t grain = 0);
 
 }  // namespace fxrz
 

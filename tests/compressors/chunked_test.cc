@@ -84,6 +84,41 @@ TEST(ChunkedTest, VerifyUtilityAgrees) {
   EXPECT_GT(report.ratio, 1.0);
 }
 
+TEST(ChunkedTest, ParallelArchiveByteIdenticalToSerial) {
+  const Tensor g = GaussianRandomField3D(32, 16, 16, 3.0, 977);
+  ChunkedCompressor serial(MakeCompressor("sz"), /*target_chunk_elems=*/1280,
+                           /*threads=*/1);
+  ChunkedCompressor parallel(MakeCompressor("sz"), /*target_chunk_elems=*/1280,
+                             /*threads=*/0);
+  const std::vector<uint8_t> a = serial.Compress(g, 0.01);
+  const std::vector<uint8_t> b = parallel.Compress(g, 0.01);
+  EXPECT_EQ(a, b);
+
+  Tensor ra, rb;
+  ASSERT_TRUE(serial.Decompress(a.data(), a.size(), &ra).ok());
+  ASSERT_TRUE(parallel.Decompress(a.data(), a.size(), &rb).ok());
+  ASSERT_EQ(ra.dims(), rb.dims());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i], rb[i]) << i;
+  }
+}
+
+TEST(ChunkedTest, ParallelDecompressManyChunks) {
+  // One row per chunk: plenty of independent slabs for the parallel path.
+  Tensor t({33, 5, 3});
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>((i * 7) % 23) * 0.25f;
+  }
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/1,
+                         /*threads=*/0);
+  const std::vector<uint8_t> bytes = comp.Compress(t, 0.001);
+  EXPECT_EQ(comp.ChunkCount(bytes.data(), bytes.size()), 33u);
+  Tensor rec;
+  ASSERT_TRUE(comp.Decompress(bytes.data(), bytes.size(), &rec).ok());
+  ASSERT_EQ(rec.dims(), t.dims());
+  EXPECT_LE(ComputeDistortion(t, rec).max_abs_error, 0.0011);
+}
+
 TEST(ChunkedTest, CorruptStreamsRejected) {
   const Tensor g = GaussianRandomField3D(16, 8, 8, 3.0, 976);
   ChunkedCompressor comp(MakeCompressor("sz"), 512);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 namespace fxrz {
 namespace {
 
@@ -67,6 +71,44 @@ TEST(ConstantBlockScanTest, Rank4TreatsLeadingDimAsSlices) {
   for (size_t i = 0; i < t.size(); ++i) t[i] = 2.0f;
   const BlockScanResult r = ScanConstantBlocks(t);
   EXPECT_EQ(r.total_blocks, 3u);
+}
+
+TEST(ConstantBlockScanTest, ParallelMatchesSerial) {
+  Tensor t({24, 17, 21});
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = 1.0f + ((i / 64) % 3 == 0
+                       ? 0.0f
+                       : 0.5f * std::sin(0.021f * static_cast<float>(i)));
+  }
+  CaOptions serial;
+  serial.threads = 1;
+  CaOptions parallel;
+  parallel.threads = 0;
+  const BlockScanResult rs = ScanConstantBlocks(t, serial);
+  const BlockScanResult rp = ScanConstantBlocks(t, parallel);
+  EXPECT_EQ(rs.total_blocks, rp.total_blocks);
+  EXPECT_EQ(rs.constant_blocks, rp.constant_blocks);
+  EXPECT_EQ(rs.non_constant_ratio, rp.non_constant_ratio);
+}
+
+TEST(ConstantBlockScanTest, FusedMatchesReferenceScan) {
+  // Same block classification as the legacy two-pass scan on shapes with
+  // ragged edge blocks (values chosen away from the threshold so the
+  // fused/reference mean-rounding difference cannot flip a block).
+  const std::vector<std::vector<size_t>> shapes = {
+      {100}, {13, 9}, {10, 11, 7}, {2, 5, 9, 6}};
+  for (const auto& shape : shapes) {
+    Tensor t(shape);
+    for (size_t i = 0; i < t.size(); ++i) {
+      t[i] = ((i / 32) % 2 == 0) ? 1.0f : 1.0f + static_cast<float>(i % 5);
+    }
+    const BlockScanResult fused = ScanConstantBlocks(t);
+    const BlockScanResult ref = ScanConstantBlocksReference(t);
+    SCOPED_TRACE("rank=" + std::to_string(shape.size()));
+    EXPECT_EQ(fused.total_blocks, ref.total_blocks);
+    EXPECT_EQ(fused.constant_blocks, ref.constant_blocks);
+    EXPECT_DOUBLE_EQ(fused.non_constant_ratio, ref.non_constant_ratio);
+  }
 }
 
 TEST(AdjustTargetRatioTest, Formula4) {

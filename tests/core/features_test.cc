@@ -130,5 +130,81 @@ TEST(FeaturesDeathTest, UnknownNameAborts) {
   EXPECT_DEATH(FeatureByName(f, "entropy"), "");
 }
 
+// --- Fused-kernel determinism and cross-checks -----------------------------
+
+Tensor WavyTensor(std::vector<size_t> dims) {
+  Tensor t(std::move(dims));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = std::sin(0.013f * static_cast<float>(i)) +
+           0.3f * std::cos(0.07f * static_cast<float>(i));
+  }
+  return t;
+}
+
+void ExpectBitIdentical(const FeatureVector& a, const FeatureVector& b) {
+  EXPECT_EQ(a.value_range, b.value_range);
+  EXPECT_EQ(a.mean_value, b.mean_value);
+  EXPECT_EQ(a.mnd, b.mnd);
+  EXPECT_EQ(a.mld, b.mld);
+  EXPECT_EQ(a.msd, b.msd);
+  EXPECT_EQ(a.mean_gradient, b.mean_gradient);
+  EXPECT_EQ(a.min_gradient, b.min_gradient);
+  EXPECT_EQ(a.max_gradient, b.max_gradient);
+}
+
+TEST(FeaturesDeterminismTest, ParallelMatchesSerialBitwise) {
+  // Odd, non-power-of-two shapes so slab boundaries land mid-structure.
+  const std::vector<std::vector<size_t>> shapes = {
+      {1009}, {61, 53}, {23, 19, 29}, {3, 11, 13, 17}};
+  for (const auto& shape : shapes) {
+    const Tensor t = WavyTensor(shape);
+    for (size_t stride : {size_t{1}, size_t{3}, size_t{4}}) {
+      const FeatureVector serial =
+          ExtractFeatures(t, {.stride = stride, .threads = 1});
+      const FeatureVector parallel =
+          ExtractFeatures(t, {.stride = stride, .threads = 0});
+      SCOPED_TRACE("rank=" + std::to_string(shape.size()) +
+                   " stride=" + std::to_string(stride));
+      ExpectBitIdentical(serial, parallel);
+    }
+  }
+}
+
+TEST(FeaturesDeterminismTest, RepeatedParallelRunsAreStable) {
+  const Tensor t = WavyTensor({37, 41, 43});
+  const FeatureVector first = ExtractFeatures(t, {.stride = 2, .threads = 0});
+  for (int rep = 0; rep < 5; ++rep) {
+    ExpectBitIdentical(first, ExtractFeatures(t, {.stride = 2, .threads = 0}));
+  }
+}
+
+TEST(FeaturesDeterminismTest, FusedMatchesReferenceImplementation) {
+  // The fused kernel visits the same sample points with the same stencils
+  // as the legacy multi-pass extractor; only the global summation grouping
+  // differs, so all features agree to tight relative tolerance.
+  const std::vector<std::vector<size_t>> shapes = {
+      {500}, {40, 37}, {20, 24, 31}, {2, 9, 10, 11}};
+  for (const auto& shape : shapes) {
+    const Tensor t = WavyTensor(shape);
+    for (size_t stride : {size_t{1}, size_t{4}}) {
+      const FeatureVector fused = ExtractFeatures(t, {.stride = stride});
+      const FeatureVector ref =
+          ExtractFeaturesReference(t, {.stride = stride});
+      SCOPED_TRACE("rank=" + std::to_string(shape.size()) +
+                   " stride=" + std::to_string(stride));
+      EXPECT_NEAR(fused.value_range, ref.value_range, 1e-12);
+      EXPECT_NEAR(fused.mean_value, ref.mean_value,
+                  1e-10 * (1.0 + std::fabs(ref.mean_value)));
+      EXPECT_NEAR(fused.mnd, ref.mnd, 1e-10 * (1.0 + ref.mnd));
+      EXPECT_NEAR(fused.mld, ref.mld, 1e-10 * (1.0 + ref.mld));
+      EXPECT_NEAR(fused.msd, ref.msd, 1e-10 * (1.0 + ref.msd));
+      EXPECT_NEAR(fused.mean_gradient, ref.mean_gradient,
+                  1e-10 * (1.0 + ref.mean_gradient));
+      EXPECT_EQ(fused.min_gradient, ref.min_gradient);
+      EXPECT_EQ(fused.max_gradient, ref.max_gradient);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fxrz

@@ -60,6 +60,45 @@ TEST(RandomForestTest, DeterministicForSeed) {
   }
 }
 
+TEST(RandomForestTest, ParallelFitIdenticalToSerial) {
+  // Every tree's bootstrap and split seed is drawn serially up front, so
+  // fitting the trees in parallel yields the exact same forest -- checked
+  // down to the serialized bytes.
+  const Problem train = LinearProblem(300, 52, 0.1);
+  RandomForestParams serial;
+  serial.num_trees = 24;
+  serial.seed = 7;
+  serial.threads = 1;
+  RandomForestParams parallel = serial;
+  parallel.threads = 0;
+
+  RandomForestRegressor a(serial), b(parallel);
+  a.Fit(train.x, train.y);
+  b.Fit(train.x, train.y);
+  std::vector<uint8_t> bytes_a, bytes_b;
+  a.Serialize(&bytes_a);
+  b.Serialize(&bytes_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> q = {i * 0.1 - 1.0, 0.4 - i * 0.05};
+    EXPECT_EQ(a.Predict(q), b.Predict(q));
+  }
+}
+
+TEST(RandomForestTest, PredictBatchMatchesSerialPredict) {
+  const Problem train = LinearProblem(200, 53, 0.05);
+  const Problem test = LinearProblem(64, 54, 0.0);
+  RandomForestParams params;
+  params.threads = 0;
+  RandomForestRegressor model(params);
+  model.Fit(train.x, train.y);
+  const std::vector<double> batch = model.PredictBatch(test.x);
+  ASSERT_EQ(batch.size(), test.x.size());
+  for (size_t i = 0; i < test.x.size(); ++i) {
+    EXPECT_EQ(batch[i], model.Predict(test.x[i])) << i;
+  }
+}
+
 TEST(RandomForestTest, RobustToNoise) {
   const Problem train = LinearProblem(800, 44, 0.3);
   const Problem test = LinearProblem(100, 45, 0.0);

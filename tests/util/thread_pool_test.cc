@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace fxrz {
@@ -69,6 +71,105 @@ TEST(ParallelForTest, SingleElementRange) {
     hits.fetch_add(1);
   });
   EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is cleared once reported, and the other tasks still ran.
+  pool.Wait();
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  try {
+    ParallelFor(
+        &pool, 0, 100,
+        [&](size_t i) {
+          visited.fetch_add(1);
+          if (i == 37) throw std::runtime_error("index 37");
+        },
+        /*grain=*/1);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "index 37");
+  }
+  // The pool remains usable: the failed call fully drained its range first.
+  std::atomic<int> after{0};
+  ParallelFor(&pool, 0, 10, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelForTest, FirstExceptionWinsWhenSeveralThrow) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 0, 64,
+                           [](size_t) { throw std::runtime_error("boom"); },
+                           /*grain=*/1),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // Inner parallel loops run from inside worker tasks; the caller thread
+  // participates in draining, so even a 1-thread pool cannot deadlock.
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(16 * 16);
+    ParallelFor(&pool, 0, 16, [&](size_t i) {
+      ParallelFor(&pool, 0, 16,
+                  [&](size_t j) { hits[i * 16 + j].fetch_add(1); },
+                  /*grain=*/1);
+    });
+    for (size_t k = 0; k < hits.size(); ++k) {
+      ASSERT_EQ(hits[k].load(), 1) << "threads=" << threads << " k=" << k;
+    }
+  }
+}
+
+TEST(ParallelForBlockedTest, RangesAreDisjointAndCovering) {
+  ThreadPool pool(4);
+  for (size_t grain : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelForBlocked(
+        &pool, 0, hits.size(),
+        [&](size_t lo, size_t hi) {
+          ASSERT_LT(lo, hi);
+          if (grain > 0) {
+            ASSERT_LE(hi - lo, grain);
+          }
+          for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+        },
+        grain);
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain=" << grain << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ManySmallTasksStress) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    ParallelFor(&pool, 0, 500, [&](size_t i) { sum.fetch_add(i); },
+                /*grain=*/3);
+    ASSERT_EQ(sum.load(), 500u * 499u / 2);
+  }
+}
+
+TEST(ParallelForTest, SharedPoolIsUsableAndStable) {
+  ThreadPool* shared = SharedThreadPool();
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared, SharedThreadPool());
+  EXPECT_GE(shared->num_threads(), 1u);
+  std::atomic<int> hits{0};
+  ParallelFor(shared, 0, 64, [&](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 64);
 }
 
 }  // namespace
