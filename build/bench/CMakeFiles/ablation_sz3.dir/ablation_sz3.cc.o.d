@@ -228,6 +228,8 @@ bench/CMakeFiles/ablation_sz3.dir/ablation_sz3.cc.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/compressors/compressor.h \
+ /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/augmentation.h \

@@ -202,8 +202,11 @@ examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/../src/data/tensor.h /usr/include/c++/12/cstddef \
  /root/repo/src/../src/util/check.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/../src/util/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
  /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

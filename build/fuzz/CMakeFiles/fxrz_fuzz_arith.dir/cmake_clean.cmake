@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_arith.dir/fuzz_arith.cc.o"
+  "CMakeFiles/fxrz_fuzz_arith.dir/fuzz_arith.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_arith.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_arith.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_arith"
+  "fxrz_fuzz_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

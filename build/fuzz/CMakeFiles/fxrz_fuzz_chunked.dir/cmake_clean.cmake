@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_chunked.dir/fuzz_chunked.cc.o"
+  "CMakeFiles/fxrz_fuzz_chunked.dir/fuzz_chunked.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_chunked.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_chunked.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_chunked"
+  "fxrz_fuzz_chunked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_field_store.dir/fuzz_field_store.cc.o"
+  "CMakeFiles/fxrz_fuzz_field_store.dir/fuzz_field_store.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_field_store.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_field_store.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_field_store"
+  "fxrz_fuzz_field_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_field_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

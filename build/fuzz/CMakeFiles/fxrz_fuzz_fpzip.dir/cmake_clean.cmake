@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_fpzip.dir/fuzz_fpzip.cc.o"
+  "CMakeFiles/fxrz_fuzz_fpzip.dir/fuzz_fpzip.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_fpzip.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_fpzip.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_fpzip"
+  "fxrz_fuzz_fpzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_fpzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

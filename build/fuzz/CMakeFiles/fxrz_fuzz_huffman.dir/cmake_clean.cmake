@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_huffman.dir/fuzz_huffman.cc.o"
+  "CMakeFiles/fxrz_fuzz_huffman.dir/fuzz_huffman.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_huffman.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_huffman.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_huffman"
+  "fxrz_fuzz_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_make_seeds.dir/make_seeds.cc.o"
+  "CMakeFiles/fxrz_fuzz_make_seeds.dir/make_seeds.cc.o.d"
+  "fxrz_fuzz_make_seeds"
+  "fxrz_fuzz_make_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_make_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_mgard.dir/fuzz_mgard.cc.o"
+  "CMakeFiles/fxrz_fuzz_mgard.dir/fuzz_mgard.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_mgard.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_mgard.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_mgard"
+  "fxrz_fuzz_mgard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_mgard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_sz.dir/fuzz_sz.cc.o"
+  "CMakeFiles/fxrz_fuzz_sz.dir/fuzz_sz.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_sz.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_sz.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_sz"
+  "fxrz_fuzz_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

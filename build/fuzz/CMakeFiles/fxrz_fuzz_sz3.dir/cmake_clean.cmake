@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_sz3.dir/fuzz_sz3.cc.o"
+  "CMakeFiles/fxrz_fuzz_sz3.dir/fuzz_sz3.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_sz3.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_sz3.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_sz3"
+  "fxrz_fuzz_sz3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_sz3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_zfp.dir/fuzz_zfp.cc.o"
+  "CMakeFiles/fxrz_fuzz_zfp.dir/fuzz_zfp.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_zfp.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_zfp.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_zfp"
+  "fxrz_fuzz_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_zlite.dir/fuzz_zlite.cc.o"
+  "CMakeFiles/fxrz_fuzz_zlite.dir/fuzz_zlite.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_zlite.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_zlite.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_zlite"
+  "fxrz_fuzz_zlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_zlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

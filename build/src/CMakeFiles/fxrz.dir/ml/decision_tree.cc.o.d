@@ -196,4 +196,8 @@ src/CMakeFiles/fxrz.dir/ml/decision_tree.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/../src/util/random.h
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/../src/util/byte_reader.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/random.h

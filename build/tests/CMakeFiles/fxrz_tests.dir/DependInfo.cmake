@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/compressors/chunked_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/chunked_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/chunked_test.cc.o.d"
   "/root/repo/tests/compressors/corruption_fuzz_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/corruption_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/corruption_fuzz_test.cc.o.d"
+  "/root/repo/tests/compressors/decode_hardening_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/decode_hardening_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/decode_hardening_test.cc.o.d"
   "/root/repo/tests/compressors/fpzip_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/fpzip_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/fpzip_test.cc.o.d"
   "/root/repo/tests/compressors/mgard_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/mgard_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/mgard_test.cc.o.d"
   "/root/repo/tests/compressors/relative_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/relative_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/relative_test.cc.o.d"
@@ -47,6 +48,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/parallel/event_io_test.cc" "tests/CMakeFiles/fxrz_tests.dir/parallel/event_io_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/parallel/event_io_test.cc.o.d"
   "/root/repo/tests/parallel/parallel_test.cc" "tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o.d"
   "/root/repo/tests/store/field_store_test.cc" "tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o.d"
+  "/root/repo/tests/util/byte_reader_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/byte_reader_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/byte_reader_test.cc.o.d"
   "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/random_test.cc.o.d"
   "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/status_test.cc.o.d"
   "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/thread_pool_test.cc.o.d"

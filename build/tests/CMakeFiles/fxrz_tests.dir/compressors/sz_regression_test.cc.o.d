@@ -319,6 +319,7 @@ tests/CMakeFiles/fxrz_tests.dir/compressors/sz_regression_test.cc.o: \
  /root/repo/src/../src/compressors/sz.h \
  /root/repo/src/../src/compressors/compressor.h \
  /root/repo/src/../src/data/tensor.h /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /root/repo/src/../src/util/status.h \
  /root/repo/src/../src/data/generators/grf.h \
  /root/repo/src/../src/data/statistics.h \

@@ -203,13 +203,15 @@ tests/CMakeFiles/fxrz_tests.dir/fraz/fraz_test.cc.o: \
  /usr/include/c++/12/cstddef /root/repo/src/../src/util/check.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/../src/util/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
- /usr/include/c++/12/stdlib.h /usr/include/string.h \
- /usr/include/strings.h /usr/include/x86_64-linux-gnu/sys/stat.h \
+ /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \
  /usr/include/x86_64-linux-gnu/bits/stat.h \
  /usr/include/x86_64-linux-gnu/bits/struct_stat.h \
  /usr/include/x86_64-linux-gnu/bits/statx.h /usr/include/linux/stat.h \

@@ -318,6 +318,7 @@ tests/CMakeFiles/fxrz_tests.dir/integration/fxrz_end_to_end_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/../src/compressors/compressor.h \
  /root/repo/src/../src/data/tensor.h /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /root/repo/src/../src/util/status.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
  /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \

@@ -295,6 +295,7 @@ tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/../src/compressors/compressor.h \
  /root/repo/src/../src/data/tensor.h /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /root/repo/src/../src/util/status.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
  /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \

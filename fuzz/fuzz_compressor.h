@@ -1,0 +1,32 @@
+// Shared body for the per-compressor archive fuzz harnesses: decompress
+// arbitrary bytes and require either a Status error or a well-formed
+// tensor. Each harness instantiates this with its compressor name so every
+// codec gets its own corpus and coverage signal.
+
+#ifndef FXRZ_FUZZ_FUZZ_COMPRESSOR_H_
+#define FXRZ_FUZZ_FUZZ_COMPRESSOR_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "src/compressors/compressor.h"
+#include "src/data/tensor.h"
+
+namespace fxrz_fuzz {
+
+inline int DecompressOneInput(const std::string& compressor,
+                              const uint8_t* data, size_t size) {
+  const auto comp = fxrz::MakeCompressor(compressor);
+  fxrz::Tensor out;
+  const fxrz::Status st = comp->Decompress(data, size, &out);
+  if (st.ok() && out.empty()) {
+    // An OK decode must produce a non-empty tensor.
+    std::abort();
+  }
+  return 0;
+}
+
+}  // namespace fxrz_fuzz
+
+#endif  // FXRZ_FUZZ_FUZZ_COMPRESSOR_H_

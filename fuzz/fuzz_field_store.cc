@@ -1,0 +1,21 @@
+// Fuzz harness: FieldStore archive parsing plus a decode of every listed
+// field (payload spans point back into the fuzzed buffer).
+
+#include <cstdlib>
+#include <vector>
+
+#include "fuzz/fuzz_target.h"
+#include "src/store/field_store.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  fxrz::FieldStoreReader reader;
+  const fxrz::Status st =
+      reader.FromBytes(std::vector<uint8_t>(data, data + size));
+  if (!st.ok()) return 0;
+  for (const fxrz::FieldEntry& e : reader.entries()) {
+    fxrz::Tensor out;
+    const fxrz::Status field_st = reader.ReadField(e.name, &out);
+    if (field_st.ok() && out.empty()) std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fuzz harness: HuffmanDecode must reject or cleanly decode any bytes.
+
+#include <vector>
+
+#include "fuzz/fuzz_target.h"
+#include "src/encoding/huffman.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::vector<uint32_t> symbols;
+  (void)fxrz::HuffmanDecode(data, size, &symbols);
+  return 0;
+}

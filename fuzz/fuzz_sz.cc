@@ -1,0 +1,8 @@
+// Fuzz harness: sz archive decoding must never crash on corrupt input.
+
+#include "fuzz/fuzz_compressor.h"
+#include "fuzz/fuzz_target.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return fxrz_fuzz::DecompressOneInput("sz", data, size);
+}

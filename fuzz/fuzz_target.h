@@ -1,0 +1,18 @@
+// Shared declaration for FXRZ fuzz harnesses.
+//
+// Every harness defines the libFuzzer entry point
+// LLVMFuzzerTestOneInput(data, size). With a fuzzing-capable compiler
+// (clang, -fsanitize=fuzzer) the harness links against the fuzzing engine;
+// otherwise it links against standalone_driver.cc, which replays corpus
+// files named on the command line -- the same decode paths run either way,
+// so CI without clang still exercises every harness over the seed corpora.
+
+#ifndef FXRZ_FUZZ_FUZZ_TARGET_H_
+#define FXRZ_FUZZ_FUZZ_TARGET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#endif  // FXRZ_FUZZ_FUZZ_TARGET_H_

@@ -1,0 +1,12 @@
+// Fuzz harness: ZliteDecompress must reject or cleanly decode any bytes.
+
+#include <vector>
+
+#include "fuzz/fuzz_target.h"
+#include "src/encoding/zlite.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::vector<uint8_t> out;
+  (void)fxrz::ZliteDecompress(data, size, &out);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Seed-corpus generator: writes one valid archive per decoder into
+// <out_dir>/<target>/, produced by real round-trips over a small Gaussian
+// random field. Fuzzers (or the standalone replay driver) start from these
+// so they reach deep decode paths immediately instead of fighting the magic
+// number.
+//
+// Usage: fxrz_fuzz_make_seeds OUT_DIR
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/compressors/chunked.h"
+#include "src/compressors/compressor.h"
+#include "src/core/model.h"
+#include "src/data/generators/grf.h"
+#include "src/encoding/huffman.h"
+#include "src/encoding/zlite.h"
+#include "src/store/field_store.h"
+
+namespace {
+
+bool WriteSeed(const std::string& dir, const std::string& name,
+               const std::vector<uint8_t>& bytes) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return written == bytes.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s OUT_DIR\n", argv[0]);
+    return 2;
+  }
+  const std::string out_dir = argv[1];
+  const fxrz::Tensor data = fxrz::GaussianRandomField3D(16, 16, 16, 3.0, 42);
+  const fxrz::Tensor small = fxrz::GaussianRandomField3D(8, 8, 8, 3.0, 43);
+
+  bool ok = true;
+  for (const std::string& name : fxrz::ExtendedCompressorNames()) {
+    const auto comp = fxrz::MakeCompressor(name);
+    const fxrz::ConfigSpace space = comp->config_space(data);
+    const double config = space.integer ? 12.0 : 0.01;
+    ok &= WriteSeed(out_dir + "/" + name, "roundtrip.bin",
+                    comp->Compress(data, config));
+    ok &= WriteSeed(out_dir + "/" + name, "roundtrip_small.bin",
+                    comp->Compress(small, space.integer ? 16.0 : 0.05));
+  }
+
+  {
+    fxrz::ChunkedCompressor chunked(fxrz::MakeCompressor("sz"),
+                                    /*target_chunk_elems=*/256, /*threads=*/1);
+    ok &= WriteSeed(out_dir + "/chunked", "roundtrip.bin",
+                    chunked.Compress(data, 0.01));
+  }
+
+  {
+    // Entropy-coder seeds: the exact streams the SZ-like codec produces.
+    std::vector<uint32_t> symbols(512);
+    for (size_t i = 0; i < symbols.size(); ++i) {
+      symbols[i] = static_cast<uint32_t>(32768 + (i % 7) - 3);
+    }
+    ok &= WriteSeed(out_dir + "/huffman", "codes.bin",
+                    fxrz::HuffmanEncode(symbols));
+    std::vector<uint8_t> text(1024);
+    for (size_t i = 0; i < text.size(); ++i) {
+      text[i] = static_cast<uint8_t>((i * i) % 251);
+    }
+    ok &= WriteSeed(out_dir + "/zlite", "text.bin",
+                    fxrz::ZliteCompress(text));
+    // The arith harness drives the decoder directly over raw bytes.
+    ok &= WriteSeed(out_dir + "/arith", "raw.bin", text);
+  }
+
+  {
+    fxrz::FieldStoreWriter writer("sz", /*model=*/nullptr);
+    ok &= writer.AddFieldFixedConfig("density", small, 0.02).ok();
+    ok &= WriteSeed(out_dir + "/field_store", "store.bin",
+                    writer.Serialize());
+  }
+
+  if (!ok) return 1;
+  std::printf("seed corpora written to %s\n", out_dir.c_str());
+  return 0;
+}

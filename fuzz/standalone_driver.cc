@@ -1,0 +1,63 @@
+// Replay driver for building fuzz harnesses without a fuzzing engine.
+//
+// Usage: fxrz_fuzz_<target> FILE_OR_DIR...
+// Feeds every named file (and every regular file inside named directories,
+// non-recursively) to LLVMFuzzerTestOneInput. Exits non-zero on I/O errors;
+// a harness that crashes or trips a sanitizer aborts the process, which is
+// the failure signal ctest observes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_target.h"
+
+namespace {
+
+int RunFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(len > 0 ? static_cast<size_t>(len) : 0);
+  const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) {
+    std::fprintf(stderr, "short read: %s\n", path.c_str());
+    return 1;
+  }
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE_OR_DIR...\n", argv[0]);
+    return 2;
+  }
+  size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path p(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (!entry.is_regular_file()) continue;
+        if (RunFile(entry.path().string()) != 0) return 1;
+        ++ran;
+      }
+    } else {
+      if (RunFile(p.string()) != 0) return 1;
+      ++ran;
+    }
+  }
+  std::printf("replayed %zu input(s)\n", ran);
+  return 0;
+}

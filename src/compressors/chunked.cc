@@ -20,27 +20,36 @@ struct ChunkSpan {
 };
 
 // Walks the archive once, validating framing and collecting every chunk's
-// payload span. On return `dims` holds the full-tensor shape.
+// payload span. On return `dims` holds the full-tensor shape. Every span is
+// validated against the archive extent before any chunk decode is
+// dispatched: spans are carved sequentially from the remaining bytes, so
+// they can neither overlap, escape the archive, nor leave trailing bytes.
 Status ParseChunkIndex(const uint8_t* data, size_t size,
                        std::vector<size_t>* dims,
                        std::vector<ChunkSpan>* spans) {
-  size_t pos = 0;
+  ByteReader reader(data, size);
   FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(data, size, kMagic, dims, &pos));
-  if (pos + 4 > size) return Status::Corruption("chunked: short header");
-  const uint32_t num_chunks = ReadUint32(data + pos);
-  pos += 4;
+      compressor_internal::ParseHeader(&reader, kMagic, dims));
+  // Each chunk costs at least its 8-byte size prefix, which bounds how many
+  // chunks the remaining bytes can hold -- reject forged counts before the
+  // reserve below allocates for them.
+  uint32_t num_chunks = 0;
+  if (!reader.ReadCountU32(&num_chunks, /*min_bytes_per_item=*/8)) {
+    return Status::Corruption("chunked: bad chunk count");
+  }
   spans->clear();
   spans->reserve(num_chunks);
   for (uint32_t c = 0; c < num_chunks; ++c) {
-    if (pos + 8 > size) return Status::Corruption("chunked: truncated index");
-    const uint64_t chunk_size = ReadUint64(data + pos);
-    pos += 8;
-    if (chunk_size > size - pos) {
+    const uint8_t* chunk = nullptr;
+    size_t chunk_size = 0;
+    if (!reader.ReadLengthPrefixed(&chunk, &chunk_size)) {
       return Status::Corruption("chunked: truncated chunk");
     }
-    spans->push_back(ChunkSpan{pos, static_cast<size_t>(chunk_size)});
-    pos += chunk_size;
+    spans->push_back(
+        ChunkSpan{static_cast<size_t>(chunk - data), chunk_size});
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("chunked: trailing bytes after last chunk");
   }
   return Status::Ok();
 }

@@ -18,14 +18,19 @@ double Compressor::MeasureCompressionRatio(const Tensor& data,
          static_cast<double>(compressed.size());
 }
 
-std::unique_ptr<Compressor> MakeCompressor(const std::string& name) {
+std::unique_ptr<Compressor> MakeCompressorOrNull(const std::string& name) {
   if (name == "sz") return std::make_unique<SzCompressor>();
   if (name == "sz3") return std::make_unique<Sz3Compressor>();
   if (name == "zfp") return std::make_unique<ZfpCompressor>();
   if (name == "fpzip") return std::make_unique<FpzipCompressor>();
   if (name == "mgard") return std::make_unique<MgardCompressor>();
-  FXRZ_CHECK(false) << "unknown compressor: " << name;
   return nullptr;
+}
+
+std::unique_ptr<Compressor> MakeCompressor(const std::string& name) {
+  std::unique_ptr<Compressor> comp = MakeCompressorOrNull(name);
+  FXRZ_CHECK(comp != nullptr) << "unknown compressor: " << name;
+  return comp;
 }
 
 std::vector<std::string> AllCompressorNames() {
@@ -50,28 +55,40 @@ void AppendHeader(std::vector<uint8_t>* out, uint32_t magic,
   }
 }
 
-Status ParseHeader(const uint8_t* data, size_t size, uint32_t magic,
-                   std::vector<size_t>* dims, size_t* pos) {
-  FXRZ_CHECK(dims != nullptr && pos != nullptr);
-  if (size < 8) return Status::Corruption("short header");
-  if (ReadUint32(data) != magic) return Status::Corruption("bad magic");
-  const uint32_t rank = ReadUint32(data + 4);
+Status ParseHeader(ByteReader* reader, uint32_t magic,
+                   std::vector<size_t>* dims) {
+  FXRZ_CHECK(reader != nullptr && dims != nullptr);
+  uint32_t got_magic = 0;
+  uint32_t rank = 0;
+  if (!reader->ReadU32(&got_magic) || !reader->ReadU32(&rank)) {
+    return Status::Corruption("short header");
+  }
+  if (got_magic != magic) return Status::Corruption("bad magic");
   if (rank == 0 || rank > Tensor::kMaxRank) {
     return Status::Corruption("bad rank");
   }
-  if (size < 8 + 8ull * rank) return Status::Corruption("truncated dims");
   dims->resize(rank);
   size_t total = 1;
   for (uint32_t i = 0; i < rank; ++i) {
-    (*dims)[i] = ReadUint64(data + 8 + 8ull * i);
-    if ((*dims)[i] == 0) return Status::Corruption("zero dim");
+    uint64_t dim = 0;
+    if (!reader->ReadU64(&dim)) return Status::Corruption("truncated dims");
+    if (dim == 0) return Status::Corruption("zero dim");
     // Guard against corrupt headers demanding absurd allocations.
-    if ((*dims)[i] > (1ull << 32) || total > (1ull << 33) / (*dims)[i]) {
+    if (dim > (1ull << 32) || total > (1ull << 33) / dim) {
       return Status::Corruption("implausible dims");
     }
+    (*dims)[i] = static_cast<size_t>(dim);
     total *= (*dims)[i];
   }
-  *pos = 8 + 8ull * rank;
+  return Status::Ok();
+}
+
+Status ParseHeader(const uint8_t* data, size_t size, uint32_t magic,
+                   std::vector<size_t>* dims, size_t* pos) {
+  FXRZ_CHECK(pos != nullptr);
+  ByteReader reader(data, size);
+  FXRZ_RETURN_IF_ERROR(ParseHeader(&reader, magic, dims));
+  *pos = reader.position();
   return Status::Ok();
 }
 

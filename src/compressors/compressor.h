@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/data/tensor.h"
+#include "src/util/byte_reader.h"
 #include "src/util/status.h"
 
 namespace fxrz {
@@ -57,6 +58,10 @@ class Compressor {
 // AllCompressorNames() to enumerate).
 std::unique_ptr<Compressor> MakeCompressor(const std::string& name);
 
+// As MakeCompressor, but returns null on unknown names. Use this when the
+// name comes from untrusted bytes (e.g. a FieldStore archive).
+std::unique_ptr<Compressor> MakeCompressorOrNull(const std::string& name);
+
 // {"sz", "zfp", "fpzip", "mgard"} -- the paper's evaluation set.
 std::vector<std::string> AllCompressorNames();
 
@@ -70,7 +75,13 @@ namespace compressor_internal {
 void AppendHeader(std::vector<uint8_t>* out, uint32_t magic,
                   const Tensor& data);
 
-// Parses a header; on success sets dims and advances *pos.
+// Parses a header from `reader`, leaving it positioned at the first body
+// byte. Validates magic, rank, and that the dims describe a plausible
+// allocation; fails with Corruption otherwise.
+Status ParseHeader(ByteReader* reader, uint32_t magic,
+                   std::vector<size_t>* dims);
+
+// Span-based convenience wrapper; on success sets dims and advances *pos.
 Status ParseHeader(const uint8_t* data, size_t size, uint32_t magic,
                    std::vector<size_t>* dims, size_t* pos);
 

@@ -62,7 +62,11 @@ void EncodeResidual(ArithEncoder* enc, ResidualModel* m, int64_t r) {
   }
 }
 
-int64_t DecodeResidual(ArithDecoder* dec, ResidualModel* m) {
+// Decodes one residual into *r. Returns false when the stream encodes a
+// magnitude class the encoder can never emit (k > 33): on corrupt input
+// the class tree decodes freely up to k = 63, and the resulting magnitude
+// would overflow the int64 residual-times-step arithmetic downstream.
+bool DecodeResidual(ArithDecoder* dec, ResidualModel* m, int64_t* r) {
   uint32_t node = 1;
   uint32_t k = 0;
   for (int b = 5; b >= 0; --b) {
@@ -71,12 +75,16 @@ int64_t DecodeResidual(ArithDecoder* dec, ResidualModel* m) {
     node = node * 2 + bit;
     if (node > 63) node = 63;
   }
-  if (k == 0) return 0;
+  if (k == 0) {
+    *r = 0;
+    return true;
+  }
+  if (k > 33) return false;
   const uint32_t sign = dec->DecodeBit(&m->sign[std::min<uint32_t>(k, 32)]);
   uint64_t mag = 1ull << (k - 1);
   if (k > 1) mag |= dec->DecodeRaw(k - 1);
-  const int64_t r = static_cast<int64_t>(mag);
-  return sign ? -r : r;
+  *r = sign ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+  return true;
 }
 
 // Lorenzo prediction in ordered-integer space over the last <=3 dims.
@@ -194,23 +202,26 @@ std::vector<uint8_t> FpzipCompressor::Compress(const Tensor& data,
 Status FpzipCompressor::Decompress(const uint8_t* data, size_t size,
                                    Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
+  ByteReader reader(data, size);
   std::vector<size_t> dims;
-  size_t pos = 0;
   FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
-  if (pos + 9 > size) return Status::Corruption("fpzip: short header");
-  const int p = data[pos];
+      compressor_internal::ParseHeader(&reader, kMagic, &dims));
+  uint8_t precision = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+  if (!reader.ReadU8(&precision) ||
+      !reader.ReadLengthPrefixed(&payload, &payload_size)) {
+    return Status::Corruption("fpzip: short header");
+  }
+  const int p = precision;
   if (p < kMinPrecision || p > kMaxPrecision) {
     return Status::Corruption("fpzip: bad precision");
   }
-  const uint64_t payload_size = ReadUint64(data + pos + 1);
-  pos += 9;
-  if (pos + payload_size > size) return Status::Corruption("fpzip: truncated");
 
   Tensor result(dims);
   std::vector<uint32_t> ordered(result.size());
 
-  ArithDecoder dec(data + pos, payload_size);
+  ArithDecoder dec(payload, payload_size);
   ResidualModel model;
   const SliceLayout lay = MakeSliceLayout(dims);
   for (size_t s = 0; s < lay.num_slices; ++s) {
@@ -218,7 +229,10 @@ Status FpzipCompressor::Decompress(const uint8_t* data, size_t size,
     size_t idx[3] = {0, 0, 0};
     for (size_t i = 0; i < lay.slice_elems; ++i) {
       const int64_t pred = PredictOrdered(slice, lay, idx, i);
-      const int64_t r = DecodeResidual(&dec, &model);
+      int64_t r = 0;
+      if (!DecodeResidual(&dec, &model, &r)) {
+        return Status::Corruption("fpzip: bad residual class");
+      }
       const int64_t step = 1ll << (32 - p);
       const int64_t actual =
           static_cast<int64_t>(Truncate(static_cast<uint32_t>(pred), p)) +

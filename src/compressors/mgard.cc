@@ -176,26 +176,35 @@ std::vector<uint8_t> MgardCompressor::Compress(const Tensor& data,
 Status MgardCompressor::Decompress(const uint8_t* data, size_t size,
                                    Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
+  ByteReader archive(data, size);
   std::vector<size_t> dims;
-  size_t pos = 0;
   FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+      compressor_internal::ParseHeader(&archive, kMagic, &dims));
 
   std::vector<uint8_t> body;
-  FXRZ_RETURN_IF_ERROR(ZliteDecompress(data + pos, size - pos, &body));
-  if (body.size() < 25) return Status::Corruption("mgard: short body");
+  FXRZ_RETURN_IF_ERROR(
+      ZliteDecompress(archive.cursor(), archive.remaining(), &body));
 
-  const double eb = ReadDouble(body.data());
-  const double offset = ReadDouble(body.data() + 8);
-  const int levels = body[16];
-  if (!(eb > 0.0) || levels < 1 || levels > 16) {
+  ByteReader reader(body);
+  double eb = 0.0, offset = 0.0;
+  uint8_t levels_byte = 0;
+  if (!reader.ReadF64(&eb) || !reader.ReadF64(&offset) ||
+      !reader.ReadU8(&levels_byte)) {
+    return Status::Corruption("mgard: short body");
+  }
+  const int levels = levels_byte;
+  if (!std::isfinite(eb) || eb <= 0.0 || !std::isfinite(offset) ||
+      levels < 1 || levels > 16) {
     return Status::Corruption("mgard: bad parameters");
   }
-  const uint64_t huff_size = ReadUint64(body.data() + 17);
-  if (25 + huff_size > body.size()) return Status::Corruption("mgard: trunc");
+  const uint8_t* huff_bytes = nullptr;
+  size_t huff_size = 0;
+  if (!reader.ReadLengthPrefixed(&huff_bytes, &huff_size)) {
+    return Status::Corruption("mgard: trunc");
+  }
 
   std::vector<uint32_t> codes;
-  FXRZ_RETURN_IF_ERROR(HuffmanDecode(body.data() + 25, huff_size, &codes));
+  FXRZ_RETURN_IF_ERROR(HuffmanDecode(huff_bytes, huff_size, &codes));
 
   Tensor result(dims);
   if (codes.size() != result.size()) {

@@ -321,58 +321,53 @@ std::vector<uint8_t> SzCompressor::Compress(const Tensor& data,
 Status SzCompressor::Decompress(const uint8_t* data, size_t size,
                                 Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
+  ByteReader archive(data, size);
   std::vector<size_t> dims;
-  size_t pos = 0;
   FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+      compressor_internal::ParseHeader(&archive, kMagic, &dims));
 
   std::vector<uint8_t> body;
-  FXRZ_RETURN_IF_ERROR(ZliteDecompress(data + pos, size - pos, &body));
-  if (body.size() < 16) return Status::Corruption("sz: short body");
+  FXRZ_RETURN_IF_ERROR(
+      ZliteDecompress(archive.cursor(), archive.remaining(), &body));
 
-  const double eb = ReadDouble(body.data());
-  if (!(eb > 0.0)) return Status::Corruption("sz: bad error bound");
+  ByteReader reader(body);
+  double eb = 0.0;
+  if (!reader.ReadF64(&eb)) return Status::Corruption("sz: short body");
+  if (!std::isfinite(eb) || eb <= 0.0) {
+    return Status::Corruption("sz: bad error bound");
+  }
   const double bin = 2.0 * eb;
   double coef_steps[4];
   CoefSteps(eb, coef_steps);
 
-  size_t bpos = 8;
-  auto read_u64 = [&](uint64_t* v) -> bool {
-    if (bpos + 8 > body.size()) return false;
-    *v = ReadUint64(body.data() + bpos);
-    bpos += 8;
-    return true;
-  };
-
-  uint64_t sel_size = 0;
-  if (!read_u64(&sel_size) || bpos + sel_size > body.size()) {
+  const uint8_t* sel_bytes = nullptr;
+  size_t sel_size = 0;
+  if (!reader.ReadLengthPrefixed(&sel_bytes, &sel_size)) {
     return Status::Corruption("sz: bad selection bits");
   }
-  BitReader selection(body.data() + bpos, sel_size);
-  bpos += sel_size;
+  BitReader selection(sel_bytes, sel_size);
 
-  uint64_t coef_size = 0;
-  if (!read_u64(&coef_size) || bpos + coef_size > body.size()) {
+  const uint8_t* coef_bytes = nullptr;
+  size_t coef_size = 0;
+  if (!reader.ReadLengthPrefixed(&coef_bytes, &coef_size)) {
     return Status::Corruption("sz: bad coef stream");
   }
   std::vector<uint32_t> coef_codes;
-  FXRZ_RETURN_IF_ERROR(
-      HuffmanDecode(body.data() + bpos, coef_size, &coef_codes));
-  bpos += coef_size;
+  FXRZ_RETURN_IF_ERROR(HuffmanDecode(coef_bytes, coef_size, &coef_codes));
 
-  uint64_t huff_size = 0;
-  if (!read_u64(&huff_size) || bpos + huff_size > body.size()) {
+  const uint8_t* huff_bytes = nullptr;
+  size_t huff_size = 0;
+  if (!reader.ReadLengthPrefixed(&huff_bytes, &huff_size)) {
     return Status::Corruption("sz: bad code stream");
   }
   std::vector<uint32_t> codes;
-  FXRZ_RETURN_IF_ERROR(HuffmanDecode(body.data() + bpos, huff_size, &codes));
-  bpos += huff_size;
+  FXRZ_RETURN_IF_ERROR(HuffmanDecode(huff_bytes, huff_size, &codes));
 
-  uint64_t raw_size = 0;
-  if (!read_u64(&raw_size) || bpos + raw_size > body.size()) {
+  const uint8_t* raw = nullptr;
+  size_t raw_size = 0;
+  if (!reader.ReadLengthPrefixed(&raw, &raw_size)) {
     return Status::Corruption("sz: bad raw stream");
   }
-  const uint8_t* raw = body.data() + bpos;
   size_t raw_used = 0;
 
   Tensor result(dims);

@@ -220,31 +220,35 @@ std::vector<uint8_t> Sz3Compressor::Compress(const Tensor& data,
 Status Sz3Compressor::Decompress(const uint8_t* data, size_t size,
                                  Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
+  ByteReader archive(data, size);
   std::vector<size_t> dims;
-  size_t pos = 0;
   FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
+      compressor_internal::ParseHeader(&archive, kMagic, &dims));
 
   std::vector<uint8_t> body;
-  FXRZ_RETURN_IF_ERROR(ZliteDecompress(data + pos, size - pos, &body));
-  if (body.size() < 16) return Status::Corruption("sz3: short body");
+  FXRZ_RETURN_IF_ERROR(
+      ZliteDecompress(archive.cursor(), archive.remaining(), &body));
 
-  const double eb = ReadDouble(body.data());
-  if (!(eb > 0.0)) return Status::Corruption("sz3: bad error bound");
+  ByteReader reader(body);
+  double eb = 0.0;
+  if (!reader.ReadF64(&eb)) return Status::Corruption("sz3: short body");
+  if (!std::isfinite(eb) || eb <= 0.0) {
+    return Status::Corruption("sz3: bad error bound");
+  }
   const double bin = 2.0 * eb;
-  const uint64_t huff_size = ReadUint64(body.data() + 8);
-  if (16 + huff_size > body.size()) return Status::Corruption("sz3: trunc");
+  const uint8_t* huff_bytes = nullptr;
+  size_t huff_size = 0;
+  if (!reader.ReadLengthPrefixed(&huff_bytes, &huff_size)) {
+    return Status::Corruption("sz3: trunc");
+  }
   std::vector<uint32_t> codes;
-  FXRZ_RETURN_IF_ERROR(HuffmanDecode(body.data() + 16, huff_size, &codes));
+  FXRZ_RETURN_IF_ERROR(HuffmanDecode(huff_bytes, huff_size, &codes));
 
-  size_t raw_pos = 16 + huff_size;
-  if (raw_pos + 8 > body.size()) return Status::Corruption("sz3: no raw size");
-  const uint64_t raw_size = ReadUint64(body.data() + raw_pos);
-  raw_pos += 8;
-  if (raw_pos + raw_size > body.size()) {
+  const uint8_t* raw = nullptr;
+  size_t raw_size = 0;
+  if (!reader.ReadLengthPrefixed(&raw, &raw_size)) {
     return Status::Corruption("sz3: truncated raw");
   }
-  const uint8_t* raw = body.data() + raw_pos;
   size_t raw_used = 0;
 
   Tensor result(dims);

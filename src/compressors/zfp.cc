@@ -422,19 +422,29 @@ std::vector<uint8_t> ZfpCompressor::CompressFixedRate(
 Status ZfpCompressor::Decompress(const uint8_t* data, size_t size,
                                  Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
+  ByteReader reader(data, size);
   std::vector<size_t> dims;
-  size_t pos = 0;
   FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos));
-  if (pos + 17 > size) return Status::Corruption("zfp: short header");
-  const Mode mode = static_cast<Mode>(data[pos]);
+      compressor_internal::ParseHeader(&reader, kMagic, &dims));
+  uint8_t mode_byte = 0;
+  double param = 0.0;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+  if (!reader.ReadU8(&mode_byte) || !reader.ReadF64(&param) ||
+      !reader.ReadLengthPrefixed(&payload, &payload_size)) {
+    return Status::Corruption("zfp: short header");
+  }
+  const Mode mode = static_cast<Mode>(mode_byte);
   if (mode != Mode::kFixedAccuracy && mode != Mode::kFixedRate) {
     return Status::Corruption("zfp: bad mode");
   }
-  const double param = ReadDouble(data + pos + 1);
-  const uint64_t payload_size = ReadUint64(data + pos + 9);
-  pos += 17;
-  if (pos + payload_size > size) return Status::Corruption("zfp: truncated");
+  // The parameter comes from the stream: reject values the encoder can
+  // never produce before they feed a float->int cast (fixed-rate budget)
+  // or an unbounded min_plane loop.
+  if (!std::isfinite(param) || param <= 0.0 ||
+      (mode == Mode::kFixedRate && param > 64.0)) {
+    return Status::Corruption("zfp: bad parameter");
+  }
 
   Tensor result(dims);
   const BlockLayout lay = MakeBlockLayout(dims);
@@ -446,7 +456,7 @@ Status ZfpCompressor::Decompress(const uint8_t* data, size_t size,
                         std::ceil(param * static_cast<double>(lay.block_elems))))
           : -1;
 
-  BitReader br(data + pos, payload_size);
+  BitReader br(payload, payload_size);
   float block[64];
   uint64_t coeffs[64];
   for (size_t s = 0; s < lay.num_slices; ++s) {
@@ -488,6 +498,7 @@ Status ZfpCompressor::Decompress(const uint8_t* data, size_t size,
       }
     }
   }
+  if (br.overrun()) return Status::Corruption("zfp: truncated payload");
   *out = std::move(result);
   return Status::Ok();
 }

@@ -10,6 +10,7 @@
 #include "src/ml/cross_validation.h"
 #include "src/ml/random_forest.h"
 #include "src/ml/svr.h"
+#include "src/util/byte_reader.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
@@ -360,28 +361,36 @@ Status FxrzModel::SaveToBytes(std::vector<uint8_t>* out) const {
 }
 
 Status FxrzModel::LoadFromBytes(const uint8_t* data, size_t size) {
-  if (size < 55) return Status::Corruption("fxrz model: short stream");
-  if (ReadUint32(data) != kModelMagic) {
+  ByteReader reader(data, size);
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic) || magic != kModelMagic) {
     return Status::Corruption("fxrz model: bad magic");
   }
-  log_scale_ = data[4] != 0;
-  integer_ = data[5] != 0;
-  options_ = FxrzTrainingOptions();
-  analysis_cache_.Clear();
-  options_.use_ca = data[6] != 0;
-  options_.features.stride = ReadUint32(data + 7);
-  if (options_.features.stride == 0 || options_.features.stride > 64) {
+  uint8_t log_scale = 0, integer = 0, use_ca = 0;
+  uint32_t stride = 0;
+  if (!reader.ReadU8(&log_scale) || !reader.ReadU8(&integer) ||
+      !reader.ReadU8(&use_ca) || !reader.ReadU32(&stride)) {
+    return Status::Corruption("fxrz model: short stream");
+  }
+  if (stride == 0 || stride > 64) {
     return Status::Corruption("fxrz model: bad stride");
   }
-  options_.ca.lambda = ReadDouble(data + 11);
-  knob_min_ = ReadDouble(data + 19);
-  knob_max_ = ReadDouble(data + 27);
-  ratio_min_ = ReadDouble(data + 35);
-  ratio_max_ = ReadDouble(data + 43);
-  options_.feature_mask = ReadUint32(data + 51);
+  log_scale_ = log_scale != 0;
+  integer_ = integer != 0;
+  options_ = FxrzTrainingOptions();
+  analysis_cache_.Clear();
+  options_.use_ca = use_ca != 0;
+  options_.features.stride = stride;
+  if (!reader.ReadF64(&options_.ca.lambda) || !reader.ReadF64(&knob_min_) ||
+      !reader.ReadF64(&knob_max_) || !reader.ReadF64(&ratio_min_) ||
+      !reader.ReadF64(&ratio_max_) ||
+      !reader.ReadU32(&options_.feature_mask)) {
+    return Status::Corruption("fxrz model: short stream");
+  }
   auto rfr = std::make_unique<RandomForestRegressor>();
   size_t consumed = 0;
-  FXRZ_RETURN_IF_ERROR(rfr->Deserialize(data + 55, size - 55, &consumed));
+  FXRZ_RETURN_IF_ERROR(
+      rfr->Deserialize(reader.cursor(), reader.remaining(), &consumed));
   model_ = std::move(rfr);
   return Status::Ok();
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/encoding/bit_stream.h"
+#include "src/util/byte_reader.h"
 #include "src/util/check.h"
 
 namespace fxrz {
@@ -52,35 +53,39 @@ void SerializeTensor(const Tensor& t, std::vector<uint8_t>* out) {
 Status DeserializeTensor(const uint8_t* data, size_t size, size_t* pos,
                          Tensor* out) {
   FXRZ_CHECK(pos != nullptr && out != nullptr);
-  size_t p = *pos;
-  if (p + 8 > size) return Status::Corruption("tensor: short header");
-  if (ReadUint32(data + p) != kTensorMagic) {
-    return Status::Corruption("tensor: bad magic");
+  if (*pos > size) return Status::Corruption("tensor: bad offset");
+  ByteReader reader(data + *pos, size - *pos);
+  uint32_t magic = 0, rank = 0;
+  if (!reader.ReadU32(&magic) || !reader.ReadU32(&rank)) {
+    return Status::Corruption("tensor: short header");
   }
-  const uint32_t rank = ReadUint32(data + p + 4);
+  if (magic != kTensorMagic) return Status::Corruption("tensor: bad magic");
   if (rank == 0 || rank > Tensor::kMaxRank) {
     return Status::Corruption("tensor: bad rank");
   }
-  p += 8;
-  if (p + 8ull * rank > size) return Status::Corruption("tensor: short dims");
   std::vector<size_t> dims(rank);
   size_t total = 1;
   for (uint32_t i = 0; i < rank; ++i) {
-    dims[i] = ReadUint64(data + p);
-    if (dims[i] == 0 || dims[i] > (1ull << 40)) {
+    uint64_t dim = 0;
+    if (!reader.ReadU64(&dim)) return Status::Corruption("tensor: short dims");
+    // The product must stay far below overflow: every element also needs
+    // four payload bytes, so anything beyond the remaining byte count is
+    // corrupt regardless of the allocation it would demand.
+    if (dim == 0 || dim > (1ull << 40) ||
+        total > reader.remaining() / sizeof(float) / dim + 1) {
       return Status::Corruption("tensor: bad dim");
     }
+    dims[i] = static_cast<size_t>(dim);
     total *= dims[i];
-    p += 8;
   }
-  if (p + total * sizeof(float) > size) {
+  const uint8_t* payload = nullptr;
+  if (!reader.ReadSpan(total * sizeof(float), &payload)) {
     return Status::Corruption("tensor: short payload");
   }
   std::vector<float> values(total);
-  std::memcpy(values.data(), data + p, total * sizeof(float));
-  p += total * sizeof(float);
+  std::memcpy(values.data(), payload, total * sizeof(float));
   *out = Tensor(std::move(dims), std::move(values));
-  *pos = p;
+  *pos += reader.position();
   return Status::Ok();
 }
 

@@ -57,7 +57,7 @@ class BitReader {
   explicit BitReader(const std::vector<uint8_t>& bytes)
       : BitReader(bytes.data(), bytes.size()) {}
 
-  // Reads one bit; returns 0 past the end (callers validate via Exhausted()).
+  // Reads one bit; returns 0 past the end (callers validate via ok()).
   uint32_t ReadBit() {
     if (pos_ >= size_bits_) {
       overrun_ = true;
@@ -77,6 +77,31 @@ class BitReader {
     }
     return v;
   }
+
+  // Checked variants: fail (and set the sticky overrun flag) instead of
+  // silently zero-filling, so decoders can distinguish "stream exhausted"
+  // from a legitimate zero bit at the read site.
+  bool ReadBitChecked(uint32_t* bit) {
+    if (pos_ >= size_bits_) {
+      overrun_ = true;
+      return false;
+    }
+    *bit = ReadBit();
+    return true;
+  }
+
+  bool ReadBitsChecked(size_t count, uint64_t* value) {
+    FXRZ_DCHECK(count <= 64);
+    if (overrun_ || count > bits_remaining()) {
+      overrun_ = true;
+      return false;
+    }
+    *value = ReadBits(count);
+    return true;
+  }
+
+  // True while no read has gone past the end of the buffer.
+  bool ok() const { return !overrun_; }
 
   // True when a read went past the end of the buffer.
   bool overrun() const { return overrun_; }

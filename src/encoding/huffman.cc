@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "src/encoding/bit_stream.h"
+#include "src/util/byte_reader.h"
 #include "src/util/check.h"
 
 namespace fxrz {
@@ -169,24 +170,31 @@ Status HuffmanDecode(const uint8_t* data, size_t size,
                      std::vector<uint32_t>* out) {
   FXRZ_CHECK(out != nullptr);
   out->clear();
-  if (size < 12) return Status::Corruption("huffman: short header");
-  const uint64_t num_symbols = ReadUint64(data);
-  const uint32_t num_entries = ReadUint32(data + 8);
-  size_t pos = 12;
+  ByteReader reader(data, size);
+  uint64_t num_symbols = 0;
+  uint32_t num_entries = 0;
+  if (!reader.ReadU64(&num_symbols) ||
+      !reader.ReadCountU32(&num_entries, /*min_bytes_per_item=*/5)) {
+    return Status::Corruption("huffman: short header");
+  }
   if (num_symbols == 0) return Status::Ok();
   if (num_entries == 0) return Status::Corruption("huffman: empty table");
-  if (pos + static_cast<size_t>(num_entries) * 5 + 8 > size) {
-    return Status::Corruption("huffman: truncated table");
+  // Every symbol costs at least one payload bit, so a valid stream can
+  // never claim more symbols than the bytes after the table could encode.
+  // Rejecting here keeps a forged count from driving a huge allocation.
+  if (num_symbols > reader.remaining() * 8) {
+    return Status::Corruption("huffman: implausible symbol count");
   }
 
   std::vector<SymbolLength> entries(num_entries);
   for (uint32_t i = 0; i < num_entries; ++i) {
-    entries[i].symbol = ReadUint32(data + pos);
-    entries[i].length = data[pos + 4];
+    if (!reader.ReadU32(&entries[i].symbol) ||
+        !reader.ReadU8(&entries[i].length)) {
+      return Status::Corruption("huffman: truncated table");
+    }
     if (entries[i].length == 0 || entries[i].length > kMaxCodeLength) {
       return Status::Corruption("huffman: bad code length");
     }
-    pos += 5;
   }
   const CanonicalTable table = BuildCanonical(std::move(entries));
 
@@ -206,21 +214,28 @@ Status HuffmanDecode(const uint8_t* data, size_t size,
     }
   }
 
-  const uint64_t payload_bytes = ReadUint64(data + pos);
-  pos += 8;
-  if (pos + payload_bytes > size) {
+  const uint8_t* payload = nullptr;
+  size_t payload_bytes = 0;
+  if (!reader.ReadLengthPrefixed(&payload, &payload_bytes)) {
     return Status::Corruption("huffman: truncated payload");
   }
-  BitReader br(data + pos, payload_bytes);
+  if (num_symbols > payload_bytes * 8) {
+    return Status::Corruption("huffman: implausible symbol count");
+  }
+  BitReader br(payload, payload_bytes);
 
   out->reserve(num_symbols);
   for (uint64_t i = 0; i < num_symbols; ++i) {
     uint64_t code = 0;
     size_t len = 0;
     for (;;) {
-      code = (code << 1) | br.ReadBit();
+      uint32_t bit = 0;
+      if (!br.ReadBitChecked(&bit)) {
+        return Status::Corruption("huffman: truncated code stream");
+      }
+      code = (code << 1) | bit;
       ++len;
-      if (len > table.max_length || br.overrun()) {
+      if (len > table.max_length) {
         return Status::Corruption("huffman: invalid code");
       }
       if (count[len] > 0 && code < first_code[len] + count[len] &&

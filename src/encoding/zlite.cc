@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/encoding/bit_stream.h"
+#include "src/util/byte_reader.h"
 
 namespace fxrz {
 
@@ -92,27 +93,51 @@ Status ZliteDecompress(const uint8_t* data, size_t size,
                        std::vector<uint8_t>* out) {
   FXRZ_CHECK(out != nullptr);
   out->clear();
-  if (size < 16) return Status::Corruption("zlite: short header");
-  const uint64_t raw_size = ReadUint64(data);
-  const uint64_t payload_bytes = ReadUint64(data + 8);
-  if (16 + payload_bytes > size) return Status::Corruption("zlite: truncated");
+  ByteReader reader(data, size);
+  uint64_t raw_size = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_bytes = 0;
+  if (!reader.ReadU64(&raw_size) ||
+      !reader.ReadLengthPrefixed(&payload, &payload_bytes)) {
+    return Status::Corruption("zlite: truncated");
+  }
   if (raw_size == 0) return Status::Ok();
+  // A match token (25 bits) emits at most kMaxMatch bytes, so the payload
+  // bounds how much output a valid stream can produce. Rejecting forged
+  // sizes here keeps the reserve() below from becoming a huge allocation.
+  const uint64_t max_output = payload_bytes * 8ull / 25ull * kMaxMatch +
+                              kMaxMatch;
+  if (raw_size > max_output) {
+    return Status::Corruption("zlite: implausible raw size");
+  }
 
-  BitReader br(data + 16, payload_bytes);
+  BitReader br(payload, payload_bytes);
   out->reserve(raw_size);
   while (out->size() < raw_size) {
-    if (br.overrun()) return Status::Corruption("zlite: stream overrun");
-    if (br.ReadBit()) {
-      const size_t off = static_cast<size_t>(br.ReadBits(16)) + 1;
-      const size_t len = static_cast<size_t>(br.ReadBits(8)) + kMinMatch;
+    uint32_t is_match = 0;
+    if (!br.ReadBitChecked(&is_match)) {
+      return Status::Corruption("zlite: stream overrun");
+    }
+    if (is_match) {
+      uint64_t off_bits = 0, len_bits = 0;
+      if (!br.ReadBitsChecked(16, &off_bits) ||
+          !br.ReadBitsChecked(8, &len_bits)) {
+        return Status::Corruption("zlite: truncated match");
+      }
+      const size_t off = static_cast<size_t>(off_bits) + 1;
+      const size_t len = static_cast<size_t>(len_bits) + kMinMatch;
       if (off > out->size()) return Status::Corruption("zlite: bad offset");
-      if (out->size() + len > raw_size) {
+      if (len > raw_size - out->size()) {
         return Status::Corruption("zlite: output overflow");
       }
       const size_t start = out->size() - off;
       for (size_t k = 0; k < len; ++k) out->push_back((*out)[start + k]);
     } else {
-      out->push_back(static_cast<uint8_t>(br.ReadBits(8)));
+      uint64_t literal = 0;
+      if (!br.ReadBitsChecked(8, &literal)) {
+        return Status::Corruption("zlite: truncated literal");
+      }
+      out->push_back(static_cast<uint8_t>(literal));
     }
   }
   return Status::Ok();

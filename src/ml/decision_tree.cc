@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/encoding/bit_stream.h"
+#include "src/util/byte_reader.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
@@ -161,21 +162,35 @@ void DecisionTreeRegressor::Serialize(std::vector<uint8_t>* out) const {
 }
 
 size_t DecisionTreeRegressor::Deserialize(const uint8_t* data, size_t size) {
-  if (size < 4) return 0;
-  const uint32_t count = ReadUint32(data);
-  const size_t need = 4 + static_cast<size_t>(count) * 28;
-  if (size < need) return 0;
-  nodes_.resize(count);
-  size_t pos = 4;
-  for (uint32_t i = 0; i < count; ++i) {
-    nodes_[i].feature = static_cast<int>(ReadUint32(data + pos));
-    nodes_[i].threshold = ReadDouble(data + pos + 4);
-    nodes_[i].left = static_cast<int>(ReadUint32(data + pos + 12));
-    nodes_[i].right = static_cast<int>(ReadUint32(data + pos + 16));
-    nodes_[i].value = ReadDouble(data + pos + 20);
-    pos += 28;
+  ByteReader reader(data, size);
+  uint32_t count = 0;
+  if (!reader.ReadCountU32(&count, /*min_bytes_per_item=*/28) || count == 0 ||
+      count > (1u << 24)) {
+    return 0;
   }
-  return pos;
+  nodes_.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t feature = 0, left = 0, right = 0;
+    if (!reader.ReadU32(&feature) || !reader.ReadF64(&nodes_[i].threshold) ||
+        !reader.ReadU32(&left) || !reader.ReadU32(&right) ||
+        !reader.ReadF64(&nodes_[i].value)) {
+      return 0;
+    }
+    nodes_[i].feature = static_cast<int>(feature);
+    nodes_[i].left = static_cast<int>(left);
+    nodes_[i].right = static_cast<int>(right);
+    // Predict() walks these indices unchecked; a corrupt stream must not be
+    // able to point a child out of range or back up the tree (cycle). Build
+    // emits children strictly after their parent, so valid trees always
+    // satisfy child > i.
+    if (nodes_[i].feature >= 0) {
+      if (left <= i || left >= count || right <= i || right >= count ||
+          feature > (1u << 20)) {
+        return 0;
+      }
+    }
+  }
+  return reader.position();
 }
 
 }  // namespace fxrz

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/encoding/bit_stream.h"
+#include "src/util/byte_reader.h"
 #include "src/util/check.h"
 
 namespace fxrz {
@@ -17,16 +18,16 @@ void AppendString(std::vector<uint8_t>* out, const std::string& s) {
   out->insert(out->end(), s.begin(), s.end());
 }
 
-Status ReadString(const uint8_t* data, size_t size, size_t* pos,
-                  std::string* out) {
-  if (*pos + 4 > size) return Status::Corruption("store: short string");
-  const uint32_t len = ReadUint32(data + *pos);
-  *pos += 4;
-  if (len > 4096 || *pos + len > size) {
+Status ReadString(ByteReader* reader, std::string* out) {
+  uint32_t len = 0;
+  if (!reader->ReadU32(&len) || len > 4096) {
     return Status::Corruption("store: bad string length");
   }
-  out->assign(reinterpret_cast<const char*>(data) + *pos, len);
-  *pos += len;
+  const uint8_t* bytes = nullptr;
+  if (!reader->ReadSpan(len, &bytes)) {
+    return Status::Corruption("store: short string");
+  }
+  out->assign(reinterpret_cast<const char*>(bytes), len);
   return Status::Ok();
 }
 
@@ -122,34 +123,33 @@ Status FieldStoreReader::FromBytes(std::vector<uint8_t> bytes) {
   entries_.clear();
   payload_spans_.clear();
 
-  const uint8_t* data = bytes_.data();
-  const size_t size = bytes_.size();
-  if (size < 12) return Status::Corruption("store: short header");
-  if (ReadUint32(data) != kStoreMagic) {
-    return Status::Corruption("store: bad magic");
-  }
-  if (ReadUint32(data + 4) != kStoreVersion) {
+  ByteReader reader(bytes_);
+  uint32_t magic = 0, version = 0, count = 0;
+  if (!reader.ReadU32(&magic)) return Status::Corruption("store: short header");
+  if (magic != kStoreMagic) return Status::Corruption("store: bad magic");
+  if (!reader.ReadU32(&version) || version != kStoreVersion) {
     return Status::Corruption("store: unsupported version");
   }
-  const uint32_t count = ReadUint32(data + 8);
-  size_t pos = 12;
+  // Each entry needs at least two string length prefixes plus the fixed
+  // 32-byte trailer; bound the count before looping.
+  if (!reader.ReadCountU32(&count, /*min_bytes_per_item=*/40)) {
+    return Status::Corruption("store: bad entry count");
+  }
   for (uint32_t i = 0; i < count; ++i) {
     FieldEntry e;
-    FXRZ_RETURN_IF_ERROR(ReadString(data, size, &pos, &e.name));
-    FXRZ_RETURN_IF_ERROR(ReadString(data, size, &pos, &e.compressor));
-    if (pos + 32 > size) return Status::Corruption("store: short entry");
-    e.target_ratio = ReadDouble(data + pos);
-    e.config = ReadDouble(data + pos + 8);
-    e.achieved_ratio = ReadDouble(data + pos + 16);
-    const uint64_t payload_size = ReadUint64(data + pos + 24);
-    pos += 32;
-    if (pos + payload_size > size) {
-      return Status::Corruption("store: truncated payload");
+    FXRZ_RETURN_IF_ERROR(ReadString(&reader, &e.name));
+    FXRZ_RETURN_IF_ERROR(ReadString(&reader, &e.compressor));
+    const uint8_t* payload = nullptr;
+    size_t payload_size = 0;
+    if (!reader.ReadF64(&e.target_ratio) || !reader.ReadF64(&e.config) ||
+        !reader.ReadF64(&e.achieved_ratio) ||
+        !reader.ReadLengthPrefixed(&payload, &payload_size)) {
+      return Status::Corruption("store: truncated entry");
     }
     e.compressed_bytes = payload_size;
     entries_.push_back(std::move(e));
-    payload_spans_.emplace_back(pos, payload_size);
-    pos += payload_size;
+    payload_spans_.emplace_back(
+        static_cast<size_t>(payload - bytes_.data()), payload_size);
   }
   return Status::Ok();
 }
@@ -172,7 +172,13 @@ Status FieldStoreReader::ReadField(const std::string& name,
   FXRZ_CHECK(out != nullptr);
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].name != name) continue;
-    const auto comp = MakeCompressor(entries_[i].compressor);
+    // The compressor name came from the archive: don't let a corrupt entry
+    // hit the aborting factory.
+    const auto comp = MakeCompressorOrNull(entries_[i].compressor);
+    if (comp == nullptr) {
+      return Status::Corruption("store: unknown compressor '" +
+                                entries_[i].compressor + "'");
+    }
     const auto [offset, size] = payload_spans_[i];
     return comp->Decompress(bytes_.data() + offset, size, out);
   }

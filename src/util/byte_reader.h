@@ -1,0 +1,156 @@
+// Bounds-checked sequential reader over an untrusted byte span.
+//
+// Every archive and model decoder in FXRZ parses attacker-controllable
+// bytes (corrupt files, bit-flipped streams). ByteReader makes the parse
+// side safe by construction: every accessor validates against the bytes
+// actually remaining -- using subtraction, never `pos + len` sums that can
+// wrap -- and failure is sticky, so a parse function can issue a sequence
+// of reads and check ok() once. No read ever touches memory outside the
+// wrapped span.
+//
+// Typical use:
+//
+//   ByteReader r(data, size);
+//   uint32_t magic;
+//   double eb;
+//   const uint8_t* payload;
+//   size_t payload_len;
+//   if (!r.ReadU32(&magic) || !r.ReadF64(&eb) ||
+//       !r.ReadLengthPrefixed(&payload, &payload_len)) {
+//     return Status::Corruption("codec: truncated header");
+//   }
+
+#ifndef FXRZ_UTIL_BYTE_READER_H_
+#define FXRZ_UTIL_BYTE_READER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace fxrz {
+
+class ByteReader {
+ public:
+  // Wraps [data, data + size). Does not own the bytes; `data` may be null
+  // only when size == 0.
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  // False once any read has failed; all later reads fail too.
+  bool ok() const { return !failed_; }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  // Pointer to the next unread byte (valid while remaining() > 0).
+  const uint8_t* cursor() const { return data_ + pos_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (!Require(1)) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (!Require(4)) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    *v = r;
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (!Require(8)) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    *v = r;
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  // Hands out a view of the next `len` bytes and advances past them.
+  bool ReadSpan(size_t len, const uint8_t** span) {
+    if (!Require(len)) return false;
+    *span = data_ + pos_;
+    pos_ += len;
+    return true;
+  }
+
+  // Reads a u64 byte count followed by that many bytes. The count is
+  // validated against remaining() before any use, so a forged length can
+  // neither wrap an address computation nor hand the caller an
+  // out-of-bounds span.
+  bool ReadLengthPrefixed(const uint8_t** span, size_t* len) {
+    uint64_t n = 0;
+    if (!ReadU64(&n)) return false;
+    if (n > remaining()) return Fail();
+    *span = data_ + pos_;
+    *len = static_cast<size_t>(n);
+    pos_ += *len;
+    return true;
+  }
+
+  // Reads an element count that must satisfy
+  // count * min_bytes_per_item <= remaining(); rejects counts a truncated
+  // stream cannot possibly back, before the caller allocates for them.
+  bool ReadCountU32(uint32_t* count, size_t min_bytes_per_item) {
+    uint32_t n = 0;
+    if (!ReadU32(&n)) return false;
+    if (min_bytes_per_item > 0 && n > remaining() / min_bytes_per_item) {
+      return Fail();
+    }
+    *count = n;
+    return true;
+  }
+
+  bool Skip(size_t len) {
+    if (!Require(len)) return false;
+    pos_ += len;
+    return true;
+  }
+
+  // Ok while no read has failed, otherwise Corruption naming `context`.
+  Status ToStatus(const std::string& context) const {
+    if (ok()) return Status::Ok();
+    return Status::Corruption(context + ": truncated or malformed stream");
+  }
+
+ private:
+  bool Require(size_t len) {
+    if (failed_ || len > remaining()) return Fail();
+    return true;
+  }
+
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_UTIL_BYTE_READER_H_

@@ -1,0 +1,136 @@
+// Unit tests for the bounds-checked archive parse layer. Every decoder in
+// the tree routes its untrusted reads through ByteReader, so the guarantees
+// verified here (sticky failure, overflow-safe length checks, exact
+// little-endian decoding) underwrite all of them.
+
+#include "src/util/byte_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace fxrz {
+namespace {
+
+std::vector<uint8_t> U64Bytes(uint64_t v) {
+  std::vector<uint8_t> out(8);
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+  return out;
+}
+
+TEST(ByteReaderTest, ReadsLittleEndianScalars) {
+  const std::vector<uint8_t> bytes = {0x01, 0x02, 0x03, 0x04, 0x05,
+                                      0x06, 0x07, 0x08, 0x09, 0xff};
+  ByteReader reader(bytes);
+  uint8_t u8 = 0;
+  ASSERT_TRUE(reader.ReadU8(&u8));
+  EXPECT_EQ(u8, 0x01);
+  uint32_t u32 = 0;
+  ASSERT_TRUE(reader.ReadU32(&u32));
+  EXPECT_EQ(u32, 0x05040302u);
+  EXPECT_EQ(reader.position(), 5u);
+  EXPECT_EQ(reader.remaining(), 5u);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(ByteReaderTest, ReadF64RoundTripsBits) {
+  const double value = -123.456;
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const std::vector<uint8_t> bytes = U64Bytes(bits);
+  ByteReader reader(bytes);
+  double out = 0;
+  ASSERT_TRUE(reader.ReadF64(&out));
+  EXPECT_EQ(out, value);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteReaderTest, FailureIsSticky) {
+  const std::vector<uint8_t> bytes = {0x01, 0x02};
+  ByteReader reader(bytes);
+  uint32_t u32 = 0;
+  EXPECT_FALSE(reader.ReadU32(&u32));  // only 2 bytes left
+  EXPECT_FALSE(reader.ok());
+  uint8_t u8 = 0;
+  EXPECT_FALSE(reader.ReadU8(&u8));  // would fit, but reader already failed
+  EXPECT_FALSE(reader.ToStatus("test").ok());
+}
+
+TEST(ByteReaderTest, EmptyBufferIsOkUntilRead) {
+  ByteReader reader(nullptr, 0);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  uint8_t u8 = 0;
+  EXPECT_FALSE(reader.ReadU8(&u8));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteReaderTest, LengthPrefixRejectsOverflowingCount) {
+  // A u64 length prefix of 2^64 - 8 must not wrap the bounds check.
+  std::vector<uint8_t> bytes = U64Bytes(std::numeric_limits<uint64_t>::max() - 7);
+  bytes.push_back(0xaa);
+  ByteReader reader(bytes);
+  const uint8_t* span = nullptr;
+  size_t len = 0;
+  EXPECT_FALSE(reader.ReadLengthPrefixed(&span, &len));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteReaderTest, LengthPrefixReadsExactSpan) {
+  std::vector<uint8_t> bytes = U64Bytes(3);
+  bytes.insert(bytes.end(), {0x10, 0x20, 0x30, 0x40});
+  ByteReader reader(bytes);
+  const uint8_t* span = nullptr;
+  size_t len = 0;
+  ASSERT_TRUE(reader.ReadLengthPrefixed(&span, &len));
+  EXPECT_EQ(len, 3u);
+  EXPECT_EQ(span[0], 0x10);
+  EXPECT_EQ(span[2], 0x30);
+  EXPECT_EQ(reader.remaining(), 1u);
+}
+
+TEST(ByteReaderTest, CountRejectsImplausibleElementCounts) {
+  // Claimed count of 2^31 entries at >= 8 bytes each cannot fit in a
+  // 12-byte buffer; the check must fire before any allocation.
+  std::vector<uint8_t> bytes = {0x00, 0x00, 0x00, 0x80};  // count = 2^31
+  bytes.resize(12, 0);
+  ByteReader reader(bytes);
+  uint32_t count = 0;
+  EXPECT_FALSE(reader.ReadCountU32(&count, /*min_bytes_per_item=*/8));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteReaderTest, CountAcceptsPlausibleElementCounts) {
+  std::vector<uint8_t> bytes = {0x02, 0x00, 0x00, 0x00};  // count = 2
+  bytes.resize(4 + 2 * 8, 0);
+  ByteReader reader(bytes);
+  uint32_t count = 0;
+  ASSERT_TRUE(reader.ReadCountU32(&count, /*min_bytes_per_item=*/8));
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(ByteReaderTest, SkipAndSpanAdvance) {
+  const std::vector<uint8_t> bytes = {1, 2, 3, 4, 5, 6};
+  ByteReader reader(bytes);
+  ASSERT_TRUE(reader.Skip(2));
+  const uint8_t* span = nullptr;
+  ASSERT_TRUE(reader.ReadSpan(3, &span));
+  EXPECT_EQ(span[0], 3);
+  EXPECT_EQ(reader.cursor()[0], 6);
+  EXPECT_FALSE(reader.Skip(2));  // only 1 byte left
+}
+
+TEST(ByteReaderTest, ToStatusCarriesContext) {
+  ByteReader reader(nullptr, 0);
+  EXPECT_TRUE(reader.ToStatus("ctx").ok());
+  uint8_t u8 = 0;
+  (void)reader.ReadU8(&u8);
+  const Status st = reader.ToStatus("ctx");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ctx"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full local CI matrix: release build + tests, ThreadSanitizer build +
+# tests, ASan+UBSan build + tests (including the fuzz-corpus replay
+# harnesses), then the clang-tidy lint pass. Mirrors what the acceptance
+# gate for the decode-hardening work requires.
+#
+# Usage: tools/ci.sh [JOBS]
+
+set -euo pipefail
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$build_dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [$name] test ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+run_config release build-ci-release \
+  -DCMAKE_BUILD_TYPE=Release
+
+run_config thread build-ci-tsan \
+  -DFXRZ_SANITIZE=thread \
+  -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
+
+run_config asan-ubsan build-ci-asan \
+  -DFXRZ_SANITIZE=address,undefined -DFXRZ_FUZZ=ON \
+  -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
+
+echo "=== lint ==="
+cmake --build build-ci-release --target lint
+
+echo "=== CI matrix passed ==="
