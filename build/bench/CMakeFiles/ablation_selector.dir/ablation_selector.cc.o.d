@@ -207,8 +207,9 @@ bench/CMakeFiles/ablation_selector.dir/ablation_selector.cc.o: \
  /root/repo/src/../src/compressors/compressor.h \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/selector.h /root/repo/src/../src/core/model.h \
  /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

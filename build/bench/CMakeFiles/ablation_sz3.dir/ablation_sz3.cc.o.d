@@ -230,10 +230,14 @@ bench/CMakeFiles/ablation_sz3.dir/ablation_sz3.cc.o: \
  /root/repo/src/../src/compressors/compressor.h \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/augmentation.h \
- /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/model.h \
+ /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/guard.h \
+ /root/repo/src/../src/core/drift.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/../src/fraz/fraz.h /root/repo/src/../src/core/model.h \
  /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \

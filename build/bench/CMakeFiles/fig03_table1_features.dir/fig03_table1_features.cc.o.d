@@ -206,8 +206,9 @@ bench/CMakeFiles/fig03_table1_features.dir/fig03_table1_features.cc.o: \
  /root/repo/src/../src/compressors/compressor.h \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/data/generators/hurricane.h \
  /root/repo/src/../src/data/generators/nyx.h \

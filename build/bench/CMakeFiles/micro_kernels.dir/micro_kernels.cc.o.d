@@ -219,7 +219,8 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/../src/util/status.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/features.h /root/repo/src/../src/data/fft.h \
  /usr/include/c++/12/complex /usr/include/c++/12/cmath \

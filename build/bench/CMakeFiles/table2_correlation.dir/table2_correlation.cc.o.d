@@ -232,7 +232,8 @@ bench/CMakeFiles/table2_correlation.dir/table2_correlation.cc.o: \
  /root/repo/src/../src/compressors/compressor.h \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/data/statistics.h

@@ -228,8 +228,9 @@ examples/CMakeFiles/example_rate_distortion_explorer.dir/rate_distortion_explore
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/util/byte_reader.h \
- /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/data/generators/hurricane.h \
  /root/repo/src/../src/data/generators/nyx.h \
  /root/repo/src/../src/data/generators/qmcpack.h \

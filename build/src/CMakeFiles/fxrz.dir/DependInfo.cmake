@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/compressibility.cc" "src/CMakeFiles/fxrz.dir/core/compressibility.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/compressibility.cc.o.d"
   "/root/repo/src/core/drift.cc" "src/CMakeFiles/fxrz.dir/core/drift.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/drift.cc.o.d"
   "/root/repo/src/core/features.cc" "src/CMakeFiles/fxrz.dir/core/features.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/features.cc.o.d"
+  "/root/repo/src/core/guard.cc" "src/CMakeFiles/fxrz.dir/core/guard.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/guard.cc.o.d"
   "/root/repo/src/core/model.cc" "src/CMakeFiles/fxrz.dir/core/model.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/model.cc.o.d"
   "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/fxrz.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/pipeline.cc.o.d"
   "/root/repo/src/core/selector.cc" "src/CMakeFiles/fxrz.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/core/selector.cc.o.d"
@@ -54,6 +55,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/parallel/event_io.cc" "src/CMakeFiles/fxrz.dir/parallel/event_io.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/parallel/event_io.cc.o.d"
   "/root/repo/src/parallel/io_model.cc" "src/CMakeFiles/fxrz.dir/parallel/io_model.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/parallel/io_model.cc.o.d"
   "/root/repo/src/store/field_store.cc" "src/CMakeFiles/fxrz.dir/store/field_store.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/store/field_store.cc.o.d"
+  "/root/repo/src/util/fault_injection.cc" "src/CMakeFiles/fxrz.dir/util/fault_injection.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/util/fault_injection.cc.o.d"
   "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/fxrz.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/util/thread_pool.cc.o.d"
   )
 

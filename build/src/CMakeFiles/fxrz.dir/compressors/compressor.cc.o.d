@@ -205,11 +205,13 @@ src/CMakeFiles/fxrz.dir/compressors/compressor.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/compressors/fpzip.h \
  /root/repo/src/../src/compressors/mgard.h \
  /root/repo/src/../src/compressors/sz.h \
  /root/repo/src/../src/compressors/sz3.h \
  /root/repo/src/../src/compressors/zfp.h \
- /root/repo/src/../src/encoding/bit_stream.h
+ /root/repo/src/../src/encoding/bit_stream.h \
+ /root/repo/src/../src/util/fault_injection.h

@@ -205,8 +205,9 @@ src/CMakeFiles/fxrz.dir/core/verify.cc.o: /root/repo/src/core/verify.cc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/data/statistics.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/compressors/decode_hardening_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/decode_hardening_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/decode_hardening_test.cc.o.d"
   "/root/repo/tests/compressors/fpzip_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/fpzip_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/fpzip_test.cc.o.d"
   "/root/repo/tests/compressors/mgard_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/mgard_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/mgard_test.cc.o.d"
+  "/root/repo/tests/compressors/nonfinite_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/nonfinite_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/nonfinite_test.cc.o.d"
   "/root/repo/tests/compressors/relative_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/relative_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/relative_test.cc.o.d"
   "/root/repo/tests/compressors/roundtrip_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/roundtrip_test.cc.o.d"
   "/root/repo/tests/compressors/sz3_test.cc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz3_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/compressors/sz3_test.cc.o.d"
@@ -23,7 +24,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/budget_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/budget_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/budget_test.cc.o.d"
   "/root/repo/tests/core/compressibility_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/compressibility_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/compressibility_test.cc.o.d"
   "/root/repo/tests/core/drift_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/drift_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/drift_test.cc.o.d"
+  "/root/repo/tests/core/fault_ladder_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/fault_ladder_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/fault_ladder_test.cc.o.d"
   "/root/repo/tests/core/features_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/features_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/features_test.cc.o.d"
+  "/root/repo/tests/core/guard_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/guard_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/guard_test.cc.o.d"
   "/root/repo/tests/core/model_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/model_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/model_test.cc.o.d"
   "/root/repo/tests/core/quality_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/quality_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/quality_test.cc.o.d"
   "/root/repo/tests/core/refinement_test.cc" "tests/CMakeFiles/fxrz_tests.dir/core/refinement_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/core/refinement_test.cc.o.d"
@@ -49,6 +52,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/parallel/parallel_test.cc" "tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o.d"
   "/root/repo/tests/store/field_store_test.cc" "tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o.d"
   "/root/repo/tests/util/byte_reader_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/byte_reader_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/byte_reader_test.cc.o.d"
+  "/root/repo/tests/util/fault_injection_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/fault_injection_test.cc.o.d"
   "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/random_test.cc.o.d"
   "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/status_test.cc.o.d"
   "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/thread_pool_test.cc.o.d"

@@ -205,8 +205,9 @@ tests/CMakeFiles/fxrz_tests.dir/compressors/chunked_test.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/../src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -234,10 +235,8 @@ tests/CMakeFiles/fxrz_tests.dir/compressors/chunked_test.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \

@@ -300,9 +300,9 @@ tests/CMakeFiles/fxrz_tests.dir/ml/cross_validation_test.cc.o: \
  /root/repo/src/../src/ml/metrics.h \
  /root/repo/src/../src/ml/random_forest.h \
  /root/repo/src/../src/ml/decision_tree.h \
- /root/repo/src/../src/util/status.h /root/repo/src/../src/util/random.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/../src/util/status.h /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/util/random.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -322,5 +322,4 @@ tests/CMakeFiles/fxrz_tests.dir/ml/cross_validation_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/../src/util/check.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc

@@ -319,5 +319,5 @@ tests/CMakeFiles/fxrz_tests.dir/ml/regressors_test.cc.o: \
  /root/repo/src/../src/ml/decision_tree.h \
  /root/repo/src/../src/ml/regressor.h \
  /root/repo/src/../src/ml/random_forest.h \
- /root/repo/src/../src/util/status.h /root/repo/src/../src/ml/svr.h \
- /root/repo/src/../src/util/random.h /root/repo/src/../src/util/check.h
+ /root/repo/src/../src/util/status.h /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/ml/svr.h /root/repo/src/../src/util/random.h

@@ -7,6 +7,7 @@
 #include "src/compressors/zfp.h"
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 
 namespace fxrz {
 
@@ -16,6 +17,28 @@ double Compressor::MeasureCompressionRatio(const Tensor& data,
   FXRZ_CHECK(!compressed.empty());
   return static_cast<double>(data.size_bytes()) /
          static_cast<double>(compressed.size());
+}
+
+Status Compressor::TryCompress(const Tensor& data, double config,
+                               std::vector<uint8_t>* out) const {
+  FXRZ_CHECK(out != nullptr);
+  if (fault::Hit(fault::Site::kCompressorCompress)) {
+    return Status::Internal("injected fault: " + name() + " Compress");
+  }
+  *out = Compress(data, config);
+  if (out->empty()) {
+    return Status::Internal(name() + ": Compress produced an empty archive");
+  }
+  return Status::Ok();
+}
+
+Status Compressor::TryDecompress(const uint8_t* data, size_t size,
+                                 Tensor* out) const {
+  FXRZ_CHECK(out != nullptr);
+  if (fault::Hit(fault::Site::kCompressorDecompress)) {
+    return Status::Internal("injected fault: " + name() + " Decompress");
+  }
+  return Decompress(data, size, out);
 }
 
 std::unique_ptr<Compressor> MakeCompressorOrNull(const std::string& name) {
@@ -58,6 +81,9 @@ void AppendHeader(std::vector<uint8_t>* out, uint32_t magic,
 Status ParseHeader(ByteReader* reader, uint32_t magic,
                    std::vector<size_t>* dims) {
   FXRZ_CHECK(reader != nullptr && dims != nullptr);
+  if (fault::Hit(fault::Site::kArchiveDecode)) {
+    return Status::Corruption("injected fault: archive decode");
+  }
   uint32_t got_magic = 0;
   uint32_t rank = 0;
   if (!reader->ReadU32(&got_magic) || !reader->ReadU32(&rank)) {

@@ -50,6 +50,16 @@ class Compressor {
   virtual Status Decompress(const uint8_t* data, size_t size,
                             Tensor* out) const = 0;
 
+  // Guarded entry points used by the serving layer (core/guard.*). They
+  // wrap the virtual Compress/Decompress with deterministic fault-injection
+  // points (util/fault_injection.h) and report degenerate outputs -- an
+  // empty archive, an unserved config -- as Status instead of leaving the
+  // caller to divide by a zero-sized archive. `config` must still lie
+  // inside config_space(data); callers clamp before invoking.
+  Status TryCompress(const Tensor& data, double config,
+                     std::vector<uint8_t>* out) const;
+  Status TryDecompress(const uint8_t* data, size_t size, Tensor* out) const;
+
   // Convenience: compresses and returns original_bytes / compressed_bytes.
   double MeasureCompressionRatio(const Tensor& data, double config) const;
 };

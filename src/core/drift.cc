@@ -13,8 +13,13 @@ DriftMonitor::DriftMonitor(size_t window, double threshold)
 }
 
 void DriftMonitor::Record(double target_ratio, double measured_ratio) {
-  FXRZ_CHECK_GT(target_ratio, 0.0);
-  FXRZ_CHECK_GT(measured_ratio, 0.0);
+  // Guarded: serving paths feed whatever they measured. A record that
+  // cannot anchor a meaningful relative error (non-positive or non-finite
+  // ratio on either side) is dropped instead of aborting the process.
+  if (!(target_ratio > 0.0) || !(measured_ratio > 0.0) ||
+      !std::isfinite(target_ratio) || !std::isfinite(measured_ratio)) {
+    return;
+  }
   const double err = std::fabs(target_ratio - measured_ratio) / target_ratio;
   errors_.push_back(err);
   error_sum_ += err;

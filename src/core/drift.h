@@ -22,7 +22,9 @@ class DriftMonitor {
   // recommended.
   explicit DriftMonitor(size_t window = 16, double threshold = 0.15);
 
-  // Records one dump's outcome. target_ratio > 0, measured_ratio > 0.
+  // Records one dump's outcome. Records whose relative error is undefined
+  // (non-positive or non-finite target/measured ratio) are ignored -- the
+  // monitor sits on the serving path and must never abort it.
   void Record(double target_ratio, double measured_ratio);
 
   // Rolling mean estimation error over the window (0 before any Record).

@@ -48,6 +48,7 @@ struct FeatureAccum {
   double mnd = 0.0, mld = 0.0, msd = 0.0, grad = 0.0;
   double grad_min = std::numeric_limits<double>::infinity();
   double grad_max = 0.0;
+  size_t finite_n = 0;  // samples contributing to range/mean
   size_t mnd_n = 0, mld_n = 0, msd_n = 0, grad_n = 0;
 
   void Merge(const FeatureAccum& o) {
@@ -58,6 +59,7 @@ struct FeatureAccum {
     mld += o.mld;
     msd += o.msd;
     grad += o.grad;
+    finite_n += o.finite_n;
     mnd_n += o.mnd_n;
     mld_n += o.mld_n;
     msd_n += o.msd_n;
@@ -134,9 +136,14 @@ void AccumulateSlab(const Tensor& s, size_t i0_lo, size_t i0_hi,
       const float* e = row + x;
       const double v = *e;
 
-      a->lo = std::min(a->lo, v);
-      a->hi = std::max(a->hi, v);
-      a->sum += v;
+      // Non-finite policy (see features.h): skip NaN/Inf samples and any
+      // stencil whose contribution is poisoned by one.
+      if (std::isfinite(v)) {
+        a->lo = std::min(a->lo, v);
+        a->hi = std::max(a->hi, v);
+        a->sum += v;
+        ++a->finite_n;
+      }
 
       // MND: |v - mean(adjacent neighbors along every dimension)|.
       {
@@ -152,8 +159,11 @@ void AccumulateSlab(const Tensor& s, size_t i0_lo, size_t i0_hi,
           ++n;
         }
         if (n > 0) {
-          a->mnd += std::fabs(v - nsum / static_cast<double>(n));
-          ++a->mnd_n;
+          const double contrib = std::fabs(v - nsum / static_cast<double>(n));
+          if (std::isfinite(contrib)) {
+            a->mnd += contrib;
+            ++a->mnd_n;
+          }
         }
       }
 
@@ -173,8 +183,11 @@ void AccumulateSlab(const Tensor& s, size_t i0_lo, size_t i0_hi,
                    e[-sy - 1] - e[-sz - 1] - e[-sz - sy] + e[-sz - sy - 1];
             break;
         }
-        a->mld += std::fabs(v - pred);
-        ++a->mld_n;
+        const double contrib = std::fabs(v - pred);
+        if (std::isfinite(contrib)) {
+          a->mld += contrib;
+          ++a->mld_n;
+        }
       }
 
       // MSD: 4-point cubic-spline fit -1/16, 9/16, 9/16, -1/16 at offsets
@@ -197,18 +210,24 @@ void AccumulateSlab(const Tensor& s, size_t i0_lo, size_t i0_hi,
           ++dims_used;
         }
         if (dims_used > 0) {
-          a->msd += std::fabs(v - fit_sum / static_cast<double>(dims_used));
-          ++a->msd_n;
+          const double contrib =
+              std::fabs(v - fit_sum / static_cast<double>(dims_used));
+          if (std::isfinite(contrib)) {
+            a->msd += contrib;
+            ++a->msd_n;
+          }
         }
       }
 
       // Gradient: |v - previous value| along the fastest dimension.
       if (x > 0) {
         const double g = std::fabs(e[0] - e[-1]);
-        a->grad += g;
-        a->grad_min = std::min(a->grad_min, g);
-        a->grad_max = std::max(a->grad_max, g);
-        ++a->grad_n;
+        if (std::isfinite(g)) {
+          a->grad += g;
+          a->grad_min = std::min(a->grad_min, g);
+          a->grad_max = std::max(a->grad_max, g);
+          ++a->grad_n;
+        }
       }
     }
 
@@ -224,10 +243,12 @@ void AccumulateSlab(const Tensor& s, size_t i0_lo, size_t i0_hi,
   }
 }
 
-FeatureVector Finalize(const FeatureAccum& t, size_t total_elems) {
+FeatureVector Finalize(const FeatureAccum& t) {
   FeatureVector f;
-  f.value_range = t.hi - t.lo;
-  f.mean_value = t.sum / static_cast<double>(total_elems);
+  // No finite samples at all: report all-zero features rather than the
+  // -inf range the empty extrema would produce.
+  f.value_range = t.finite_n ? t.hi - t.lo : 0.0;
+  f.mean_value = t.finite_n ? t.sum / static_cast<double>(t.finite_n) : 0.0;
   f.mnd = t.mnd_n ? t.mnd / static_cast<double>(t.mnd_n) : 0.0;
   f.mld = t.mld_n ? t.mld / static_cast<double>(t.mld_n) : 0.0;
   f.msd = t.msd_n ? t.msd / static_cast<double>(t.msd_n) : 0.0;
@@ -274,7 +295,7 @@ FeatureVector ExtractFeatures(const Tensor& data,
 
   FeatureAccum total;
   for (const FeatureAccum& p : partials) total.Merge(p);
-  return Finalize(total, s.size());
+  return Finalize(total);
 }
 
 FeatureVector ExtractFeaturesReference(const Tensor& data,
@@ -287,15 +308,22 @@ FeatureVector ExtractFeaturesReference(const Tensor& data,
 
   FeatureVector f;
 
-  // Range and mean.
-  double lo = s[0], hi = s[0], sum = 0.0;
+  // Range and mean (finite samples only; see the non-finite policy in
+  // features.h).
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  size_t finite_n = 0;
   for (size_t i = 0; i < s.size(); ++i) {
-    lo = std::min<double>(lo, s[i]);
-    hi = std::max<double>(hi, s[i]);
-    sum += s[i];
+    const double v = s[i];
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+    ++finite_n;
   }
-  f.value_range = hi - lo;
-  f.mean_value = sum / static_cast<double>(s.size());
+  f.value_range = finite_n ? hi - lo : 0.0;
+  f.mean_value = finite_n ? sum / static_cast<double>(finite_n) : 0.0;
 
   // MND: |v - mean(adjacent neighbors along every dimension)|.
   {
@@ -315,8 +343,12 @@ FeatureVector ExtractFeaturesReference(const Tensor& data,
         }
       }
       if (n > 0) {
-        acc += std::fabs(s[lin] - nsum / static_cast<double>(n));
-        ++count;
+        const double contrib =
+            std::fabs(s[lin] - nsum / static_cast<double>(n));
+        if (std::isfinite(contrib)) {
+          acc += contrib;
+          ++count;
+        }
       }
     });
     f.mnd = count ? acc / static_cast<double>(count) : 0.0;
@@ -354,8 +386,11 @@ FeatureVector ExtractFeaturesReference(const Tensor& data,
                  v(1, 0, 1) - v(1, 1, 0) + v(1, 1, 1);
           break;
       }
-      acc += std::fabs(s[lin] - pred);
-      ++count;
+      const double contrib = std::fabs(s[lin] - pred);
+      if (std::isfinite(contrib)) {
+        acc += contrib;
+        ++count;
+      }
     });
     f.mld = count ? acc / static_cast<double>(count) : 0.0;
   }
@@ -379,8 +414,12 @@ FeatureVector ExtractFeaturesReference(const Tensor& data,
         ++dims_used;
       }
       if (dims_used > 0) {
-        acc += std::fabs(s[lin] - fit_sum / static_cast<double>(dims_used));
-        ++count;
+        const double contrib =
+            std::fabs(s[lin] - fit_sum / static_cast<double>(dims_used));
+        if (std::isfinite(contrib)) {
+          acc += contrib;
+          ++count;
+        }
       }
     });
     f.msd = count ? acc / static_cast<double>(count) : 0.0;
@@ -396,6 +435,7 @@ FeatureVector ExtractFeaturesReference(const Tensor& data,
     ForEachIndex(s, [&](const std::vector<size_t>& idx, size_t lin) {
       if (idx[last] == 0) return;
       const double g = std::fabs(s[lin] - s[lin - 1]);
+      if (!std::isfinite(g)) return;
       acc += g;
       mn = std::min(mn, g);
       mx = std::max(mx, g);

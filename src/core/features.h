@@ -10,6 +10,15 @@
 // contribution is computed in one sweep with flat-index arithmetic, and the
 // outer dimension is split into fixed-size slabs whose partial sums are
 // merged in slab order -- so results are bit-identical at any thread count.
+//
+// Non-finite policy: NaN/Inf samples are SKIPPED. A sample contributes to
+// range/mean only when it is finite, and a stencil contribution (MND, MLD,
+// MSD, gradient) is accumulated only when it evaluates to a finite value --
+// so one NaN poisons neither the global sums nor its neighbors' counts.
+// All-finite tensors are bit-identical to the unguarded kernel. A tensor
+// with no finite samples yields all-zero features. (The guarded serving
+// layer rejects non-finite tensors at admission; this policy is defense in
+// depth for direct callers.)
 
 #ifndef FXRZ_CORE_FEATURES_H_
 #define FXRZ_CORE_FEATURES_H_

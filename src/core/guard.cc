@@ -1,0 +1,335 @@
+#include "src/core/guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "src/core/pipeline.h"
+
+namespace fxrz {
+
+const char* ServingTierName(ServingTier tier) {
+  switch (tier) {
+    case ServingTier::kRejected: return "rejected";
+    case ServingTier::kConstantField: return "constant-field";
+    case ServingTier::kModelEstimate: return "model-estimate";
+    case ServingTier::kRefined: return "refined";
+    case ServingTier::kFrazFallback: return "fraz-fallback";
+  }
+  return "?";
+}
+
+AdmissionReport AdmitTensor(const Tensor& data, double target_ratio) {
+  AdmissionReport report;
+  if (data.empty()) {
+    report.status = Status::InvalidArgument("admission: empty tensor");
+    return report;
+  }
+  if (!std::isfinite(target_ratio)) {
+    report.status =
+        Status::InvalidArgument("admission: non-finite target ratio");
+    return report;
+  }
+  if (target_ratio < 1.0 || target_ratio > 1e9) {
+    std::ostringstream msg;
+    msg << "admission: target ratio " << target_ratio
+        << " outside [1, 1e9]";
+    report.status = Status::InvalidArgument(msg.str());
+    return report;
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double v = data[i];
+    if (!std::isfinite(v)) {
+      ++report.nonfinite_values;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (report.nonfinite_values > 0) {
+    std::ostringstream msg;
+    msg << "admission: " << report.nonfinite_values << " of " << data.size()
+        << " values are NaN/Inf";
+    report.status = Status::InvalidArgument(msg.str());
+    return report;
+  }
+  report.constant_field = lo == hi;
+  report.admitted = true;
+  return report;
+}
+
+namespace {
+
+// One guarded compressor run: clamp the config into the space, compress
+// through the fault-instrumented wrapper, measure the achieved ratio.
+struct Attempt {
+  double config = 0.0;
+  double ratio = 0.0;
+  std::vector<uint8_t> bytes;
+};
+
+StatusOr<Attempt> AttemptCompress(const Compressor& compressor,
+                                  const Tensor& data, const ConfigSpace& space,
+                                  double config) {
+  Attempt attempt;
+  if (space.integer) config = std::round(config);
+  attempt.config = std::clamp(config, space.min, space.max);
+  FXRZ_RETURN_IF_ERROR(
+      compressor.TryCompress(data, attempt.config, &attempt.bytes));
+  attempt.ratio = static_cast<double>(data.size_bytes()) /
+                  static_cast<double>(attempt.bytes.size());
+  return attempt;
+}
+
+// Monotone polish for the FRaZ tier: ratio-vs-knob is monotone for every
+// built-in codec, so a bounded bisection from FRaZ's best probe closes the
+// gap its budgeted black-box search left open (when the target is
+// reachable at all). A compressor failure mid-polish keeps the best
+// archive found so far -- this path must never turn a good attempt into
+// an error.
+Attempt PolishTowardTarget(const Compressor& compressor, const Tensor& data,
+                           const ConfigSpace& space, Attempt seed,
+                           double target_ratio, double accept_error,
+                           int max_iters, int* compressions) {
+  const auto to_knob = [&space](double config) {
+    return space.log_scale ? std::log10(config) : config;
+  };
+  const auto to_config = [&space](double knob) {
+    return space.log_scale ? std::pow(10.0, knob) : knob;
+  };
+  double lo = to_knob(space.min);
+  double hi = to_knob(space.max);
+  // Replace the endpoint on the seed's side of the target: when the seed's
+  // ratio is low and ratios grow toward hi, the answer lies above it.
+  if ((seed.ratio < target_ratio) == space.ratio_increases) {
+    lo = to_knob(seed.config);
+  } else {
+    hi = to_knob(seed.config);
+  }
+  Attempt best = std::move(seed);
+  for (int i = 0; i < max_iters && lo < hi; ++i) {
+    if (space.integer && hi - lo < 1.0) break;  // knob resolution exhausted
+    const double mid = 0.5 * (lo + hi);
+    StatusOr<Attempt> probe =
+        AttemptCompress(compressor, data, space, to_config(mid));
+    if (!probe.ok()) break;
+    ++*compressions;
+    Attempt attempt = std::move(probe).value();
+    if ((attempt.ratio < target_ratio) == space.ratio_increases) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (EstimationError(target_ratio, attempt.ratio) <
+        EstimationError(target_ratio, best.ratio)) {
+      best = std::move(attempt);
+      if (EstimationError(target_ratio, best.ratio) <= accept_error) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
+    const Tensor& data, double target_ratio,
+    const GuardOptions& options) const {
+  const AdmissionReport admission = AdmitTensor(data, target_ratio);
+  if (!admission.admitted) return admission.status;
+
+  const ConfigSpace space = compressor_->config_space(data);
+  const double accept_error = std::max(options.accept_error, 0.0);
+  GuardedResult result;
+  std::string trail;  // per-tier notes for the exhaustion message
+  auto note = [&trail](const std::string& s) {
+    if (!trail.empty()) trail += "; ";
+    trail += s;
+  };
+  auto accept = [&](ServingTier tier, Attempt&& attempt) -> GuardedResult {
+    result.tier = tier;
+    result.config = attempt.config;
+    result.measured_ratio = attempt.ratio;
+    result.relative_error = EstimationError(target_ratio, attempt.ratio);
+    result.archive_verified = options.verify_archive;
+    result.compressed = std::move(attempt.bytes);
+    if (options.drift != nullptr) {
+      options.drift->Record(target_ratio, result.measured_ratio);
+    }
+    return std::move(result);
+  };
+  // Pre-serve decode check (GuardOptions::verify_archive): an archive that
+  // does not round-trip invalidates its tier and the ladder escalates.
+  auto verified = [&](const Attempt& attempt, const char* tier) -> bool {
+    if (!options.verify_archive) return true;
+    Tensor decoded;
+    Status status = compressor_->TryDecompress(
+        attempt.bytes.data(), attempt.bytes.size(), &decoded);
+    if (status.ok() && decoded.dims() != data.dims()) {
+      status = Status::Corruption("decoded shape mismatch");
+    }
+    if (!status.ok()) {
+      note(std::string(tier) + ": archive failed verification [" +
+           status.ToString() + "]");
+      return false;
+    }
+    return true;
+  };
+
+  // Constant-field fast path: the features are degenerate (zero range), so
+  // the model has nothing to say -- any mid-range config reaches an
+  // enormous ratio, which can only over-achieve the target.
+  if (admission.constant_field) {
+    const double mid = space.log_scale ? std::sqrt(space.min * space.max)
+                                       : 0.5 * (space.min + space.max);
+    StatusOr<Attempt> attempt = AttemptCompress(*compressor_, data, space, mid);
+    if (!attempt.ok()) {
+      return Status::Internal(std::string("guarded compress: tier ") +
+                              ServingTierName(ServingTier::kConstantField) +
+                              " failed [" + attempt.status().ToString() + "]");
+    }
+    ++result.compressions;
+    Attempt constant = std::move(attempt).value();
+    if (!verified(constant, "constant-field tier")) {
+      return Status::Internal(std::string("guarded compress: tier ") +
+                              ServingTierName(ServingTier::kConstantField) +
+                              " failed [" + trail + "]");
+    }
+    return accept(ServingTier::kConstantField, std::move(constant));
+  }
+
+  Attempt best;
+  bool have_best = false;
+  auto miss = [&](const Attempt& a) {
+    return EstimationError(target_ratio, a.ratio);
+  };
+
+  // Tiers 1-2: model estimate, then one-measurement refinement -- gated on
+  // a trained model that is confident about this query.
+  if (!model_.trained()) {
+    note("model tier: model not trained");
+  } else {
+    const FxrzModel::ConfidentEstimate est =
+        model_.EstimateWithConfidence(data, target_ratio);
+    result.knob_spread = est.knob_spread;
+    result.out_of_distribution = est.envelope_excess > options.envelope_slack;
+    const bool spread_ok =
+        !est.has_spread || est.knob_spread <= options.max_knob_spread;
+    result.low_confidence = !spread_ok || result.out_of_distribution;
+    if (result.low_confidence) {
+      std::ostringstream msg;
+      msg << "confidence gate: ";
+      if (!spread_ok) msg << "knob spread " << est.knob_spread;
+      if (result.out_of_distribution) {
+        if (!spread_ok) msg << ", ";
+        msg << "envelope excess " << est.envelope_excess;
+      }
+      note(msg.str());
+    } else {
+      StatusOr<Attempt> first =
+          AttemptCompress(*compressor_, data, space, est.config);
+      if (!first.ok()) {
+        note("model tier: " + first.status().ToString());
+      } else {
+        ++result.compressions;
+        best = std::move(first).value();
+        have_best = true;
+        if (miss(best) <= accept_error) {
+          if (verified(best, "model tier")) {
+            return accept(ServingTier::kModelEstimate, std::move(best));
+          }
+          // Verification failed: skip refinement (the knob is fine, the
+          // archive is not) and escalate to FRaZ.
+        } else {
+          for (int extra = 0; extra < options.max_refine_compressions;
+               ++extra) {
+            const double corrected = model_.RefineConfig(
+                data, target_ratio, best.config, best.ratio);
+            if (corrected == best.config) {
+              note("refine tier: correction clamped, no progress possible");
+              break;
+            }
+            StatusOr<Attempt> again =
+                AttemptCompress(*compressor_, data, space, corrected);
+            if (!again.ok()) {
+              note("refine tier: " + again.status().ToString());
+              break;
+            }
+            ++result.compressions;
+            if (miss(again.value()) >= miss(best)) {
+              note("refine tier: correction did not improve");
+              break;
+            }
+            best = std::move(again).value();
+            if (miss(best) <= accept_error) {
+              if (verified(best, "refine tier")) {
+                return accept(ServingTier::kRefined, std::move(best));
+              }
+              break;
+            }
+          }
+          if (miss(best) > accept_error) {
+            std::ostringstream msg;
+            msg << "refine tier: best rel err " << miss(best);
+            note(msg.str());
+          }
+        }
+      }
+    }
+  }
+
+  // Tier 3: bounded FRaZ trial-and-error fallback.
+  if (!options.allow_fraz_fallback) {
+    note("fraz tier: fallback disabled");
+  } else {
+    FrazOptions fraz = options.fraz;  // sanitize: never abort on bad knobs
+    fraz.num_bins = std::max(1, fraz.num_bins);
+    fraz.total_max_iterations =
+        std::max(fraz.num_bins, fraz.total_max_iterations);
+    const FrazResult found =
+        FrazSearch(*compressor_, data, target_ratio, fraz);
+    result.compressions += found.compressor_runs;
+    // FRaZ reports the winning config but keeps no archive; produce it
+    // with one more (guarded) run.
+    StatusOr<Attempt> last =
+        AttemptCompress(*compressor_, data, space, found.config);
+    if (!last.ok()) {
+      note("fraz tier: " + last.status().ToString());
+    } else {
+      ++result.compressions;
+      Attempt attempt = std::move(last).value();
+      if (miss(attempt) > accept_error && options.max_polish_compressions > 0) {
+        attempt = PolishTowardTarget(*compressor_, data, space,
+                                     std::move(attempt), target_ratio,
+                                     accept_error,
+                                     options.max_polish_compressions,
+                                     &result.compressions);
+      }
+      if (miss(attempt) <= accept_error &&
+          verified(attempt, "fraz tier")) {
+        return accept(ServingTier::kFrazFallback, std::move(attempt));
+      }
+      std::ostringstream msg;
+      msg << "fraz tier: best achievable ratio " << attempt.ratio
+          << " (rel err " << miss(attempt) << ")";
+      note(msg.str());
+      if (!have_best || miss(attempt) < miss(best)) {
+        best = std::move(attempt);
+        have_best = true;
+      }
+    }
+  }
+
+  // Ladder exhausted: no tier met the target.
+  std::ostringstream msg;
+  msg << "guarded compress: target ratio " << target_ratio
+      << " not met within rel err " << accept_error;
+  if (have_best) msg << "; best measured ratio " << best.ratio;
+  msg << " [" << trail << "]";
+  return Status::Internal(msg.str());
+}
+
+}  // namespace fxrz

@@ -1,0 +1,126 @@
+// Guarded serving layer: the "never abort" production entry point.
+//
+// Fxrz::GuardedCompressToRatio (declared in core/pipeline.h, implemented
+// here) wraps the fixed-ratio fast path in four defenses:
+//
+//   1. input admission   -- empty/non-finite tensors and insane target
+//                           ratios are rejected with a Status before any
+//                           feature extraction can touch them; constant
+//                           fields take a dedicated fast path;
+//   2. confidence gate   -- the forest's per-tree knob spread and the
+//                           training feature envelope (FxrzModel::
+//                           EstimateWithConfidence) flag out-of-
+//                           distribution queries before compressing;
+//   3. escalation ladder -- model estimate -> RefineConfig recompression
+//                           -> bounded FRaZ trial-and-error search
+//                           (Underwood et al., IPDPS'20), recording which
+//                           tier produced the archive;
+//   4. fault tolerance   -- compressor and model calls are routed through
+//                           Status-returning wrappers carrying the
+//                           deterministic fault-injection points of
+//                           util/fault_injection.h, so tests can force
+//                           every failure branch.
+//
+// The ladder preserves FXRZ's value proposition: the fast path is still
+// one model query and one compression; the expensive tiers only run when
+// the cheap ones demonstrably failed.
+
+#ifndef FXRZ_CORE_GUARD_H_
+#define FXRZ_CORE_GUARD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/drift.h"
+#include "src/data/tensor.h"
+#include "src/fraz/fraz.h"
+#include "src/util/status.h"
+
+namespace fxrz {
+
+// Which rung of the escalation ladder produced (or failed to produce) the
+// archive. Order matters: higher tiers are more expensive.
+enum class ServingTier {
+  kRejected = 0,    // admission refused the request; nothing was compressed
+  kConstantField,   // constant-field fast path (one compression)
+  kModelEstimate,   // single model-estimated compression (the fast path)
+  kRefined,         // model estimate + RefineConfig recompression
+  kFrazFallback,    // bounded FRaZ trial-and-error search
+};
+
+const char* ServingTierName(ServingTier tier);
+
+// Outcome of the admission scan.
+struct AdmissionReport {
+  bool admitted = false;
+  // All finite values identical (incl. single-element tensors). Admitted,
+  // but served by the constant-field fast path: its degenerate features
+  // (zero range) are meaningless to the model, and any config reaches an
+  // enormous ratio anyway.
+  bool constant_field = false;
+  size_t nonfinite_values = 0;  // NaN/Inf sample count (rejected when > 0)
+  Status status;                // why not admitted (OK when admitted)
+};
+
+// Validates a (tensor, target ratio) request: the tensor must be non-empty
+// and all-finite, the target finite and in [1, 1e9]. One O(n) pass; never
+// aborts.
+AdmissionReport AdmitTensor(const Tensor& data, double target_ratio);
+
+// Serving policy knobs.
+struct GuardOptions {
+  // Relative ratio error (|target - measured| / target) at or below which
+  // a tier's archive is accepted. Matches RefinementOptions'
+  // error_threshold default.
+  double accept_error = 0.08;
+  // Extra compressions the RefineConfig tier may spend.
+  int max_refine_compressions = 1;
+  // Confidence gate: skip the model tiers and escalate straight to FRaZ
+  // when the per-tree knob spread (stddev, knob units) exceeds
+  // max_knob_spread, or the query leaves the training envelope by more
+  // than envelope_slack (normalized units, see
+  // FxrzModel::ConfidentEstimate::envelope_excess).
+  double max_knob_spread = 0.5;
+  double envelope_slack = 0.25;
+  // Tier-3 policy. With the fallback disabled, requests the model tiers
+  // cannot serve return a Status instead.
+  bool allow_fraz_fallback = true;
+  FrazOptions fraz;
+  // FRaZ's budgeted black-box search can stop short of accept_error; since
+  // ratio-vs-knob is monotone for every built-in codec, the fallback tier
+  // finishes with up to this many bisection compressions from FRaZ's best
+  // probe toward the target.
+  int max_polish_compressions = 10;
+  // Decode-check every archive (TryDecompress + shape match) before
+  // serving it: a tier whose archive fails verification is invalidated and
+  // the ladder escalates, so a corrupt stream is never returned as a
+  // success. Costs one decompression per served request; off by default to
+  // keep the fast path at exactly one compression.
+  bool verify_archive = false;
+  // Optional: every archive-producing request is recorded here
+  // (target vs measured ratio), feeding the retraining recommendation.
+  DriftMonitor* drift = nullptr;
+};
+
+// A served request. Only produced together with a valid archive.
+struct GuardedResult {
+  ServingTier tier = ServingTier::kRejected;
+  double config = 0.0;
+  double measured_ratio = 0.0;
+  // |target - measured| / target of the returned archive.
+  double relative_error = 0.0;
+  // Total compressor invocations spent (all tiers, incl. FRaZ probes).
+  int compressions = 0;
+  // Confidence diagnostics (meaningful when the model was consulted).
+  bool low_confidence = false;       // gate tripped; model tiers skipped
+  bool out_of_distribution = false;  // envelope component of the gate
+  double knob_spread = 0.0;
+  // True when GuardOptions::verify_archive decode-checked this archive.
+  bool archive_verified = false;
+  std::vector<uint8_t> compressed;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_CORE_GUARD_H_

@@ -12,6 +12,7 @@
 #include "src/ml/svr.h"
 #include "src/util/byte_reader.h"
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
@@ -245,6 +246,21 @@ TrainingBreakdown FxrzModel::Train(const Compressor& compressor,
     breakdown.augment_seconds += augment_timer.Seconds();
   }
 
+  // Training feature envelope: per-input [min, max] across every row. The
+  // confidence gate flags queries outside it as out-of-distribution.
+  input_min_.clear();
+  input_max_.clear();
+  if (!x.empty()) {
+    input_min_ = x[0];
+    input_max_ = x[0];
+    for (const std::vector<double>& row : x) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        input_min_[i] = std::min(input_min_[i], row[i]);
+        input_max_[i] = std::max(input_max_[i], row[i]);
+      }
+    }
+  }
+
   // (3) Fit the regressor (optionally CV-tuned).
   WallTimer fit_timer;
   if (options.tune_hyperparameters &&
@@ -319,6 +335,43 @@ double FxrzModel::EstimateConfig(const Tensor& data,
   return FromKnob(knob);
 }
 
+FxrzModel::ConfidentEstimate FxrzModel::EstimateWithConfidence(
+    const Tensor& data, double target_ratio) const {
+  FXRZ_CHECK(trained()) << "EstimateWithConfidence before Train/Load";
+  FXRZ_CHECK_GT(target_ratio, 0.0);
+  const std::vector<double> inputs = BuildInputs(data, target_ratio);
+
+  ConfidentEstimate est;
+  if (input_min_.size() == inputs.size()) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const double scale = std::max(input_max_[i] - input_min_[i], 0.5);
+      double excess = 0.0;
+      if (inputs[i] < input_min_[i]) excess = input_min_[i] - inputs[i];
+      if (inputs[i] > input_max_[i]) excess = inputs[i] - input_max_[i];
+      est.envelope_excess = std::max(est.envelope_excess, excess / scale);
+    }
+    est.in_envelope = est.envelope_excess == 0.0;
+  }
+
+  PredictionStats stats;
+  double knob;
+  if (model_->PredictWithStats(inputs, &stats)) {
+    knob = stats.mean;
+    est.has_spread = true;
+    est.knob_spread = stats.stddev;
+  } else {
+    knob = model_->Predict(inputs);
+  }
+  if (fault::Hit(fault::Site::kModelQuery)) {
+    // Simulated mis-estimate: push the prediction to whichever edge of the
+    // trained knob range is farther from it.
+    knob = (knob - knob_min_ < knob_max_ - knob) ? knob_max_ : knob_min_;
+  }
+  knob = std::clamp(knob, knob_min_, knob_max_);
+  est.config = FromKnob(knob);
+  return est;
+}
+
 double FxrzModel::RefineConfig(const Tensor& data, double target_ratio,
                                double tried_config,
                                double measured_ratio) const {
@@ -356,6 +409,11 @@ Status FxrzModel::SaveToBytes(std::vector<uint8_t>* out) const {
   AppendDouble(out, ratio_min_);
   AppendDouble(out, ratio_max_);
   AppendUint32(out, options_.feature_mask);
+  AppendUint32(out, static_cast<uint32_t>(input_min_.size()));
+  for (size_t i = 0; i < input_min_.size(); ++i) {
+    AppendDouble(out, input_min_[i]);
+    AppendDouble(out, input_max_[i]);
+  }
   rfr->Serialize(out);
   return Status::Ok();
 }
@@ -386,6 +444,23 @@ Status FxrzModel::LoadFromBytes(const uint8_t* data, size_t size) {
       !reader.ReadF64(&ratio_max_) ||
       !reader.ReadU32(&options_.feature_mask)) {
     return Status::Corruption("fxrz model: short stream");
+  }
+  uint32_t envelope_size = 0;
+  if (!reader.ReadU32(&envelope_size)) {
+    return Status::Corruption("fxrz model: short stream");
+  }
+  if (envelope_size > 64) {
+    return Status::Corruption("fxrz model: implausible envelope size");
+  }
+  input_min_.assign(envelope_size, 0.0);
+  input_max_.assign(envelope_size, 0.0);
+  for (uint32_t i = 0; i < envelope_size; ++i) {
+    if (!reader.ReadF64(&input_min_[i]) || !reader.ReadF64(&input_max_[i])) {
+      return Status::Corruption("fxrz model: short envelope");
+    }
+    if (input_min_[i] > input_max_[i]) {
+      return Status::Corruption("fxrz model: inverted envelope");
+    }
   }
   auto rfr = std::make_unique<RandomForestRegressor>();
   size_t consumed = 0;

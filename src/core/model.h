@@ -82,6 +82,30 @@ class FxrzModel {
   // compressor is never invoked.
   double EstimateConfig(const Tensor& data, double target_ratio) const;
 
+  // EstimateConfig plus the confidence signals the guarded serving layer
+  // (core/guard.h) gates on: the per-tree knob spread of ensemble models
+  // and the query's position relative to the training feature envelope.
+  // This is the instrumented "model query" fault site
+  // (util/fault_injection.h): an injected fault forces a deliberate
+  // mis-estimate at the far edge of the trained knob range.
+  struct ConfidentEstimate {
+    double config = 0.0;
+    // Population stddev of the per-tree knob predictions; 0 and
+    // has_spread=false when the regressor cannot report one.
+    double knob_spread = 0.0;
+    bool has_spread = false;
+    // Per-input overshoot beyond the training envelope, normalized by
+    // max(column range, 0.5) (inputs are log10-compressed, so 0.5 is about
+    // a 3x factor in raw units). 0 when every input lies inside.
+    double envelope_excess = 0.0;
+    bool in_envelope = true;
+  };
+  ConfidentEstimate EstimateWithConfidence(const Tensor& data,
+                                           double target_ratio) const;
+
+  // True once Train/Load captured a per-input envelope.
+  bool has_envelope() const { return !input_min_.empty(); }
+
   bool trained() const { return model_ != nullptr; }
   const FxrzTrainingOptions& options() const { return options_; }
 
@@ -143,6 +167,11 @@ class FxrzModel {
   double knob_max_ = 0.0;
   double ratio_min_ = 0.0;  // trained compression-ratio range
   double ratio_max_ = 0.0;
+  // Per-model-input [min, max] observed across all training rows (the five
+  // masked features plus the log-ACR column) -- the envelope the confidence
+  // gate compares queries against.
+  std::vector<double> input_min_;
+  std::vector<double> input_max_;
 };
 
 }  // namespace fxrz

@@ -10,12 +10,16 @@
 #ifndef FXRZ_CORE_PIPELINE_H_
 #define FXRZ_CORE_PIPELINE_H_
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "src/compressors/compressor.h"
+#include "src/core/guard.h"
 #include "src/core/model.h"
 #include "src/data/tensor.h"
+#include "src/util/status.h"
 
 namespace fxrz {
 
@@ -65,6 +69,17 @@ class Fxrz {
     return CompressToRatioRefined(data, target_ratio, RefinementOptions());
   }
 
+  // Guarded serving entry point (implemented in core/guard.cc; see
+  // core/guard.h for the admission rules, confidence gate, and escalation
+  // ladder). Never aborts: every request either yields a valid archive
+  // whose relative ratio error is within options.accept_error (constant
+  // fields excepted -- they always over-achieve), or a non-OK Status whose
+  // message identifies the tier that failed. Works on an untrained model
+  // too (serves via the FRaZ fallback tier).
+  StatusOr<GuardedResult> GuardedCompressToRatio(
+      const Tensor& data, double target_ratio,
+      const GuardOptions& options = {}) const;
+
   const Compressor& compressor() const { return *compressor_; }
   FxrzModel& model() { return model_; }
   const FxrzModel& model() const { return model_; }
@@ -76,7 +91,12 @@ class Fxrz {
 };
 
 // The paper's estimation-error metric (Formula 5): |TCR - MCR| / TCR.
+// Guarded: a non-positive (or NaN) target cannot anchor a relative error,
+// so it reports infinity instead of dividing by it.
 inline double EstimationError(double target_ratio, double measured_ratio) {
+  if (!(target_ratio > 0.0)) {
+    return std::numeric_limits<double>::infinity();
+  }
   return std::abs(target_ratio - measured_ratio) / target_ratio;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "src/util/check.h"
@@ -60,15 +61,30 @@ DistortionStats ComputeDistortion(const Tensor& original,
   FXRZ_CHECK(!original.empty());
   DistortionStats d;
   double sse = 0.0;
-  double lo = original[0], hi = original[0];
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  size_t finite_pairs = 0;
   for (size_t i = 0; i < original.size(); ++i) {
-    const double err = static_cast<double>(original[i]) - reconstructed[i];
+    const double o = original[i];
+    const double r = reconstructed[i];
+    // Non-finite policy (see statistics.h): skip pairs either side of
+    // which is NaN/Inf instead of poisoning the sums.
+    if (!std::isfinite(o) || !std::isfinite(r)) {
+      ++d.nonfinite_skipped;
+      continue;
+    }
+    const double err = o - r;
     d.max_abs_error = std::max(d.max_abs_error, std::fabs(err));
     sse += err * err;
-    lo = std::min(lo, static_cast<double>(original[i]));
-    hi = std::max(hi, static_cast<double>(original[i]));
+    lo = std::min(lo, o);
+    hi = std::max(hi, o);
+    ++finite_pairs;
   }
-  d.mse = sse / static_cast<double>(original.size());
+  if (finite_pairs == 0) {
+    d.psnr = 999.0;
+    return d;
+  }
+  d.mse = sse / static_cast<double>(finite_pairs);
   d.rmse = std::sqrt(d.mse);
   const double range = hi - lo;
   d.nrmse = range > 0 ? d.rmse / range : 0.0;

@@ -39,9 +39,17 @@ struct DistortionStats {
   double rmse = 0.0;
   double nrmse = 0.0;  // rmse / value range of original
   double psnr = 0.0;   // 20*log10(range / rmse); +inf clamped to 999
+  // Element pairs skipped by the non-finite policy below.
+  size_t nonfinite_skipped = 0;
 };
 
 // Computes distortion metrics. Requires matching shapes.
+//
+// Non-finite policy: element pairs where either side is NaN/Inf are
+// SKIPPED (counted in nonfinite_skipped) so a single bad sample cannot
+// poison the global error sums; the averages run over the finite pairs
+// only. All-finite inputs are unaffected. When no finite pair exists the
+// error metrics are all zero and psnr is the 999 clamp.
 DistortionStats ComputeDistortion(const Tensor& original,
                                   const Tensor& reconstructed);
 

@@ -1,6 +1,8 @@
 #include "src/ml/random_forest.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
@@ -58,6 +60,29 @@ double RandomForestRegressor::Predict(const std::vector<double>& x) const {
   double sum = 0.0;
   for (const auto& tree : trees_) sum += tree.Predict(x);
   return sum / static_cast<double>(trees_.size());
+}
+
+bool RandomForestRegressor::PredictWithStats(const std::vector<double>& x,
+                                             PredictionStats* stats) const {
+  FXRZ_CHECK(!trees_.empty()) << "Predict before Fit";
+  FXRZ_CHECK(stats != nullptr);
+  const double n = static_cast<double>(trees_.size());
+  double sum = 0.0, sum_sq = 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& tree : trees_) {
+    const double p = tree.Predict(x);
+    sum += p;
+    sum_sq += p * p;
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  stats->mean = sum / n;
+  stats->min = lo;
+  stats->max = hi;
+  const double var = std::max(0.0, sum_sq / n - stats->mean * stats->mean);
+  stats->stddev = std::sqrt(var);
+  return true;
 }
 
 std::vector<double> RandomForestRegressor::PredictBatch(

@@ -39,6 +39,10 @@ class RandomForestRegressor : public Regressor {
   void Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
   double Predict(const std::vector<double>& x) const override;
   std::vector<double> PredictBatch(const FeatureMatrix& x) const override;
+  // Mean/min/max/stddev over the per-tree predictions -- the confidence
+  // signal the guarded serving layer gates on (core/guard.h).
+  bool PredictWithStats(const std::vector<double>& x,
+                        PredictionStats* stats) const override;
 
   size_t tree_count() const { return trees_.size(); }
 

@@ -12,6 +12,15 @@ namespace fxrz {
 // the same length.
 using FeatureMatrix = std::vector<std::vector<double>>;
 
+// Per-prediction uncertainty summary for models that can report one
+// (ensembles expose the spread of their members' predictions).
+struct PredictionStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  // population stddev across ensemble members
+};
+
 // Abstract regression model.
 class Regressor {
  public:
@@ -31,6 +40,16 @@ class Regressor {
     std::vector<double> out(x.size());
     for (size_t i = 0; i < x.size(); ++i) out[i] = Predict(x[i]);
     return out;
+  }
+
+  // Predicts with an uncertainty summary. Returns false (stats untouched)
+  // when the model has no notion of member spread; `stats->mean` equals
+  // Predict(x) when it returns true.
+  virtual bool PredictWithStats(const std::vector<double>& x,
+                                PredictionStats* stats) const {
+    (void)x;
+    (void)stats;
+    return false;
   }
 };
 

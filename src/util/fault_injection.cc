@@ -1,0 +1,78 @@
+#include "src/util/fault_injection.h"
+
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+namespace fault {
+
+const char* SiteName(Site site) {
+  switch (site) {
+    case Site::kCompressorCompress: return "compressor-compress";
+    case Site::kCompressorDecompress: return "compressor-decompress";
+    case Site::kModelQuery: return "model-query";
+    case Site::kArchiveDecode: return "archive-decode";
+  }
+  return "?";
+}
+
+#ifdef FXRZ_FAULT_INJECT
+
+namespace {
+
+struct SiteState {
+  uint64_t hits = 0;
+  int skip = 0;
+  int count = 0;  // remaining failures once skip reaches 0
+};
+
+std::mutex g_mu;
+SiteState g_sites[kNumSites];
+
+SiteState& StateFor(Site site) {
+  const int i = static_cast<int>(site);
+  FXRZ_CHECK(i >= 0 && i < kNumSites);
+  return g_sites[i];
+}
+
+}  // namespace
+
+void Arm(Site site, int skip, int count) {
+  FXRZ_CHECK_GE(skip, 0);
+  FXRZ_CHECK_GE(count, 0);
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& s = StateFor(site);
+  s.skip = skip;
+  s.count = count;
+}
+
+void ResetAll() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (SiteState& s : g_sites) s = SiteState();
+}
+
+uint64_t HitCount(Site site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return StateFor(site).hits;
+}
+
+bool Hit(Site site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& s = StateFor(site);
+  ++s.hits;
+  if (s.skip > 0) {
+    --s.skip;
+    return false;
+  }
+  if (s.count > 0) {
+    --s.count;
+    return true;
+  }
+  return false;
+}
+
+#endif  // FXRZ_FAULT_INJECT
+
+}  // namespace fault
+}  // namespace fxrz

@@ -1,0 +1,66 @@
+// Deterministic fault injection for robustness testing.
+//
+// The serving layer routes every fallible external step (compressor runs,
+// model queries, archive decodes) through a named fault *site*. A test arms
+// a site with a (skip, count) schedule -- the next `skip` hits at that site
+// succeed, the following `count` hits fail -- and the instrumented code
+// observes the failure exactly where a real one would surface. Schedules
+// are consumed in call order under a lock, so single-threaded tests see
+// precisely the failures they armed.
+//
+// The facility is compiled in only under -DFXRZ_FAULT_INJECT=ON (which
+// defines FXRZ_FAULT_INJECT); otherwise Hit() is a constant-false inline
+// and the instrumented branches fold away entirely.
+
+#ifndef FXRZ_UTIL_FAULT_INJECTION_H_
+#define FXRZ_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+namespace fxrz {
+namespace fault {
+
+// Instrumented failure sites.
+enum class Site : int {
+  kCompressorCompress = 0,  // Compressor::TryCompress
+  kCompressorDecompress,    // Compressor::TryDecompress
+  kModelQuery,              // FxrzModel::EstimateWithConfidence
+  kArchiveDecode,           // compressor_internal::ParseHeader
+};
+inline constexpr int kNumSites = 4;
+
+const char* SiteName(Site site);
+
+// True when the facility is compiled in.
+constexpr bool Enabled() {
+#ifdef FXRZ_FAULT_INJECT
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef FXRZ_FAULT_INJECT
+// Arms `site`: after `skip` more successful hits, the next `count` hits
+// fail. Re-arming replaces any previous schedule. skip >= 0, count >= 0.
+void Arm(Site site, int skip, int count);
+
+// Disarms every site and zeroes all hit counters.
+void ResetAll();
+
+// Hits (armed or not) observed at `site` since the last ResetAll.
+uint64_t HitCount(Site site);
+
+// Consumes one hit at `site`; returns true when the hit must fail.
+bool Hit(Site site);
+#else
+inline void Arm(Site /*site*/, int /*skip*/, int /*count*/) {}
+inline void ResetAll() {}
+inline uint64_t HitCount(Site /*site*/) { return 0; }
+inline bool Hit(Site /*site*/) { return false; }
+#endif
+
+}  // namespace fault
+}  // namespace fxrz
+
+#endif  // FXRZ_UTIL_FAULT_INJECTION_H_

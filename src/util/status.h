@@ -7,8 +7,11 @@
 #ifndef FXRZ_UTIL_STATUS_H_
 #define FXRZ_UTIL_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
+
+#include "src/util/check.h"
 
 namespace fxrz {
 
@@ -68,12 +71,67 @@ class Status {
   std::string message_;
 };
 
+// StatusOr-lite: either a value or a non-OK Status. Implicit construction
+// from both sides keeps call sites terse:
+//
+//   StatusOr<Archive> Build();               // return Status::...(...) or T
+//   FXRZ_ASSIGN_OR_RETURN(Archive a, Build());
+//
+// value() aborts when called on a non-OK result (programmer error, same
+// contract as FXRZ_CHECK); check ok() or use FXRZ_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  StatusOr(Status status) : status_(std::move(status)) {
+    FXRZ_CHECK(!status_.ok()) << "StatusOr constructed from an OK status";
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    FXRZ_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    FXRZ_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FXRZ_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
 // Propagates a non-OK status to the caller.
 #define FXRZ_RETURN_IF_ERROR(expr)            \
   do {                                        \
     ::fxrz::Status _st = (expr);              \
     if (!_st.ok()) return _st;                \
   } while (0)
+
+// Evaluates `expr` (a StatusOr<T>), returns its Status on error, otherwise
+// move-assigns the value into `lhs` (which may be a declaration).
+#define FXRZ_ASSIGN_OR_RETURN(lhs, expr) \
+  FXRZ_ASSIGN_OR_RETURN_IMPL_(           \
+      FXRZ_STATUS_CONCAT_(_fxrz_statusor_, __LINE__), lhs, expr)
+
+#define FXRZ_STATUS_CONCAT_INNER_(a, b) a##b
+#define FXRZ_STATUS_CONCAT_(a, b) FXRZ_STATUS_CONCAT_INNER_(a, b)
+#define FXRZ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
 
 }  // namespace fxrz
 

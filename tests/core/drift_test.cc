@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace fxrz {
 namespace {
 
@@ -52,10 +54,22 @@ TEST(DriftMonitorTest, ResetClearsHistory) {
   EXPECT_FALSE(monitor.needs_retraining());
 }
 
-TEST(DriftMonitorDeathTest, RejectsNonPositiveRatios) {
+TEST(DriftMonitorTest, IgnoresRecordsWithUndefinedError) {
+  // The monitor sits on the serving path: records whose relative error is
+  // undefined are dropped, never aborted on.
   DriftMonitor monitor;
-  EXPECT_DEATH(monitor.Record(0.0, 10.0), "");
-  EXPECT_DEATH(monitor.Record(10.0, 0.0), "");
+  monitor.Record(0.0, 10.0);
+  monitor.Record(10.0, 0.0);
+  monitor.Record(-5.0, 10.0);
+  monitor.Record(10.0, -5.0);
+  monitor.Record(std::numeric_limits<double>::quiet_NaN(), 10.0);
+  monitor.Record(10.0, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(monitor.observations(), 0u);
+  EXPECT_EQ(monitor.rolling_error(), 0.0);
+
+  monitor.Record(10.0, 9.0);  // a valid record still lands
+  EXPECT_EQ(monitor.observations(), 1u);
+  EXPECT_NEAR(monitor.rolling_error(), 0.1, 1e-12);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// Fault-injection tests for the escalation ladder: every injected failure
+// must be absorbed by a lower-priority tier or surface as a Status --
+// never an abort. These tests exercise the real serving path end to end
+// and GTEST_SKIP unless the build compiled the fault points in
+// (-DFXRZ_FAULT_INJECT=ON).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compressors/compressor.h"
+#include "src/core/guard.h"
+#include "src/core/pipeline.h"
+#include "src/data/generators/grf.h"
+#include "src/util/fault_injection.h"
+
+namespace fxrz {
+namespace {
+
+using fault::Site;
+
+class FaultLadderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fields_ = new std::vector<Tensor>();
+    for (uint64_t s = 31; s <= 34; ++s) {
+      fields_->push_back(GaussianRandomField3D(16, 16, 16, 3.0, s));
+    }
+    fxrz_ = new Fxrz(MakeCompressor("sz"));
+    std::vector<const Tensor*> train;
+    for (size_t i = 0; i < 3; ++i) train.push_back(&(*fields_)[i]);
+    fxrz_->Train(train);
+  }
+  static void TearDownTestSuite() {
+    delete fxrz_;
+    fxrz_ = nullptr;
+    delete fields_;
+    fields_ = nullptr;
+  }
+
+  void SetUp() override {
+    if (!fault::Enabled()) {
+      GTEST_SKIP() << "built without FXRZ_FAULT_INJECT";
+    }
+    fault::ResetAll();
+  }
+  void TearDown() override { fault::ResetAll(); }
+
+  double MidTarget() const { return fxrz_->model().ValidTargetRatios(3)[1]; }
+
+  // These tests are about fault recovery, not the confidence gate: open
+  // the gate wide so the model tier always runs (the query field's
+  // features can sit slightly outside a 3-dataset training envelope).
+  static GuardOptions OpenGate() {
+    GuardOptions options;
+    options.envelope_slack = 10.0;
+    options.max_knob_spread = 100.0;
+    return options;
+  }
+
+  static std::vector<Tensor>* fields_;
+  static Fxrz* fxrz_;
+};
+
+std::vector<Tensor>* FaultLadderTest::fields_ = nullptr;
+Fxrz* FaultLadderTest::fxrz_ = nullptr;
+
+TEST_F(FaultLadderTest, CompressFaultAtModelTierRecoversViaFraz) {
+  // The single injected Compress failure lands on the model-tier attempt;
+  // FRaZ then serves the request.
+  fault::Arm(Site::kCompressorCompress, /*skip=*/0, /*count=*/1);
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget(), OpenGate());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().tier, ServingTier::kFrazFallback);
+  EXPECT_LE(r.value().relative_error, 0.08);
+  EXPECT_GE(fault::HitCount(Site::kCompressorCompress), 1u);
+}
+
+TEST_F(FaultLadderTest, ForcedMisestimateIsCaughtByLadder) {
+  // kModelQuery pushes the estimated knob to the far edge of the trained
+  // range: the first compression misses the target, and refinement or
+  // FRaZ must still deliver an acceptable archive.
+  fault::Arm(Site::kModelQuery, /*skip=*/0, /*count=*/1);
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget(), OpenGate());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(fault::HitCount(Site::kModelQuery), 1u);
+  EXPECT_NE(r.value().tier, ServingTier::kModelEstimate)
+      << "a mis-estimate this large cannot pass on the first attempt";
+  EXPECT_LE(r.value().relative_error, 0.08);
+}
+
+TEST_F(FaultLadderTest, PersistentCompressFaultSurfacesAsStatus) {
+  // Every tier's archive-producing compression fails: the ladder must
+  // exhaust into a Status that names the injected fault, not abort.
+  fault::Arm(Site::kCompressorCompress, /*skip=*/0, /*count=*/1000000);
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget(), OpenGate());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("injected fault"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(FaultLadderTest, CompressFaultWithFallbackDisabledNamesModelTier) {
+  fault::Arm(Site::kCompressorCompress, /*skip=*/0, /*count=*/1000000);
+  GuardOptions options = OpenGate();
+  options.allow_fraz_fallback = false;
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget(), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("model tier"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("fraz tier: fallback disabled"),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(FaultLadderTest, VerifyArchiveCatchesDecodeFaultAndEscalates) {
+  // With verify_archive on, the first served archive is decode-checked;
+  // the injected decode fault invalidates that tier and FRaZ must serve a
+  // verified replacement.
+  fault::Arm(Site::kArchiveDecode, /*skip=*/0, /*count=*/1);
+  GuardOptions options = OpenGate();
+  options.verify_archive = true;
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget(), options);
+  EXPECT_GE(fault::HitCount(Site::kArchiveDecode), 1u)
+      << "verification must have exercised the decode site";
+  if (r.ok()) {
+    // A lower tier replaced the failed archive with a verified one.
+    EXPECT_EQ(r.value().tier, ServingTier::kFrazFallback);
+    EXPECT_TRUE(r.value().archive_verified);
+  } else {
+    // The fault landed on the last tier: the failure must be reported.
+    EXPECT_NE(r.status().message().find("failed verification"),
+              std::string::npos)
+        << r.status().message();
+  }
+}
+
+TEST_F(FaultLadderTest, DecompressFaultIsTransient) {
+  // A valid archive plus an injected decode failure: the first
+  // TryDecompress errors cleanly, the retry succeeds.
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::vector<uint8_t>& archive = r.value().compressed;
+
+  fault::Arm(Site::kCompressorDecompress, /*skip=*/0, /*count=*/1);
+  Tensor decoded;
+  const Status first = fxrz_->compressor().TryDecompress(
+      archive.data(), archive.size(), &decoded);
+  EXPECT_FALSE(first.ok());
+  const Status second = fxrz_->compressor().TryDecompress(
+      archive.data(), archive.size(), &decoded);
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  EXPECT_EQ(decoded.dims(), (*fields_)[3].dims());
+}
+
+TEST_F(FaultLadderTest, ArchiveDecodeFaultSurfacesAsCorruption) {
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::vector<uint8_t>& archive = r.value().compressed;
+
+  fault::Arm(Site::kArchiveDecode, /*skip=*/0, /*count=*/1);
+  Tensor decoded;
+  const Status corrupted = fxrz_->compressor().TryDecompress(
+      archive.data(), archive.size(), &decoded);
+  ASSERT_FALSE(corrupted.ok());
+  EXPECT_EQ(corrupted.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(fxrz_->compressor()
+                  .TryDecompress(archive.data(), archive.size(), &decoded)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -164,6 +164,36 @@ TEST_F(FxrzModelTest, FileRoundTrip) {
                    model.EstimateConfig(fields_[0], 25.0));
 }
 
+TEST_F(FxrzModelTest, EnvelopeSurvivesPersistence) {
+  FxrzModel model;
+  const auto sz = MakeCompressor("sz");
+  model.Train(*sz, train_);
+  ASSERT_TRUE(model.has_envelope());
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(model.SaveToBytes(&bytes).ok());
+
+  FxrzModel restored;
+  ASSERT_TRUE(restored.LoadFromBytes(bytes.data(), bytes.size()).ok());
+  ASSERT_TRUE(restored.has_envelope());
+
+  // In-distribution and far-out queries agree on both confidence channels.
+  Tensor ood = fields_[0];
+  for (size_t i = 0; i < ood.size(); ++i) ood[i] = ood[i] * 1e6f + 5e6f;
+  for (const Tensor* query : {&fields_[0], &ood}) {
+    const FxrzModel::ConfidentEstimate a =
+        model.EstimateWithConfidence(*query, 25.0);
+    const FxrzModel::ConfidentEstimate b =
+        restored.EstimateWithConfidence(*query, 25.0);
+    EXPECT_DOUBLE_EQ(a.config, b.config);
+    EXPECT_DOUBLE_EQ(a.knob_spread, b.knob_spread);
+    EXPECT_DOUBLE_EQ(a.envelope_excess, b.envelope_excess);
+    EXPECT_EQ(a.in_envelope, b.in_envelope);
+  }
+  const FxrzModel::ConfidentEstimate far_out =
+      restored.EstimateWithConfidence(ood, 25.0);
+  EXPECT_FALSE(far_out.in_envelope);
+}
+
 TEST_F(FxrzModelTest, ParallelTrainingMatchesSerial) {
   const auto sz = MakeCompressor("sz");
   FxrzTrainingOptions serial_opts;

@@ -1,0 +1,77 @@
+#include "src/util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+namespace fxrz {
+namespace {
+
+using fault::Site;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::ResetAll(); }
+  void TearDown() override { fault::ResetAll(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSitesNeverFail) {
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fault::Hit(Site::kCompressorCompress));
+    EXPECT_FALSE(fault::Hit(Site::kArchiveDecode));
+  }
+}
+
+TEST_F(FaultInjectionTest, SiteNamesAreStable) {
+  EXPECT_STREQ(fault::SiteName(Site::kCompressorCompress),
+               "compressor-compress");
+  EXPECT_STREQ(fault::SiteName(Site::kModelQuery), "model-query");
+}
+
+TEST_F(FaultInjectionTest, SkipCountScheduleIsDeterministic) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "built without FXRZ_FAULT_INJECT";
+  }
+  // skip 2 hits, then fail 3, then recover.
+  fault::Arm(Site::kModelQuery, /*skip=*/2, /*count=*/3);
+  EXPECT_FALSE(fault::Hit(Site::kModelQuery));
+  EXPECT_FALSE(fault::Hit(Site::kModelQuery));
+  EXPECT_TRUE(fault::Hit(Site::kModelQuery));
+  EXPECT_TRUE(fault::Hit(Site::kModelQuery));
+  EXPECT_TRUE(fault::Hit(Site::kModelQuery));
+  EXPECT_FALSE(fault::Hit(Site::kModelQuery));
+  EXPECT_EQ(fault::HitCount(Site::kModelQuery), 6u);
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "built without FXRZ_FAULT_INJECT";
+  }
+  fault::Arm(Site::kCompressorCompress, 0, 1);
+  EXPECT_FALSE(fault::Hit(Site::kCompressorDecompress));
+  EXPECT_TRUE(fault::Hit(Site::kCompressorCompress));
+  EXPECT_FALSE(fault::Hit(Site::kCompressorCompress));
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsAndZeroesCounters) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "built without FXRZ_FAULT_INJECT";
+  }
+  fault::Arm(Site::kArchiveDecode, 0, 100);
+  EXPECT_TRUE(fault::Hit(Site::kArchiveDecode));
+  fault::ResetAll();
+  EXPECT_FALSE(fault::Hit(Site::kArchiveDecode));
+  EXPECT_EQ(fault::HitCount(Site::kArchiveDecode), 1u);
+}
+
+TEST_F(FaultInjectionTest, RearmingReplacesSchedule) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "built without FXRZ_FAULT_INJECT";
+  }
+  fault::Arm(Site::kCompressorCompress, 0, 100);
+  fault::Arm(Site::kCompressorCompress, 1, 1);
+  EXPECT_FALSE(fault::Hit(Site::kCompressorCompress));
+  EXPECT_TRUE(fault::Hit(Site::kCompressorCompress));
+  EXPECT_FALSE(fault::Hit(Site::kCompressorCompress));
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 namespace fxrz {
 namespace {
 
@@ -36,6 +39,58 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
   const Status s = Helper(true);
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "missing");
+}
+
+TEST(StatusOrTest, SupportsMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  const std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  const StatusOr<int> result(Status::Internal("boom"));
+  EXPECT_DEATH(result.value(), "");
+}
+
+StatusOr<int> MaybeInt(bool fail) {
+  if (fail) return Status::InvalidArgument("no int for you");
+  return 5;
+}
+
+Status Consume(bool fail, int* out) {
+  FXRZ_ASSIGN_OR_RETURN(const int v, MaybeInt(fail));
+  *out = v + 1;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnUnwrapsValue) {
+  int out = 0;
+  ASSERT_TRUE(Consume(false, &out).ok());
+  EXPECT_EQ(out, 6);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  const Status s = Consume(true, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 0);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full local CI matrix: release build + tests, ThreadSanitizer build +
 # tests, ASan+UBSan build + tests (including the fuzz-corpus replay
-# harnesses), then the clang-tidy lint pass. Mirrors what the acceptance
-# gate for the decode-hardening work requires.
+# harnesses), an ASan+UBSan FXRZ_FAULT_INJECT build running the
+# fault-injection/escalation-ladder suite, then the clang-tidy lint pass.
+# Mirrors what the acceptance gates for the decode-hardening and guarded
+# serving work require.
 #
 # Usage: tools/ci.sh [JOBS]
 
@@ -32,6 +34,15 @@ run_config thread build-ci-tsan \
 
 run_config asan-ubsan build-ci-asan \
   -DFXRZ_SANITIZE=address,undefined -DFXRZ_FUZZ=ON \
+  -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
+
+# Fault-injection configuration: compiles the deterministic fault points
+# in (FXRZ_FAULT_INJECT) and runs the whole suite -- including the
+# escalation-ladder fault tests that GTEST_SKIP without the flag -- under
+# ASan+UBSan, proving the guarded serving layer recovers or errors cleanly
+# on every injected failure.
+run_config fault-inject build-ci-fault \
+  -DFXRZ_SANITIZE=address,undefined -DFXRZ_FAULT_INJECT=ON \
   -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
 
 echo "=== lint ==="
