@@ -8,4 +8,5 @@ subdirs("src")
 subdirs("tests")
 subdirs("bench")
 subdirs("examples")
+subdirs("tools")
 subdirs("fuzz")

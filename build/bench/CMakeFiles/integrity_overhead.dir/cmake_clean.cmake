@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_overhead.dir/integrity_overhead.cc.o"
+  "CMakeFiles/integrity_overhead.dir/integrity_overhead.cc.o.d"
+  "integrity_overhead"
+  "integrity_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

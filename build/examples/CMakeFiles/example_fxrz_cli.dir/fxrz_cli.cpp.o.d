@@ -248,6 +248,8 @@ examples/CMakeFiles/example_fxrz_cli.dir/fxrz_cli.cpp.o: \
  /root/repo/src/../src/core/compressibility.h \
  /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/ml/regressor.h \
+ /root/repo/src/../src/store/container.h \
+ /root/repo/src/../src/util/file_io.h \
  /root/repo/src/../src/data/generators/hurricane.h \
  /root/repo/src/../src/data/generators/nyx.h \
  /root/repo/src/../src/data/generators/qmcpack.h \

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/fuzz/fuzz_container.cc" "fuzz/CMakeFiles/fxrz_fuzz_container.dir/fuzz_container.cc.o" "gcc" "fuzz/CMakeFiles/fxrz_fuzz_container.dir/fuzz_container.cc.o.d"
+  "/root/repo/fuzz/standalone_driver.cc" "fuzz/CMakeFiles/fxrz_fuzz_container.dir/standalone_driver.cc.o" "gcc" "fuzz/CMakeFiles/fxrz_fuzz_container.dir/standalone_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fxrz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_fuzz_container.dir/fuzz_container.cc.o"
+  "CMakeFiles/fxrz_fuzz_container.dir/fuzz_container.cc.o.d"
+  "CMakeFiles/fxrz_fuzz_container.dir/standalone_driver.cc.o"
+  "CMakeFiles/fxrz_fuzz_container.dir/standalone_driver.cc.o.d"
+  "fxrz_fuzz_container"
+  "fxrz_fuzz_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_fuzz_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fxrz_fuzz_container.
+# This may be replaced when dependencies are built.

@@ -211,17 +211,18 @@ fuzz/CMakeFiles/fxrz_fuzz_make_seeds.dir/make_seeds.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/compressors/compressor.h /root/repo/src/data/tensor.h \
  /usr/include/c++/12/cstddef /root/repo/src/util/check.h \
  /root/repo/src/util/byte_reader.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/util/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/model.h /root/repo/src/core/analysis.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/core/compressibility.h /root/repo/src/core/features.h \
  /root/repo/src/core/augmentation.h /root/repo/src/ml/regressor.h \
  /root/repo/src/data/generators/grf.h /root/repo/src/encoding/huffman.h \
- /root/repo/src/encoding/zlite.h /root/repo/src/store/field_store.h
+ /root/repo/src/encoding/zlite.h /root/repo/src/store/container.h \
+ /root/repo/src/store/field_store.h

@@ -5,24 +5,26 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(fuzz_make_seeds "/root/repo/build/fuzz/fxrz_fuzz_make_seeds" "/root/repo/build/fuzz/corpus")
-set_tests_properties(fuzz_make_seeds PROPERTIES  FIXTURES_SETUP "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;54;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_make_seeds PROPERTIES  FIXTURES_SETUP "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;55;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_huffman "/root/repo/build/fuzz/fxrz_fuzz_huffman" "/root/repo/build/fuzz/corpus/huffman")
-set_tests_properties(fuzz_replay_huffman PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_huffman PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_zlite "/root/repo/build/fuzz/fxrz_fuzz_zlite" "/root/repo/build/fuzz/corpus/zlite")
-set_tests_properties(fuzz_replay_zlite PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_zlite PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_arith "/root/repo/build/fuzz/fxrz_fuzz_arith" "/root/repo/build/fuzz/corpus/arith")
-set_tests_properties(fuzz_replay_arith PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_arith PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_sz "/root/repo/build/fuzz/fxrz_fuzz_sz" "/root/repo/build/fuzz/corpus/sz")
-set_tests_properties(fuzz_replay_sz PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_sz PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_sz3 "/root/repo/build/fuzz/fxrz_fuzz_sz3" "/root/repo/build/fuzz/corpus/sz3")
-set_tests_properties(fuzz_replay_sz3 PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_sz3 PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_zfp "/root/repo/build/fuzz/fxrz_fuzz_zfp" "/root/repo/build/fuzz/corpus/zfp")
-set_tests_properties(fuzz_replay_zfp PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_zfp PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_fpzip "/root/repo/build/fuzz/fxrz_fuzz_fpzip" "/root/repo/build/fuzz/corpus/fpzip")
-set_tests_properties(fuzz_replay_fpzip PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_fpzip PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_mgard "/root/repo/build/fuzz/fxrz_fuzz_mgard" "/root/repo/build/fuzz/corpus/mgard")
-set_tests_properties(fuzz_replay_mgard PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_mgard PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_chunked "/root/repo/build/fuzz/fxrz_fuzz_chunked" "/root/repo/build/fuzz/corpus/chunked")
-set_tests_properties(fuzz_replay_chunked PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_chunked PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
 add_test(fuzz_replay_field_store "/root/repo/build/fuzz/fxrz_fuzz_field_store" "/root/repo/build/fuzz/corpus/field_store")
-set_tests_properties(fuzz_replay_field_store PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;66;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+set_tests_properties(fuzz_replay_field_store PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")
+add_test(fuzz_replay_container "/root/repo/build/fuzz/fxrz_fuzz_container" "/root/repo/build/fuzz/corpus/container")
+set_tests_properties(fuzz_replay_container PROPERTIES  FIXTURES_REQUIRED "fuzz_corpus" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/fuzz/CMakeLists.txt;67;add_test;/root/repo/fuzz/CMakeLists.txt;0;")

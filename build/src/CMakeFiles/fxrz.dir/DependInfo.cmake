@@ -54,8 +54,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/parallel/dump.cc" "src/CMakeFiles/fxrz.dir/parallel/dump.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/parallel/dump.cc.o.d"
   "/root/repo/src/parallel/event_io.cc" "src/CMakeFiles/fxrz.dir/parallel/event_io.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/parallel/event_io.cc.o.d"
   "/root/repo/src/parallel/io_model.cc" "src/CMakeFiles/fxrz.dir/parallel/io_model.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/parallel/io_model.cc.o.d"
+  "/root/repo/src/store/container.cc" "src/CMakeFiles/fxrz.dir/store/container.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/store/container.cc.o.d"
   "/root/repo/src/store/field_store.cc" "src/CMakeFiles/fxrz.dir/store/field_store.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/store/field_store.cc.o.d"
+  "/root/repo/src/util/checksum.cc" "src/CMakeFiles/fxrz.dir/util/checksum.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/util/checksum.cc.o.d"
   "/root/repo/src/util/fault_injection.cc" "src/CMakeFiles/fxrz.dir/util/fault_injection.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/util/fault_injection.cc.o.d"
+  "/root/repo/src/util/file_io.cc" "src/CMakeFiles/fxrz.dir/util/file_io.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/util/file_io.cc.o.d"
   "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/fxrz.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/fxrz.dir/util/thread_pool.cc.o.d"
   )
 

@@ -208,6 +208,7 @@ src/CMakeFiles/fxrz.dir/compressors/compressor.cc.o: \
  /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/compressors/chunked.h \
  /root/repo/src/../src/compressors/fpzip.h \
  /root/repo/src/../src/compressors/mgard.h \
  /root/repo/src/../src/compressors/sz.h \

@@ -255,6 +255,7 @@ src/CMakeFiles/fxrz.dir/core/model.cc.o: /root/repo/src/core/model.cc \
  /root/repo/src/../src/encoding/bit_stream.h \
  /root/repo/src/../src/ml/adaboost.h \
  /root/repo/src/../src/ml/decision_tree.h \
+ /root/repo/src/../src/store/container.h \
  /root/repo/src/../src/ml/cross_validation.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

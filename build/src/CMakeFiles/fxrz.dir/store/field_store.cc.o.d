@@ -217,4 +217,6 @@ src/CMakeFiles/fxrz.dir/store/field_store.cc.o: \
  /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/ml/regressor.h \
- /root/repo/src/../src/encoding/bit_stream.h
+ /root/repo/src/../src/encoding/bit_stream.h \
+ /root/repo/src/../src/store/container.h \
+ /root/repo/src/../src/util/file_io.h

@@ -50,8 +50,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/ml/regressors_test.cc" "tests/CMakeFiles/fxrz_tests.dir/ml/regressors_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/ml/regressors_test.cc.o.d"
   "/root/repo/tests/parallel/event_io_test.cc" "tests/CMakeFiles/fxrz_tests.dir/parallel/event_io_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/parallel/event_io_test.cc.o.d"
   "/root/repo/tests/parallel/parallel_test.cc" "tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/parallel/parallel_test.cc.o.d"
+  "/root/repo/tests/store/container_test.cc" "tests/CMakeFiles/fxrz_tests.dir/store/container_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/store/container_test.cc.o.d"
   "/root/repo/tests/store/field_store_test.cc" "tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o.d"
   "/root/repo/tests/util/byte_reader_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/byte_reader_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/byte_reader_test.cc.o.d"
+  "/root/repo/tests/util/checksum_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/checksum_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/checksum_test.cc.o.d"
   "/root/repo/tests/util/fault_injection_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/fault_injection_test.cc.o.d"
   "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/random_test.cc.o.d"
   "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/fxrz_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/fxrz_tests.dir/util/status_test.cc.o.d"

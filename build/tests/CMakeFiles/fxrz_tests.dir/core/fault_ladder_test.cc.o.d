@@ -293,6 +293,7 @@ tests/CMakeFiles/fxrz_tests.dir/core/fault_ladder_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/../src/compressors/chunked.h \
  /root/repo/src/../src/compressors/compressor.h \
  /root/repo/src/../src/data/tensor.h /root/repo/src/../src/util/check.h \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \

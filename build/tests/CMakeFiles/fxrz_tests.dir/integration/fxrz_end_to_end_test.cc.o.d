@@ -320,6 +320,8 @@ tests/CMakeFiles/fxrz_tests.dir/integration/fxrz_end_to_end_test.cc.o: \
  /root/repo/src/../src/data/tensor.h /root/repo/src/../src/util/check.h \
  /root/repo/src/../src/util/byte_reader.h /usr/include/c++/12/cstring \
  /root/repo/src/../src/util/status.h \
+ /root/repo/src/../src/core/compressibility.h \
+ /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/core/pipeline.h /root/repo/src/../src/core/guard.h \
  /root/repo/src/../src/core/drift.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
@@ -327,8 +329,6 @@ tests/CMakeFiles/fxrz_tests.dir/integration/fxrz_end_to_end_test.cc.o: \
  /root/repo/src/../src/core/analysis.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/../src/core/compressibility.h \
- /root/repo/src/../src/core/features.h \
  /root/repo/src/../src/core/augmentation.h \
  /root/repo/src/../src/ml/regressor.h \
  /root/repo/src/../src/data/generators/catalog.h

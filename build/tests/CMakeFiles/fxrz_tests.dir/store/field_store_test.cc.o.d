@@ -306,4 +306,5 @@ tests/CMakeFiles/fxrz_tests.dir/store/field_store_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/../src/data/generators/grf.h \
- /root/repo/src/../src/data/statistics.h
+ /root/repo/src/../src/data/statistics.h \
+ /root/repo/src/../src/util/file_io.h

@@ -8,4 +8,14 @@ include("/root/repo/build/tests/fxrz_tests[1]_include.cmake")
 add_test(example_quickstart_smoke "/root/repo/build/examples/example_quickstart")
 set_tests_properties(example_quickstart_smoke PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(example_cli_smoke "/root/repo/build/examples/example_fxrz_cli" "generate" "--app" "hurricane" "--field" "QCLOUD" "--tstep" "5" "--out" "/root/repo/build/tests/cli_smoke.fts")
-set_tests_properties(example_cli_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(example_cli_smoke PROPERTIES  FIXTURES_SETUP "cli_data" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_train "/root/repo/build/examples/example_fxrz_cli" "train" "--compressor" "sz" "--data" "/root/repo/build/tests/cli_smoke.fts" "--model" "/root/repo/build/tests/cli_smoke.fxm")
+set_tests_properties(example_cli_train PROPERTIES  FIXTURES_REQUIRED "cli_data" FIXTURES_SETUP "cli_model" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;23;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_compress "/root/repo/build/examples/example_fxrz_cli" "compress" "--model" "/root/repo/build/tests/cli_smoke.fxm" "--compressor" "sz" "--data" "/root/repo/build/tests/cli_smoke.fts" "--target" "20" "--out" "/root/repo/build/tests/cli_smoke.sz")
+set_tests_properties(example_cli_compress PROPERTIES  FIXTURES_REQUIRED "cli_data;cli_model" FIXTURES_SETUP "cli_archive" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_decompress "/root/repo/build/examples/example_fxrz_cli" "decompress" "--in" "/root/repo/build/tests/cli_smoke.sz" "--out" "/root/repo/build/tests/cli_smoke_rec.fts")
+set_tests_properties(example_cli_decompress PROPERTIES  FIXTURES_REQUIRED "cli_archive" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_archive_audit "/root/repo/build/tools/fxrz_verify" "verify-deep" "/root/repo/build/tests/cli_smoke.sz")
+set_tests_properties(example_cli_archive_audit PROPERTIES  FIXTURES_REQUIRED "cli_archive" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cli_model_audit "/root/repo/build/tools/fxrz_verify" "verify" "/root/repo/build/tests/cli_smoke.fxm")
+set_tests_properties(example_cli_model_audit PROPERTIES  FIXTURES_REQUIRED "cli_model" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxrz_verify.dir/fxrz_verify.cc.o"
+  "CMakeFiles/fxrz_verify.dir/fxrz_verify.cc.o.d"
+  "fxrz_verify"
+  "fxrz_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxrz_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fxrz_verify_fixtures "/root/repo/build/tools/fxrz_verify" "make-fixtures" "/root/repo/build/tools/verify_fixtures")
+set_tests_properties(fxrz_verify_fixtures PROPERTIES  FIXTURES_SETUP "verify_fixtures" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fxrz_verify_deep_store_fxs "/root/repo/build/tools/fxrz_verify" "verify-deep" "/root/repo/build/tools/verify_fixtures/store.fxs")
+set_tests_properties(fxrz_verify_deep_store_fxs PROPERTIES  FIXTURES_REQUIRED "verify_fixtures" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fxrz_verify_deep_model_fxm "/root/repo/build/tools/fxrz_verify" "verify-deep" "/root/repo/build/tools/verify_fixtures/model.fxm")
+set_tests_properties(fxrz_verify_deep_model_fxm PROPERTIES  FIXTURES_REQUIRED "verify_fixtures" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fxrz_verify_deep_archive_fxa "/root/repo/build/tools/fxrz_verify" "verify-deep" "/root/repo/build/tools/verify_fixtures/archive.fxa")
+set_tests_properties(fxrz_verify_deep_archive_fxa PROPERTIES  FIXTURES_REQUIRED "verify_fixtures" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fxrz_verify_selftest "/root/repo/build/tools/fxrz_verify" "selftest" "/root/repo/build/tools/verify_selftest")
+set_tests_properties(fxrz_verify_selftest PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")

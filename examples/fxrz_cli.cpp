@@ -21,6 +21,8 @@
 #include "src/compressors/compressor.h"
 #include "src/core/features.h"
 #include "src/core/pipeline.h"
+#include "src/store/container.h"
+#include "src/util/file_io.h"
 #include "src/data/generators/hurricane.h"
 #include "src/data/generators/nyx.h"
 #include "src/data/generators/qmcpack.h"
@@ -190,12 +192,14 @@ int CmdCompress(const std::map<std::string, std::string>& args) {
     }
   }
 
-  std::FILE* f = std::fopen(out.c_str(), "wb");
-  if (f == nullptr) return Fail("cannot open " + out);
-  std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
+  // Self-describing checksummed container, written atomically: the codec
+  // name rides in the section name, and fxrz_verify can audit the file.
+  const size_t archive_bytes = bytes.size();
+  const Status wst = WriteContainerFile(
+      out, std::string(kSectionArchivePrefix) + comp_name, std::move(bytes));
+  if (!wst.ok()) return Fail(wst.ToString());
   std::printf("compressed %.2f MB -> %.2f MB (ratio %.1fx, target %.1fx)\n",
-              data.size_bytes() / 1048576.0, bytes.size() / 1048576.0, ratio,
+              data.size_bytes() / 1048576.0, archive_bytes / 1048576.0, ratio,
               target);
   return 0;
 }
@@ -204,17 +208,33 @@ int CmdDecompress(const std::map<std::string, std::string>& args) {
   const std::string in = Get(args, "in");
   const std::string out = Get(args, "out");
   if (in.empty() || out.empty()) return Fail("decompress needs --in and --out");
-  std::FILE* f = std::fopen(in.c_str(), "rb");
-  if (f == nullptr) return Fail("cannot open " + in);
-  std::fseek(f, 0, SEEK_END);
-  const long len = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(len > 0 ? static_cast<size_t>(len) : 0);
-  const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (got != bytes.size()) return Fail("short read " + in);
+  // Containered archives (the format `compress` writes) are checksum-
+  // verified and name their own codec; version-0 raw archives fall back to
+  // the --compressor flag.
+  std::vector<uint8_t> raw;
+  Status rst = ReadFileBytes(in, &raw);
+  if (!rst.ok()) return Fail(rst.ToString());
+  std::string comp_name = Get(args, "compressor", "sz");
+  std::vector<uint8_t> bytes;
+  if (LooksLikeContainer(raw.data(), raw.size())) {
+    ContainerReader reader;
+    rst = reader.Parse(std::move(raw));
+    if (!rst.ok()) return Fail(rst.ToString());
+    bool found = false;
+    for (const ContainerSection& section : reader.sections()) {
+      if (section.name.rfind(kSectionArchivePrefix, 0) != 0) continue;
+      comp_name = section.name.substr(std::strlen(kSectionArchivePrefix));
+      bytes.assign(section.data, section.data + section.size);
+      found = true;
+      break;
+    }
+    if (!found) return Fail("no archive section in " + in);
+  } else {
+    bytes = std::move(raw);
+  }
 
-  const auto comp = MakeCompressor(Get(args, "compressor", "sz"));
+  const auto comp = MakeArchiveCompressorOrNull(comp_name);
+  if (comp == nullptr) return Fail("unknown compressor " + comp_name);
   Tensor data;
   const Status st = comp->Decompress(bytes.data(), bytes.size(), &data);
   if (!st.ok()) return Fail(st.ToString());

@@ -17,6 +17,7 @@
 #include "src/data/generators/grf.h"
 #include "src/encoding/huffman.h"
 #include "src/encoding/zlite.h"
+#include "src/store/container.h"
 #include "src/store/field_store.h"
 
 namespace {
@@ -87,6 +88,24 @@ int main(int argc, char** argv) {
     ok &= writer.AddFieldFixedConfig("density", small, 0.02).ok();
     ok &= WriteSeed(out_dir + "/field_store", "store.bin",
                     writer.Serialize());
+  }
+
+  {
+    // Checksummed-container seeds: one of each section kind the adopters
+    // write, plus a multi-section file so the fuzzer mutates TOC walks.
+    ok &= WriteSeed(out_dir + "/container", "archive.bin",
+                    fxrz::WrapInContainer("archive:sz", fxrz::MakeCompressor(
+                                              "sz")->Compress(small, 0.02)));
+    fxrz::FieldStoreWriter writer("sz", /*model=*/nullptr);
+    ok &= writer.AddFieldFixedConfig("density", small, 0.02).ok();
+    ok &= WriteSeed(out_dir + "/container", "store.bin",
+                    fxrz::WrapInContainer(fxrz::kSectionFieldStore,
+                                          writer.Serialize()));
+    fxrz::ContainerWriter multi;
+    ok &= multi.AddSection("alpha", {1, 2, 3, 4}).ok();
+    ok &= multi.AddSection("beta", {}).ok();
+    ok &= multi.AddSection("gamma", std::vector<uint8_t>(100, 0x5A)).ok();
+    ok &= WriteSeed(out_dir + "/container", "multi.bin", multi.Serialize());
   }
 
   if (!ok) return 1;

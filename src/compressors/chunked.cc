@@ -1,52 +1,105 @@
 #include "src/compressors/chunked.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
+#include "src/util/checksum.h"
 #include "src/util/thread_pool.h"
 
 namespace fxrz {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x43484B31;  // "CHK1"
+constexpr uint32_t kMagicV1 = 0x43484B31;  // "CHK1": inline sizes, no CRCs
+constexpr uint32_t kMagicV2 = 0x43484B32;  // "CHK2": checksummed TOC
 
-// Byte extent of one chunk's payload inside the archive.
+// Byte extent of one chunk's payload inside the archive, plus the
+// version-2 integrity metadata.
 struct ChunkSpan {
   size_t offset = 0;  // first payload byte
   size_t size = 0;
+  uint32_t rows = 0;  // slab extent along dim 0 (0 for version-1 archives)
+  uint32_t crc = 0;
+};
+
+struct ChunkIndex {
+  std::vector<size_t> dims;
+  std::vector<ChunkSpan> spans;
+  bool checksummed = false;  // version 2
 };
 
 // Walks the archive once, validating framing and collecting every chunk's
-// payload span. On return `dims` holds the full-tensor shape. Every span is
-// validated against the archive extent before any chunk decode is
-// dispatched: spans are carved sequentially from the remaining bytes, so
-// they can neither overlap, escape the archive, nor leave trailing bytes.
-Status ParseChunkIndex(const uint8_t* data, size_t size,
-                       std::vector<size_t>* dims,
-                       std::vector<ChunkSpan>* spans) {
+// payload span. Every span is validated against the archive extent before
+// any chunk decode is dispatched: spans are carved sequentially from the
+// remaining bytes, so they can neither overlap, escape the archive, nor
+// leave trailing bytes.
+//
+// Version 1 interleaves `u64 size | payload` per chunk. Version 2 frames a
+// table of contents first -- `u64 size | u32 rows | u32 crc` per chunk,
+// sealed by a CRC32C over header+TOC -- then the payloads, so index
+// corruption is detected directly rather than inferred from framing
+// drift, and the row counts a degraded decode places slabs by are trusted.
+Status ParseChunkIndex(const uint8_t* data, size_t size, ChunkIndex* index) {
+  if (size < 4) return Status::Corruption("chunked: short archive");
+  const uint32_t magic = ReadUint32(data);
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    return Status::Corruption("chunked: bad magic");
+  }
+  index->checksummed = magic == kMagicV2;
+
   ByteReader reader(data, size);
   FXRZ_RETURN_IF_ERROR(
-      compressor_internal::ParseHeader(&reader, kMagic, dims));
-  // Each chunk costs at least its 8-byte size prefix, which bounds how many
-  // chunks the remaining bytes can hold -- reject forged counts before the
-  // reserve below allocates for them.
+      compressor_internal::ParseHeader(&reader, magic, &index->dims));
+  // Each chunk costs at least its TOC entry (8 bytes in v1, 16 in v2),
+  // which bounds how many chunks the remaining bytes can hold -- reject
+  // forged counts before the reserve below allocates for them.
   uint32_t num_chunks = 0;
-  if (!reader.ReadCountU32(&num_chunks, /*min_bytes_per_item=*/8)) {
+  if (!reader.ReadCountU32(&num_chunks,
+                           /*min_bytes_per_item=*/index->checksummed ? 16 : 8)) {
     return Status::Corruption("chunked: bad chunk count");
   }
-  spans->clear();
-  spans->reserve(num_chunks);
-  for (uint32_t c = 0; c < num_chunks; ++c) {
-    const uint8_t* chunk = nullptr;
-    size_t chunk_size = 0;
-    if (!reader.ReadLengthPrefixed(&chunk, &chunk_size)) {
-      return Status::Corruption("chunked: truncated chunk");
+  index->spans.clear();
+  index->spans.reserve(num_chunks);
+  if (!index->checksummed) {
+    for (uint32_t c = 0; c < num_chunks; ++c) {
+      const uint8_t* chunk = nullptr;
+      size_t chunk_size = 0;
+      if (!reader.ReadLengthPrefixed(&chunk, &chunk_size)) {
+        return Status::Corruption("chunked: truncated chunk");
+      }
+      index->spans.push_back(
+          ChunkSpan{static_cast<size_t>(chunk - data), chunk_size, 0, 0});
     }
-    spans->push_back(
-        ChunkSpan{static_cast<size_t>(chunk - data), chunk_size});
+  } else {
+    for (uint32_t c = 0; c < num_chunks; ++c) {
+      ChunkSpan span;
+      uint64_t chunk_size = 0;
+      if (!reader.ReadU64(&chunk_size) || !reader.ReadU32(&span.rows) ||
+          !reader.ReadU32(&span.crc)) {
+        return Status::Corruption("chunked: truncated index");
+      }
+      span.size = static_cast<size_t>(chunk_size);
+      index->spans.push_back(span);
+    }
+    const size_t toc_end = reader.position();
+    uint32_t index_crc = 0;
+    if (!reader.ReadU32(&index_crc)) {
+      return Status::Corruption("chunked: truncated index checksum");
+    }
+    if (!Crc32cMatches(data, toc_end, index_crc)) {
+      return Status::Corruption("chunked: index checksum mismatch");
+    }
+    for (ChunkSpan& span : index->spans) {
+      const uint8_t* payload = nullptr;
+      if (!reader.ReadSpan(span.size, &payload)) {
+        return Status::Corruption("chunked: truncated chunk");
+      }
+      span.offset = static_cast<size_t>(payload - data);
+    }
   }
   if (reader.remaining() != 0) {
     return Status::Corruption("chunked: trailing bytes after last chunk");
@@ -54,7 +107,20 @@ Status ParseChunkIndex(const uint8_t* data, size_t size,
   return Status::Ok();
 }
 
+Status ChunkChecksumStatus(const uint8_t* data, const ChunkSpan& span,
+                           size_t chunk) {
+  if (Crc32cMatches(data + span.offset, span.size, span.crc)) {
+    return Status::Ok();
+  }
+  return Status::Corruption("chunked: checksum mismatch in chunk " +
+                            std::to_string(chunk));
+}
+
 }  // namespace
+
+float ChunkedCompressor::LostValueSentinel() {
+  return std::numeric_limits<float>::quiet_NaN();
+}
 
 ChunkedCompressor::ChunkedCompressor(std::unique_ptr<Compressor> base,
                                      size_t target_chunk_elems, int threads)
@@ -77,9 +143,11 @@ std::vector<uint8_t> ChunkedCompressor::Compress(const Tensor& data,
   // Compress every chunk into its own buffer, then concatenate in chunk
   // order -- the archive is byte-identical at any thread count.
   std::vector<std::vector<uint8_t>> chunks(num_chunks);
+  std::vector<uint32_t> chunk_rows(num_chunks);
   auto compress_chunk = [&](size_t c) {
     const size_t row_lo = c * rows_per_chunk;
     const size_t rows = std::min(rows_per_chunk, data.dim(0) - row_lo);
+    chunk_rows[c] = static_cast<uint32_t>(rows);
     std::vector<size_t> slab_dims = data.dims();
     slab_dims[0] = rows;
     std::vector<float> values(rows * row_elems);
@@ -96,48 +164,73 @@ std::vector<uint8_t> ChunkedCompressor::Compress(const Tensor& data,
   }
 
   std::vector<uint8_t> out;
-  compressor_internal::AppendHeader(&out, kMagic, data);
+  compressor_internal::AppendHeader(&out, kMagicV2, data);
   AppendUint32(&out, static_cast<uint32_t>(num_chunks));
+  for (size_t c = 0; c < num_chunks; ++c) {
+    AppendUint64(&out, chunks[c].size());
+    AppendUint32(&out, chunk_rows[c]);
+    AppendUint32(&out, Crc32c::Compute(chunks[c].data(), chunks[c].size()));
+  }
+  // Seal the header+TOC so index corruption is detected directly.
+  AppendUint32(&out, Crc32c::Compute(out.data(), out.size()));
   for (const std::vector<uint8_t>& chunk : chunks) {
-    AppendUint64(&out, chunk.size());
     out.insert(out.end(), chunk.begin(), chunk.end());
   }
   return out;
 }
 
 size_t ChunkedCompressor::ChunkCount(const uint8_t* data, size_t size) const {
-  std::vector<size_t> dims;
-  size_t pos = 0;
-  if (!compressor_internal::ParseHeader(data, size, kMagic, &dims, &pos).ok())
-    return 0;
-  if (pos + 4 > size) return 0;
-  return ReadUint32(data + pos);
+  ChunkIndex index;
+  if (!ParseChunkIndex(data, size, &index).ok()) return 0;
+  return index.spans.size();
 }
 
 Status ChunkedCompressor::DecompressChunk(const uint8_t* data, size_t size,
-                                          size_t index, Tensor* out) const {
+                                          size_t index_in_archive,
+                                          Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
-  std::vector<size_t> dims;
-  std::vector<ChunkSpan> spans;
-  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &dims, &spans));
-  if (index >= spans.size()) return Status::InvalidArgument("chunk index");
-  return base_->Decompress(data + spans[index].offset, spans[index].size, out);
+  ChunkIndex index;
+  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &index));
+  if (index_in_archive >= index.spans.size()) {
+    return Status::InvalidArgument("chunk index");
+  }
+  const ChunkSpan& span = index.spans[index_in_archive];
+  if (index.checksummed) {
+    FXRZ_RETURN_IF_ERROR(ChunkChecksumStatus(data, span, index_in_archive));
+  }
+  return base_->Decompress(data + span.offset, span.size, out);
+}
+
+Status ChunkedCompressor::VerifyIntegrity(const uint8_t* data,
+                                          size_t size) const {
+  ChunkIndex index;
+  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &index));
+  if (!index.checksummed) return Status::Ok();  // v1: framing is all there is
+  for (size_t c = 0; c < index.spans.size(); ++c) {
+    FXRZ_RETURN_IF_ERROR(ChunkChecksumStatus(data, index.spans[c], c));
+  }
+  return Status::Ok();
 }
 
 Status ChunkedCompressor::Decompress(const uint8_t* data, size_t size,
                                      Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
-  std::vector<size_t> dims;
-  std::vector<ChunkSpan> spans;
-  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &dims, &spans));
+  ChunkIndex index;
+  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &index));
+  const std::vector<ChunkSpan>& spans = index.spans;
   if (spans.empty()) return Status::Corruption("chunked: no chunks");
 
-  // Phase 1: decompress every chunk (independently, in parallel). Slab row
-  // counts are only known from each chunk's own header, so placement into
-  // the output waits for phase 2.
+  // Phase 1: decompress every chunk (independently, in parallel), each
+  // checksum-verified *before* its payload reaches the entropy decoder.
+  // Slab row counts are only known from each chunk's own header, so
+  // placement into the output waits for phase 2.
   std::vector<Tensor> slabs(spans.size());
   std::vector<Status> statuses(spans.size(), Status::Ok());
   auto decompress_chunk = [&](size_t c) {
+    if (index.checksummed) {
+      statuses[c] = ChunkChecksumStatus(data, spans[c], c);
+      if (!statuses[c].ok()) return;
+    }
     statuses[c] =
         base_->Decompress(data + spans[c].offset, spans[c].size, &slabs[c]);
   };
@@ -149,7 +242,7 @@ Status ChunkedCompressor::Decompress(const uint8_t* data, size_t size,
   }
 
   // Phase 2: validate shapes in chunk order and stitch the slabs together.
-  Tensor result(dims);
+  Tensor result(index.dims);
   const size_t row_elems = result.size() / result.dim(0);
   size_t row = 0;
   for (size_t c = 0; c < slabs.size(); ++c) {
@@ -157,6 +250,9 @@ Status ChunkedCompressor::Decompress(const uint8_t* data, size_t size,
     const Tensor& slab = slabs[c];
     if (slab.rank() != result.rank() || row + slab.dim(0) > result.dim(0)) {
       return Status::Corruption("chunked: slab shape mismatch");
+    }
+    if (index.checksummed && slab.dim(0) != spans[c].rows) {
+      return Status::Corruption("chunked: slab row count disagrees with index");
     }
     for (size_t d = 1; d < result.rank(); ++d) {
       if (slab.dim(d) != result.dim(d)) {
@@ -168,6 +264,84 @@ Status ChunkedCompressor::Decompress(const uint8_t* data, size_t size,
     row += slab.dim(0);
   }
   if (row != result.dim(0)) return Status::Corruption("chunked: missing rows");
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+Status ChunkedCompressor::DecompressDegraded(const uint8_t* data, size_t size,
+                                             Tensor* out,
+                                             DecodeReport* report) const {
+  FXRZ_CHECK(out != nullptr && report != nullptr);
+  *report = DecodeReport();
+  ChunkIndex index;
+  // The header and TOC are the recovery map: without them nothing can be
+  // sized or placed, so index corruption still fails the whole archive.
+  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &index));
+  if (!index.checksummed) {
+    return Status::InvalidArgument(
+        "chunked: degraded decode needs a checksummed (version-2) archive");
+  }
+  const std::vector<ChunkSpan>& spans = index.spans;
+  if (spans.empty()) return Status::Corruption("chunked: no chunks");
+  report->total_chunks = spans.size();
+
+  // The verified index declares every chunk's row extent; cross-check it
+  // against the output shape before trusting it for placement.
+  size_t total_rows = 0;
+  for (const ChunkSpan& span : spans) {
+    if (span.rows == 0) return Status::Corruption("chunked: zero-row chunk");
+    total_rows += span.rows;
+  }
+  Tensor result(index.dims);
+  if (total_rows != result.dim(0)) {
+    return Status::Corruption("chunked: index rows disagree with shape");
+  }
+
+  // Decode chunk-by-chunk; a corrupt chunk is contained, not fatal.
+  std::vector<Tensor> slabs(spans.size());
+  std::vector<bool> lost(spans.size(), false);
+  auto decode_chunk = [&](size_t c) {
+    Status status = ChunkChecksumStatus(data, spans[c], c);
+    if (status.ok()) {
+      status =
+          base_->Decompress(data + spans[c].offset, spans[c].size, &slabs[c]);
+    }
+    if (status.ok() &&
+        (slabs[c].rank() != result.rank() ||
+         slabs[c].dim(0) != spans[c].rows)) {
+      status = Status::Corruption("chunked: slab shape mismatch");
+    }
+    for (size_t d = 1; status.ok() && d < result.rank(); ++d) {
+      if (slabs[c].dim(d) != result.dim(d)) {
+        status = Status::Corruption("chunked: slab shape mismatch");
+      }
+    }
+    lost[c] = !status.ok();
+  };
+  if (threads_ == 1 || spans.size() == 1) {
+    for (size_t c = 0; c < spans.size(); ++c) decode_chunk(c);
+  } else {
+    ParallelFor(SharedThreadPool(), 0, spans.size(), decode_chunk,
+                /*grain=*/1);
+  }
+
+  const size_t row_elems = result.size() / result.dim(0);
+  size_t row = 0;
+  for (size_t c = 0; c < spans.size(); ++c) {
+    float* slab_out = result.data() + row * row_elems;
+    const size_t slab_elems = spans[c].rows * row_elems;
+    if (lost[c]) {
+      std::fill(slab_out, slab_out + slab_elems, LostValueSentinel());
+      report->lost_chunks.push_back(c);
+      report->lost_byte_ranges.emplace_back(
+          row * row_elems * sizeof(float),
+          (row * row_elems + slab_elems) * sizeof(float));
+      report->lost_values += slab_elems;
+    } else {
+      std::memcpy(slab_out, slabs[c].data(), slab_elems * sizeof(float));
+    }
+    row += spans[c].rows;
+  }
   *out = std::move(result);
   return Status::Ok();
 }

@@ -13,18 +13,49 @@
 // and each chunk decompresses directly into its disjoint slab of the
 // output tensor. The index is parsed once up front, not re-walked per
 // chunk.
+//
+// Integrity (format version 2, magic "CHK2"): the index records each
+// chunk's payload size, row count, and CRC32C, and is itself covered by an
+// index checksum -- so a flipped byte anywhere in the archive is detected
+// before the affected chunk is entropy-decoded, and chunk independence
+// turns detection into *containment*: DecompressDegraded salvages every
+// intact chunk, fills the corrupt chunks' slabs with kLostValueSentinel,
+// and reports exactly what was lost. Version-1 ("CHK1", unchecksummed)
+// archives still decode via the strict path.
 
 #ifndef FXRZ_COMPRESSORS_CHUNKED_H_
 #define FXRZ_COMPRESSORS_CHUNKED_H_
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/compressors/compressor.h"
 
 namespace fxrz {
 
+// What DecompressDegraded salvaged and what it lost. Only produced
+// together with a fully-shaped output tensor.
+struct DecodeReport {
+  size_t total_chunks = 0;
+  // Indices of chunks that failed their checksum (or, checksum passing,
+  // failed to decode) and were replaced by the sentinel.
+  std::vector<size_t> lost_chunks;
+  // Affected regions of the decoded tensor, as [begin, end) byte ranges
+  // (multiply element offsets by sizeof(float)); one per lost chunk.
+  std::vector<std::pair<size_t, size_t>> lost_byte_ranges;
+  // Total sentinel-filled values.
+  size_t lost_values = 0;
+  bool complete() const { return lost_chunks.empty(); }
+};
+
 class ChunkedCompressor : public Compressor {
  public:
+  // Every value of a lost chunk's slab after DecompressDegraded. A quiet
+  // NaN: admission (core/guard.h) rejects NaN inputs, so NaN regions in a
+  // degraded decode unambiguously mark data loss rather than science data.
+  static float LostValueSentinel();
+
   // Slabs are sized to at most `target_chunk_elems` elements (rounded to
   // whole rows of the first dimension; a slab holds at least one row).
   // `threads` controls per-chunk parallelism: 1 = serial, 0 = hardware
@@ -40,8 +71,26 @@ class ChunkedCompressor : public Compressor {
   }
   std::vector<uint8_t> Compress(const Tensor& data,
                                 double config) const override;
+
+  // Strict decode: any chunk whose checksum or payload is corrupt fails
+  // the whole archive with Corruption (version-2 checksums are verified
+  // before entropy-decoding each chunk).
   Status Decompress(const uint8_t* data, size_t size,
                     Tensor* out) const override;
+
+  // Checksum-only integrity audit: validates the framing and index
+  // checksum, then every per-chunk CRC32C -- without entropy-decoding
+  // anything. Version-1 archives only get the framing walk (they carry no
+  // checksums). This is what the guard's cheap verification tier runs.
+  Status VerifyIntegrity(const uint8_t* data, size_t size) const override;
+
+  // Degraded decode for version-2 archives: verifies each chunk before
+  // entropy-decoding it, isolates corrupt chunks, fills their slab with
+  // LostValueSentinel(), and reports what was lost instead of failing the
+  // whole archive. Fails outright only when the header/index itself is
+  // corrupt (nothing can be placed) or the archive is version-1.
+  Status DecompressDegraded(const uint8_t* data, size_t size, Tensor* out,
+                            DecodeReport* report) const;
 
   // Number of slabs in a compressed stream (0 on malformed input).
   size_t ChunkCount(const uint8_t* data, size_t size) const;

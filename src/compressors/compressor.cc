@@ -1,5 +1,6 @@
 #include "src/compressors/compressor.h"
 
+#include "src/compressors/chunked.h"
 #include "src/compressors/fpzip.h"
 #include "src/compressors/mgard.h"
 #include "src/compressors/sz.h"
@@ -32,6 +33,15 @@ Status Compressor::TryCompress(const Tensor& data, double config,
   return Status::Ok();
 }
 
+Status Compressor::VerifyIntegrity(const uint8_t* data, size_t size) const {
+  // Minimal structural floor for checksum-less streams: every FXRZ codec
+  // stream starts with a 4-byte magic and a 4-byte rank.
+  if (data == nullptr || size < 8) {
+    return Status::Corruption(name() + ": archive too short");
+  }
+  return Status::Ok();
+}
+
 Status Compressor::TryDecompress(const uint8_t* data, size_t size,
                                  Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
@@ -48,6 +58,20 @@ std::unique_ptr<Compressor> MakeCompressorOrNull(const std::string& name) {
   if (name == "fpzip") return std::make_unique<FpzipCompressor>();
   if (name == "mgard") return std::make_unique<MgardCompressor>();
   return nullptr;
+}
+
+std::unique_ptr<Compressor> MakeArchiveCompressorOrNull(
+    const std::string& name) {
+  constexpr char kChunkedSuffix[] = "-chunked";
+  constexpr size_t kSuffixLen = sizeof(kChunkedSuffix) - 1;
+  if (name.size() > kSuffixLen &&
+      name.compare(name.size() - kSuffixLen, kSuffixLen, kChunkedSuffix) ==
+          0) {
+    auto base = MakeCompressorOrNull(name.substr(0, name.size() - kSuffixLen));
+    if (base == nullptr) return nullptr;
+    return std::make_unique<ChunkedCompressor>(std::move(base));
+  }
+  return MakeCompressorOrNull(name);
 }
 
 std::unique_ptr<Compressor> MakeCompressor(const std::string& name) {

@@ -50,6 +50,15 @@ class Compressor {
   virtual Status Decompress(const uint8_t* data, size_t size,
                             Tensor* out) const = 0;
 
+  // Cheap integrity audit of an archive without decoding it. Formats that
+  // carry checksums (ChunkedCompressor's version-2 framing, container-
+  // wrapped files) verify them here in one O(bytes) pass -- far below a
+  // full entropy decode; plain codec streams have no integrity metadata,
+  // so the base implementation only rejects archives too short to hold a
+  // header. The guard's checksum-only verification tier (core/guard.h)
+  // runs this before deciding whether to pay for a decode check.
+  virtual Status VerifyIntegrity(const uint8_t* data, size_t size) const;
+
   // Guarded entry points used by the serving layer (core/guard.*). They
   // wrap the virtual Compress/Decompress with deterministic fault-injection
   // points (util/fault_injection.h) and report degenerate outputs -- an
@@ -71,6 +80,13 @@ std::unique_ptr<Compressor> MakeCompressor(const std::string& name);
 // As MakeCompressor, but returns null on unknown names. Use this when the
 // name comes from untrusted bytes (e.g. a FieldStore archive).
 std::unique_ptr<Compressor> MakeCompressorOrNull(const std::string& name);
+
+// As MakeCompressorOrNull, additionally resolving the decorator names
+// compressors report ("sz-chunked" -> ChunkedCompressor over sz). Used
+// when decoding an archive whose "archive:<name>" container section named
+// the codec that produced it.
+std::unique_ptr<Compressor> MakeArchiveCompressorOrNull(
+    const std::string& name);
 
 // {"sz", "zfp", "fpzip", "mgard"} -- the paper's evaluation set.
 std::vector<std::string> AllCompressorNames();

@@ -161,15 +161,23 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
     }
     return std::move(result);
   };
-  // Pre-serve decode check (GuardOptions::verify_archive): an archive that
-  // does not round-trip invalidates its tier and the ladder escalates.
+  // Pre-serve verification (GuardOptions::verify_archive): an archive that
+  // fails invalidates its tier and the ladder escalates. The cheap
+  // checksum tier (Compressor::VerifyIntegrity) runs first -- bitrot-class
+  // corruption is caught without paying for a decode -- then the full
+  // decode check unless verify_checksum_only stops there.
   auto verified = [&](const Attempt& attempt, const char* tier) -> bool {
     if (!options.verify_archive) return true;
-    Tensor decoded;
-    Status status = compressor_->TryDecompress(
-        attempt.bytes.data(), attempt.bytes.size(), &decoded);
-    if (status.ok() && decoded.dims() != data.dims()) {
-      status = Status::Corruption("decoded shape mismatch");
+    Status status =
+        compressor_->VerifyIntegrity(attempt.bytes.data(),
+                                     attempt.bytes.size());
+    if (status.ok() && !options.verify_checksum_only) {
+      Tensor decoded;
+      status = compressor_->TryDecompress(attempt.bytes.data(),
+                                          attempt.bytes.size(), &decoded);
+      if (status.ok() && decoded.dims() != data.dims()) {
+        status = Status::Corruption("decoded shape mismatch");
+      }
     }
     if (!status.ok()) {
       note(std::string(tier) + ": archive failed verification [" +

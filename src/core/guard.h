@@ -92,12 +92,20 @@ struct GuardOptions {
   // finishes with up to this many bisection compressions from FRaZ's best
   // probe toward the target.
   int max_polish_compressions = 10;
-  // Decode-check every archive (TryDecompress + shape match) before
-  // serving it: a tier whose archive fails verification is invalidated and
-  // the ladder escalates, so a corrupt stream is never returned as a
-  // success. Costs one decompression per served request; off by default to
-  // keep the fast path at exactly one compression.
+  // Verify every archive before serving it: a tier whose archive fails
+  // verification is invalidated and the ladder escalates, so a corrupt
+  // stream is never returned as a success. Verification itself is a
+  // two-tier ladder: a cheap checksum/structural pass
+  // (Compressor::VerifyIntegrity -- for chunked archives this validates
+  // every per-chunk CRC32C without entropy-decoding anything) always runs
+  // first, then the full decode check (TryDecompress + shape match).
+  // Costs one decompression per served request; off by default to keep
+  // the fast path at exactly one compression.
   bool verify_archive = false;
+  // Stop verification after the cheap checksum tier and skip the decode
+  // check. Catches bitrot-class corruption at a fraction of the decode
+  // cost; only meaningful with verify_archive set.
+  bool verify_checksum_only = false;
   // Optional: every archive-producing request is recorded here
   // (target vs measured ratio), feeding the retraining recommendation.
   DriftMonitor* drift = nullptr;

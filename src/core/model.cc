@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <thread>
 
 #include "src/encoding/bit_stream.h"
 #include "src/ml/adaboost.h"
+#include "src/store/container.h"
 #include "src/ml/cross_validation.h"
 #include "src/ml/random_forest.h"
 #include "src/ml/svr.h"
@@ -471,26 +471,17 @@ Status FxrzModel::LoadFromBytes(const uint8_t* data, size_t size) {
 }
 
 Status FxrzModel::SaveToFile(const std::string& path) const {
+  // Checksummed container + atomic persistence (see store/container.h):
+  // model files are verified at load and a crash mid-save never leaves a
+  // half-written model that parses.
   std::vector<uint8_t> bytes;
   FXRZ_RETURN_IF_ERROR(SaveToBytes(&bytes));
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (written != bytes.size()) return Status::Internal("short write " + path);
-  return Status::Ok();
+  return WriteContainerFile(path, kSectionModel, std::move(bytes));
 }
 
 Status FxrzModel::LoadFromFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long len = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(len > 0 ? static_cast<size_t>(len) : 0);
-  const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (got != bytes.size()) return Status::Internal("short read " + path);
+  std::vector<uint8_t> bytes;
+  FXRZ_RETURN_IF_ERROR(ReadContainerFile(path, kSectionModel, &bytes));
   return LoadFromBytes(bytes.data(), bytes.size());
 }
 

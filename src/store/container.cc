@@ -1,0 +1,179 @@
+#include "src/store/container.h"
+
+#include <utility>
+
+#include "src/encoding/bit_stream.h"
+#include "src/util/byte_reader.h"
+#include "src/util/check.h"
+#include "src/util/checksum.h"
+#include "src/util/file_io.h"
+
+namespace fxrz {
+
+namespace {
+
+constexpr size_t kMaxSectionName = 256;
+// name length prefix + size + crc: the least a TOC entry can occupy.
+constexpr size_t kMinTocEntryBytes = 4 + 8 + 4;
+
+}  // namespace
+
+Status ContainerWriter::AddSection(const std::string& name,
+                                   std::vector<uint8_t> payload) {
+  if (name.empty() || name.size() > kMaxSectionName) {
+    return Status::InvalidArgument("container: bad section name length");
+  }
+  for (const std::string& existing : names_) {
+    if (existing == name) {
+      return Status::InvalidArgument("container: duplicate section " + name);
+    }
+  }
+  names_.push_back(name);
+  payloads_.push_back(std::move(payload));
+  return Status::Ok();
+}
+
+std::vector<uint8_t> ContainerWriter::Serialize() const {
+  std::vector<uint8_t> out;
+  AppendUint32(&out, kContainerMagic);
+  AppendUint32(&out, kContainerVersion);
+  AppendUint32(&out, /*flags=*/0);
+  AppendUint32(&out, static_cast<uint32_t>(names_.size()));
+  for (size_t i = 0; i < names_.size(); ++i) {
+    AppendUint32(&out, static_cast<uint32_t>(names_[i].size()));
+    out.insert(out.end(), names_[i].begin(), names_[i].end());
+    AppendUint64(&out, payloads_[i].size());
+    AppendUint32(&out, Crc32c::Compute(payloads_[i].data(),
+                                       payloads_[i].size()));
+  }
+  for (const std::vector<uint8_t>& payload : payloads_) {
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  AppendUint32(&out, Crc32c::Compute(out.data(), out.size()));
+  return out;
+}
+
+Status ContainerWriter::WriteToFile(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize());
+}
+
+Status ContainerReader::Parse(std::vector<uint8_t> bytes) {
+  bytes_ = std::move(bytes);
+  sections_.clear();
+
+  // The footer checksum covers every byte before it -- including the header
+  // and TOC -- so verify it first: any single corrupt byte anywhere in the
+  // file fails here before its value can mislead the parse below.
+  if (bytes_.size() < 4) return Status::Corruption("container: short file");
+  const size_t body = bytes_.size() - 4;
+  const uint32_t footer = ReadUint32(bytes_.data() + body);
+  if (!Crc32cMatches(bytes_.data(), body, footer)) {
+    return Status::Corruption("container: footer checksum mismatch");
+  }
+
+  ByteReader reader(bytes_.data(), body);
+  uint32_t magic = 0, version = 0, flags = 0, count = 0;
+  if (!reader.ReadU32(&magic) || magic != kContainerMagic) {
+    return Status::Corruption("container: bad magic");
+  }
+  if (!reader.ReadU32(&version) || version != kContainerVersion) {
+    return Status::Corruption("container: unsupported version");
+  }
+  if (!reader.ReadU32(&flags) ||
+      !reader.ReadCountU32(&count, kMinTocEntryBytes)) {
+    return Status::Corruption("container: bad section count");
+  }
+  sections_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ContainerSection section;
+    uint32_t name_len = 0;
+    if (!reader.ReadU32(&name_len) || name_len == 0 ||
+        name_len > kMaxSectionName) {
+      return Status::Corruption("container: bad section name length");
+    }
+    const uint8_t* name = nullptr;
+    if (!reader.ReadSpan(name_len, &name)) {
+      return Status::Corruption("container: truncated section name");
+    }
+    section.name.assign(reinterpret_cast<const char*>(name), name_len);
+    uint64_t size = 0;
+    if (!reader.ReadU64(&size) || !reader.ReadU32(&section.crc)) {
+      return Status::Corruption("container: truncated TOC entry");
+    }
+    section.size = size;
+    sections_.push_back(std::move(section));
+  }
+  for (ContainerSection& section : sections_) {
+    if (!reader.ReadSpan(static_cast<size_t>(section.size), &section.data)) {
+      return Status::Corruption("container: truncated payload for section '" +
+                                section.name + "'");
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("container: trailing bytes");
+  }
+  // Per-section checksums localize payload corruption: the footer already
+  // proved the file intact as a whole, but these are what a salvaging or
+  // lazy reader relies on, so Parse holds them to the same standard.
+  for (const ContainerSection& section : sections_) {
+    if (!Crc32cMatches(section.data, static_cast<size_t>(section.size),
+                       section.crc)) {
+      return Status::Corruption("container: checksum mismatch in section '" +
+                                section.name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ContainerReader::Find(const std::string& name, const uint8_t** data,
+                             size_t* size) const {
+  FXRZ_CHECK(data != nullptr && size != nullptr);
+  for (const ContainerSection& section : sections_) {
+    if (section.name != name) continue;
+    *data = section.data;
+    *size = static_cast<size_t>(section.size);
+    return Status::Ok();
+  }
+  return Status::NotFound("container: no section named " + name);
+}
+
+bool LooksLikeContainer(const uint8_t* data, size_t size) {
+  return size >= 4 && ReadUint32(data) == kContainerMagic;
+}
+
+std::vector<uint8_t> WrapInContainer(const std::string& section,
+                                     std::vector<uint8_t> payload) {
+  ContainerWriter writer;
+  FXRZ_CHECK(writer.AddSection(section, std::move(payload)).ok());
+  return writer.Serialize();
+}
+
+Status WriteContainerFile(const std::string& path, const std::string& section,
+                          std::vector<uint8_t> payload) {
+  ContainerWriter writer;
+  FXRZ_RETURN_IF_ERROR(writer.AddSection(section, std::move(payload)));
+  return writer.WriteToFile(path);
+}
+
+Status ReadContainerFile(const std::string& path, const std::string& section,
+                         std::vector<uint8_t>* payload, bool* was_container) {
+  FXRZ_CHECK(payload != nullptr);
+  std::vector<uint8_t> bytes;
+  FXRZ_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  if (!LooksLikeContainer(bytes.data(), bytes.size())) {
+    // Version-0 file: raw artifact bytes, no integrity layer to verify.
+    if (was_container != nullptr) *was_container = false;
+    *payload = std::move(bytes);
+    return Status::Ok();
+  }
+  if (was_container != nullptr) *was_container = true;
+  ContainerReader reader;
+  FXRZ_RETURN_IF_ERROR(reader.Parse(std::move(bytes)));
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+  FXRZ_RETURN_IF_ERROR(reader.Find(section, &data, &size));
+  payload->assign(data, data + size);
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,115 @@
+// Checksummed container framing for every persisted FXRZ artifact.
+//
+// SZ3's modular-format work (Liang et al.) showed that prediction-based
+// compressor archives need self-describing, verifiable framing to survive
+// real pipelines. This is FXRZ's version of that layer: a container that
+// wraps FieldStore files, serialized FxrzModel blobs, and single-shot
+// compressor archives with enough redundancy that a single flipped byte
+// anywhere in the file is *detected* -- never decoded into silently wrong
+// science data.
+//
+// Layout (little-endian, version 1):
+//
+//   magic "FXC1" | version u32 | flags u32 | section count u32
+//   TOC, per section:   name (u32 len + bytes) | payload size u64 |
+//                       payload CRC32C u32
+//   payloads, concatenated in TOC order
+//   footer: CRC32C u32 over every preceding byte of the file
+//
+// The footer checksum covers the header and TOC (so metadata corruption is
+// caught), and the per-section checksums localize payload corruption to a
+// section (so a reader can report *what* was damaged, and multi-section
+// readers can salvage intact sections). ContainerReader::Parse verifies
+// all of them up front.
+//
+// Version-0 compatibility: files written before this layer existed are raw
+// artifact bytes with their own magic ("FXST", "FXRZMDL1", codec magics).
+// ReadContainerFile sniffs the container magic and falls back to returning
+// the raw bytes unchanged, so old files keep loading (without integrity
+// protection, which only a rewrite can add).
+
+#ifndef FXRZ_STORE_CONTAINER_H_
+#define FXRZ_STORE_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace fxrz {
+
+inline constexpr uint32_t kContainerMagic = 0x31435846;  // "FXC1"
+inline constexpr uint32_t kContainerVersion = 1;
+
+// Canonical section names used by the built-in adopters.
+inline constexpr char kSectionFieldStore[] = "field-store";
+inline constexpr char kSectionModel[] = "fxrz-model";
+// Single-shot archives name their codec after the colon: "archive:sz",
+// "archive:sz-chunked", ... so a reader can decode without out-of-band
+// knowledge.
+inline constexpr char kSectionArchivePrefix[] = "archive:";
+
+// One parsed section; `data` points into the bytes handed to Parse.
+struct ContainerSection {
+  std::string name;
+  const uint8_t* data = nullptr;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+// Builds a container in memory; append sections, then serialize.
+class ContainerWriter {
+ public:
+  // Section names are non-empty, at most 256 bytes, and unique.
+  Status AddSection(const std::string& name, std::vector<uint8_t> payload);
+
+  std::vector<uint8_t> Serialize() const;
+
+  // Serialize + crash-safe persist (util/file_io.h AtomicWriteFile).
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<uint8_t>> payloads_;
+};
+
+// Parses and fully verifies a container: framing bounds, the whole-file
+// footer checksum, then every section checksum. After a successful Parse
+// the payload spans are guaranteed intact (up to CRC32C collision odds).
+class ContainerReader {
+ public:
+  Status Parse(std::vector<uint8_t> bytes);
+
+  const std::vector<ContainerSection>& sections() const { return sections_; }
+
+  // Finds a section by name (NotFound when absent).
+  Status Find(const std::string& name, const uint8_t** data,
+              size_t* size) const;
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<ContainerSection> sections_;
+};
+
+// True when the bytes start with the container magic.
+bool LooksLikeContainer(const uint8_t* data, size_t size);
+
+// Single-section conveniences used by the FieldStore/model/CLI adopters.
+std::vector<uint8_t> WrapInContainer(const std::string& section,
+                                     std::vector<uint8_t> payload);
+
+// Wrap + atomic write.
+Status WriteContainerFile(const std::string& path, const std::string& section,
+                          std::vector<uint8_t> payload);
+
+// Reads `path`. A version-1 container is checksum-verified and must hold
+// `section`, whose payload is returned. A version-0 (pre-container) file
+// is returned raw. `was_container`, when non-null, reports which path ran.
+Status ReadContainerFile(const std::string& path, const std::string& section,
+                         std::vector<uint8_t>* payload,
+                         bool* was_container = nullptr);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_STORE_CONTAINER_H_

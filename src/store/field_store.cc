@@ -1,10 +1,10 @@
 #include "src/store/field_store.h"
 
-#include <cstdio>
-
 #include "src/encoding/bit_stream.h"
+#include "src/store/container.h"
 #include "src/util/byte_reader.h"
 #include "src/util/check.h"
+#include "src/util/file_io.h"
 
 namespace fxrz {
 
@@ -109,13 +109,11 @@ std::vector<uint8_t> FieldStoreWriter::Serialize() const {
 }
 
 Status FieldStoreWriter::WriteToFile(const std::string& path) const {
-  const std::vector<uint8_t> bytes = Serialize();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (written != bytes.size()) return Status::Internal("short write " + path);
-  return Status::Ok();
+  // Checksummed container + atomic temp/fsync/rename persistence: a crash
+  // mid-write can never leave a half-written store that parses, and
+  // fsync/close failures (full disk) surface as a Status instead of a
+  // silently truncated file.
+  return WriteContainerFile(path, kSectionFieldStore, Serialize());
 }
 
 Status FieldStoreReader::FromBytes(std::vector<uint8_t> bytes) {
@@ -155,15 +153,10 @@ Status FieldStoreReader::FromBytes(std::vector<uint8_t> bytes) {
 }
 
 Status FieldStoreReader::OpenFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long len = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(len > 0 ? static_cast<size_t>(len) : 0);
-  const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (got != bytes.size()) return Status::Internal("short read " + path);
+  // Container files are checksum-verified before any parsing; version-0
+  // (pre-container) store files come back raw and parse as before.
+  std::vector<uint8_t> bytes;
+  FXRZ_RETURN_IF_ERROR(ReadContainerFile(path, kSectionFieldStore, &bytes));
   return FromBytes(std::move(bytes));
 }
 

@@ -11,6 +11,12 @@
 //   magic "FXST" | version u32 | field count u32 | per field:
 //   name | compressor name | target ratio f64 | config f64 |
 //   achieved ratio f64 | payload size u64 | payload (compressor stream)
+//
+// On disk the serialized store is wrapped in the checksummed container of
+// src/store/container.h (section "field-store") and persisted atomically
+// (temp + fsync + rename), so corruption is detected at open and a crash
+// mid-write never leaves a readable-but-wrong file. Pre-container
+// (version-0) store files still open via the raw-bytes fallback.
 
 #ifndef FXRZ_STORE_FIELD_STORE_H_
 #define FXRZ_STORE_FIELD_STORE_H_

@@ -1,0 +1,73 @@
+#include "src/util/checksum.h"
+
+#include "src/util/fault_injection.h"
+
+namespace fxrz {
+
+namespace {
+
+// Slice-by-8 lookup tables. table[0] is the plain byte-at-a-time table;
+// table[k][b] extends a CRC whose low byte is `b` by k zero bytes. All 8
+// are a pure function of the reflected polynomial, built once at static
+// initialization.
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void Crc32c::Update(const void* data, size_t len) {
+  const auto& tbl = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = state_;
+  while (len >= 8) {
+    const uint32_t lo = crc ^ LoadLe32(p);
+    const uint32_t hi = LoadLe32(p + 4);
+    crc = tbl[7][lo & 0xFFu] ^ tbl[6][(lo >> 8) & 0xFFu] ^
+          tbl[5][(lo >> 16) & 0xFFu] ^ tbl[4][lo >> 24] ^
+          tbl[3][hi & 0xFFu] ^ tbl[2][(hi >> 8) & 0xFFu] ^
+          tbl[1][(hi >> 16) & 0xFFu] ^ tbl[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = (crc >> 8) ^ tbl[0][(crc ^ *p) & 0xFFu];
+    ++p;
+    --len;
+  }
+  state_ = crc;
+}
+
+bool Crc32cMatches(const void* data, size_t len, uint32_t expected) {
+  if (fault::Hit(fault::Site::kBitrot)) return false;
+  return Crc32c::Compute(data, len) == expected;
+}
+
+}  // namespace fxrz

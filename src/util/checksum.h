@@ -1,0 +1,63 @@
+// CRC32C (Castagnoli) checksums for archive integrity.
+//
+// Every persisted FXRZ artifact (container sections, chunked-archive
+// payloads) carries a CRC32C so bit rot, torn transfers, and truncation are
+// *detected* instead of decoding into silently wrong science data. The
+// implementation is the classic slice-by-8 table walk: the 8 tables are
+// derived once from the polynomial at static initialization (pure function
+// of the polynomial -- no runtime nondeterminism), and the hot loop folds
+// 8 input bytes per iteration.
+//
+// The incremental API matches how writers produce archives: sections are
+// appended piecewise, so the checksum is updated piecewise and finalized
+// once at the end.
+//
+//   Crc32c crc;
+//   crc.Update(header.data(), header.size());
+//   crc.Update(payload.data(), payload.size());
+//   uint32_t value = crc.value();
+//
+// Checksums are stored little-endian like every other FXRZ integer.
+
+#ifndef FXRZ_UTIL_CHECKSUM_H_
+#define FXRZ_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fxrz {
+
+// Incremental CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+class Crc32c {
+ public:
+  Crc32c() = default;
+
+  // Folds `len` more bytes into the running checksum.
+  void Update(const void* data, size_t len);
+
+  // Checksum of everything Update()ed so far. Does not reset; more
+  // Update() calls may follow.
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+  // One-shot convenience.
+  static uint32_t Compute(const void* data, size_t len) {
+    Crc32c crc;
+    crc.Update(data, len);
+    return crc.value();
+  }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+// True when Compute(data, len) == expected. Every integrity check in the
+// codebase funnels through here: it is the `bitrot` fault-injection site
+// (util/fault_injection.h), so tests can force any single checksum
+// comparison to report corruption deterministically.
+bool Crc32cMatches(const void* data, size_t len, uint32_t expected);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_UTIL_CHECKSUM_H_

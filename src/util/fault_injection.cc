@@ -13,6 +13,8 @@ const char* SiteName(Site site) {
     case Site::kCompressorDecompress: return "compressor-decompress";
     case Site::kModelQuery: return "model-query";
     case Site::kArchiveDecode: return "archive-decode";
+    case Site::kBitrot: return "bitrot";
+    case Site::kTornWrite: return "torn-write";
   }
   return "?";
 }
@@ -23,6 +25,7 @@ namespace {
 
 struct SiteState {
   uint64_t hits = 0;
+  uint64_t triggered = 0;  // hits that actually failed
   int skip = 0;
   int count = 0;  // remaining failures once skip reaches 0
 };
@@ -57,6 +60,11 @@ uint64_t HitCount(Site site) {
   return StateFor(site).hits;
 }
 
+uint64_t TriggeredCount(Site site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return StateFor(site).triggered;
+}
+
 bool Hit(Site site) {
   std::lock_guard<std::mutex> lock(g_mu);
   SiteState& s = StateFor(site);
@@ -67,6 +75,7 @@ bool Hit(Site site) {
   }
   if (s.count > 0) {
     --s.count;
+    ++s.triggered;
     return true;
   }
   return false;

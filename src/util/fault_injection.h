@@ -26,8 +26,10 @@ enum class Site : int {
   kCompressorDecompress,    // Compressor::TryDecompress
   kModelQuery,              // FxrzModel::EstimateWithConfidence
   kArchiveDecode,           // compressor_internal::ParseHeader
+  kBitrot,                  // Crc32cMatches: checksum verification mismatch
+  kTornWrite,               // AtomicWriteFile: crash before rename
 };
-inline constexpr int kNumSites = 4;
+inline constexpr int kNumSites = 6;
 
 const char* SiteName(Site site);
 
@@ -48,8 +50,14 @@ void Arm(Site site, int skip, int count);
 // Disarms every site and zeroes all hit counters.
 void ResetAll();
 
-// Hits (armed or not) observed at `site` since the last ResetAll.
+// Hits (armed or not) observed at `site` since the last ResetAll. This
+// counts every *visit* to the site, successful or failing; a test that
+// wants to know how many faults actually fired must use TriggeredCount.
 uint64_t HitCount(Site site);
+
+// Hits at `site` that actually failed (Hit returned true) since the last
+// ResetAll. TriggeredCount(s) <= HitCount(s) always.
+uint64_t TriggeredCount(Site site);
 
 // Consumes one hit at `site`; returns true when the hit must fail.
 bool Hit(Site site);
@@ -57,6 +65,7 @@ bool Hit(Site site);
 inline void Arm(Site /*site*/, int /*skip*/, int /*count*/) {}
 inline void ResetAll() {}
 inline uint64_t HitCount(Site /*site*/) { return 0; }
+inline uint64_t TriggeredCount(Site /*site*/) { return 0; }
 inline bool Hit(Site /*site*/) { return false; }
 #endif
 

@@ -1,0 +1,84 @@
+#include "src/util/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/check.h"
+#include "src/util/fault_injection.h"
+
+namespace fxrz {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string AtomicTempPath(const std::string& path) {
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  const std::string tmp = AtomicTempPath(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::NotFound(Errno("cannot open", tmp));
+
+  // Partial writes are legal for write(2); loop until done or error.
+  Status status;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Status::Internal(Errno("write", tmp));
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // A full disk often only surfaces at fsync/close: report it, never
+  // pretend the bytes are durable.
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal(Errno("fsync", tmp));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::Internal(Errno("close", tmp));
+  }
+  if (status.ok() && fault::Hit(fault::Site::kTornWrite)) {
+    // Simulated crash between flush and rename: leave the temp file on
+    // disk (real crash debris) and never touch the destination.
+    return Status::Internal("injected fault: torn write of " + path);
+  }
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::Internal(Errno("rename", tmp));
+  }
+  if (!status.ok()) ::unlink(tmp.c_str());
+  return status;
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  FXRZ_CHECK(out != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  if (len < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot size " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(len));
+  const size_t got = std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) return Status::Internal("short read " + path);
+  return Status::Ok();
+}
+
+}  // namespace fxrz

@@ -1,0 +1,47 @@
+// Crash-safe file persistence and whole-file reads.
+//
+// FRaZ-style deployments write millions of archives to shared filesystems
+// where a crash (or full disk) mid-write is routine. A plain
+// fopen/fwrite/fclose sequence can leave a half-written file that still
+// passes its own header check -- the worst possible failure, because it
+// decodes into wrong data. AtomicWriteFile closes that window:
+//
+//   1. write everything to `<path>.tmp.<pid>`,
+//   2. fsync the temp file (a write that only reached the page cache is
+//      not durable),
+//   3. rename() it over `path` -- atomic on POSIX, so readers observe
+//      either the complete old file or the complete new file, never a mix.
+//
+// Every step's failure (open, short write, fsync, close, rename) is
+// reported as a Status; on failure the destination is untouched and the
+// temp file is removed. The rename step is the `torn_write` fault-
+// injection site (util/fault_injection.h): an injected fault simulates a
+// crash between flush and rename -- the temp file is deliberately left
+// behind, exactly the debris a real crash leaves, so recovery tests can
+// assert readers ignore it.
+
+#ifndef FXRZ_UTIL_FILE_IO_H_
+#define FXRZ_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace fxrz {
+
+// Atomically replaces `path` with `bytes` (write temp + fsync + rename).
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
+
+// Reads the whole file into `out`.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+// The temp name AtomicWriteFile(path, ...) writes to before the rename
+// (exposed for torn-write recovery tests and stale-temp cleanup).
+std::string AtomicTempPath(const std::string& path);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_UTIL_FILE_IO_H_

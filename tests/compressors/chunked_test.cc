@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "src/core/verify.h"
+#include "src/encoding/bit_stream.h"
 #include "src/data/generators/grf.h"
 #include "src/data/statistics.h"
 
@@ -127,6 +130,173 @@ TEST(ChunkedTest, CorruptStreamsRejected) {
   EXPECT_FALSE(comp.Decompress(bytes.data(), bytes.size() / 2, &rec).ok());
   bytes[1] ^= 0xFF;
   EXPECT_FALSE(comp.Decompress(bytes.data(), bytes.size(), &rec).ok());
+}
+
+// First payload byte of the version-2 layout: header (magic + rank + dims),
+// chunk count, 16-byte TOC entries, index checksum.
+size_t V2PayloadStart(const Tensor& shape, size_t chunks) {
+  return 4 + 4 + 8 * shape.rank() + 4 + 16 * chunks + 4;
+}
+
+TEST(ChunkedTest, VerifyIntegrityCatchesEveryFlippedByte) {
+  // Index bytes are covered by the index checksum, payload bytes by their
+  // chunk's checksum: no byte of a version-2 archive is unprotected.
+  const Tensor g = GaussianRandomField3D(16, 8, 8, 3.0, 978);
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/512);
+  const std::vector<uint8_t> bytes = comp.Compress(g, 0.01);
+  ASSERT_TRUE(comp.VerifyIntegrity(bytes.data(), bytes.size()).ok());
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[pos] ^= 0x01;
+    ASSERT_FALSE(comp.VerifyIntegrity(corrupt.data(), corrupt.size()).ok())
+        << "flipped byte " << pos << " of " << bytes.size()
+        << " went undetected";
+  }
+}
+
+TEST(ChunkedTest, StrictDecodeRejectsPayloadCorruptionAtEveryStride) {
+  const Tensor g = GaussianRandomField3D(16, 8, 8, 3.0, 979);
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/512);
+  const std::vector<uint8_t> bytes = comp.Compress(g, 0.01);
+  Tensor rec;
+  ASSERT_TRUE(comp.Decompress(bytes.data(), bytes.size(), &rec).ok());
+  for (size_t pos = 0; pos < bytes.size(); pos += 64) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[pos] ^= 0x80;
+    ASSERT_FALSE(comp.Decompress(corrupt.data(), corrupt.size(), &rec).ok())
+        << "flipped byte " << pos;
+  }
+}
+
+TEST(ChunkedTest, DegradedDecodeSalvagesIntactChunks) {
+  const Tensor g = GaussianRandomField3D(32, 8, 8, 3.0, 980);
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/512);
+  std::vector<uint8_t> bytes = comp.Compress(g, 0.01);
+  const size_t chunks = comp.ChunkCount(bytes.data(), bytes.size());
+  ASSERT_EQ(chunks, 4u);
+  Tensor clean;
+  ASSERT_TRUE(comp.Decompress(bytes.data(), bytes.size(), &clean).ok());
+
+  // Corrupt the first payload byte: chunk 0 is lost, chunks 1-3 survive.
+  bytes[V2PayloadStart(g, chunks)] ^= 0xFF;
+  Tensor rec;
+  DecodeReport report;
+  ASSERT_TRUE(
+      comp.DecompressDegraded(bytes.data(), bytes.size(), &rec, &report).ok());
+  ASSERT_EQ(rec.dims(), g.dims());
+  EXPECT_FALSE(report.complete());
+  EXPECT_EQ(report.total_chunks, 4u);
+  ASSERT_EQ(report.lost_chunks, std::vector<size_t>{0});
+  const size_t slab_elems = 8 * 8 * 8;  // 8 rows per 512-element chunk
+  EXPECT_EQ(report.lost_values, slab_elems);
+  ASSERT_EQ(report.lost_byte_ranges.size(), 1u);
+  EXPECT_EQ(report.lost_byte_ranges[0].first, 0u);
+  EXPECT_EQ(report.lost_byte_ranges[0].second, slab_elems * sizeof(float));
+  for (size_t i = 0; i < rec.size(); ++i) {
+    if (i < slab_elems) {
+      ASSERT_TRUE(std::isnan(rec[i])) << i;
+    } else {
+      ASSERT_EQ(rec[i], clean[i]) << i;
+    }
+  }
+
+  // The strict paths must still refuse the damaged archive.
+  EXPECT_FALSE(comp.VerifyIntegrity(bytes.data(), bytes.size()).ok());
+  EXPECT_FALSE(comp.Decompress(bytes.data(), bytes.size(), &rec).ok());
+}
+
+TEST(ChunkedTest, DegradedDecodeReportsEveryLostChunk) {
+  const Tensor g = GaussianRandomField3D(32, 8, 8, 3.0, 981);
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/512);
+  std::vector<uint8_t> bytes = comp.Compress(g, 0.01);
+  ASSERT_EQ(comp.ChunkCount(bytes.data(), bytes.size()), 4u);
+
+  // Kill the last chunk (archive tail is chunk 3's last payload byte).
+  bytes[bytes.size() - 1] ^= 0xFF;
+  Tensor rec;
+  DecodeReport report;
+  ASSERT_TRUE(
+      comp.DecompressDegraded(bytes.data(), bytes.size(), &rec, &report).ok());
+  ASSERT_EQ(report.lost_chunks, std::vector<size_t>{3});
+
+  // Kill chunk 0 as well: both failures must be isolated and reported.
+  bytes[V2PayloadStart(g, 4)] ^= 0xFF;
+  ASSERT_TRUE(
+      comp.DecompressDegraded(bytes.data(), bytes.size(), &rec, &report).ok());
+  EXPECT_EQ(report.lost_chunks, (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(report.lost_values, 2u * 8 * 8 * 8);
+  EXPECT_EQ(report.lost_byte_ranges.size(), 2u);
+}
+
+TEST(ChunkedTest, DegradedDecodeFailsWhenIndexCorrupt) {
+  // Without a trustworthy index nothing can be placed: corrupting the TOC
+  // (here a chunk-size field) must fail even the degraded path.
+  const Tensor g = GaussianRandomField3D(16, 8, 8, 3.0, 982);
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/512);
+  std::vector<uint8_t> bytes = comp.Compress(g, 0.01);
+  bytes[4 + 4 + 8 * g.rank() + 4] ^= 0xFF;  // first TOC byte
+  Tensor rec;
+  DecodeReport report;
+  EXPECT_FALSE(
+      comp.DecompressDegraded(bytes.data(), bytes.size(), &rec, &report).ok());
+}
+
+TEST(ChunkedTest, LostValueSentinelIsQuietNan) {
+  EXPECT_TRUE(std::isnan(ChunkedCompressor::LostValueSentinel()));
+}
+
+// Builds a version-1 ("CHK1") archive the way the pre-checksum writer did:
+// inline `u64 size | payload` per chunk, no CRCs.
+std::vector<uint8_t> BuildV1Archive(const Compressor& base, const Tensor& data,
+                                    size_t rows_per_chunk, double config) {
+  std::vector<uint8_t> out;
+  AppendUint32(&out, 0x43484B31);  // "CHK1"
+  AppendUint32(&out, static_cast<uint32_t>(data.rank()));
+  for (size_t d = 0; d < data.rank(); ++d) AppendUint64(&out, data.dim(d));
+  const size_t row_elems = data.size() / data.dim(0);
+  const size_t chunks =
+      (data.dim(0) + rows_per_chunk - 1) / rows_per_chunk;
+  AppendUint32(&out, static_cast<uint32_t>(chunks));
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t row_lo = c * rows_per_chunk;
+    const size_t rows = std::min(rows_per_chunk, data.dim(0) - row_lo);
+    std::vector<size_t> dims = data.dims();
+    dims[0] = rows;
+    std::vector<float> values(
+        data.data() + row_lo * row_elems,
+        data.data() + (row_lo + rows) * row_elems);
+    const std::vector<uint8_t> payload =
+        base.Compress(Tensor(std::move(dims), std::move(values)), config);
+    AppendUint64(&out, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+TEST(ChunkedTest, VersionOneArchivesStillDecode) {
+  const Tensor g = GaussianRandomField3D(16, 8, 8, 3.0, 983);
+  const auto sz = MakeCompressor("sz");
+  const std::vector<uint8_t> v1 = BuildV1Archive(*sz, g, 4, 0.01);
+
+  ChunkedCompressor comp(MakeCompressor("sz"), /*target_chunk_elems=*/256);
+  EXPECT_EQ(comp.ChunkCount(v1.data(), v1.size()), 4u);
+  // Framing walks clean; there are no checksums to verify.
+  EXPECT_TRUE(comp.VerifyIntegrity(v1.data(), v1.size()).ok());
+
+  Tensor rec;
+  ASSERT_TRUE(comp.Decompress(v1.data(), v1.size(), &rec).ok());
+  ASSERT_EQ(rec.dims(), g.dims());
+  EXPECT_LE(ComputeDistortion(g, rec).max_abs_error, 0.0101);
+
+  Tensor slab;
+  ASSERT_TRUE(comp.DecompressChunk(v1.data(), v1.size(), 1, &slab).ok());
+  EXPECT_EQ(slab.dim(0), 4u);
+
+  // Degraded decode needs the checksummed index; version 1 cannot offer it.
+  DecodeReport report;
+  const Status st = comp.DecompressDegraded(v1.data(), v1.size(), &rec, &report);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

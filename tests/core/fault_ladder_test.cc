@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/compressors/chunked.h"
 #include "src/compressors/compressor.h"
 #include "src/core/guard.h"
 #include "src/core/pipeline.h"
@@ -76,7 +77,11 @@ TEST_F(FaultLadderTest, CompressFaultAtModelTierRecoversViaFraz) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().tier, ServingTier::kFrazFallback);
   EXPECT_LE(r.value().relative_error, 0.08);
-  EXPECT_GE(fault::HitCount(Site::kCompressorCompress), 1u);
+  // The ladder visits the compress site many times (HitCount counts every
+  // visit); exactly one visit must have actually failed.
+  EXPECT_EQ(fault::TriggeredCount(Site::kCompressorCompress), 1u);
+  EXPECT_GE(fault::HitCount(Site::kCompressorCompress),
+            fault::TriggeredCount(Site::kCompressorCompress));
 }
 
 TEST_F(FaultLadderTest, ForcedMisestimateIsCaughtByLadder) {
@@ -87,7 +92,7 @@ TEST_F(FaultLadderTest, ForcedMisestimateIsCaughtByLadder) {
   const StatusOr<GuardedResult> r =
       fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget(), OpenGate());
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(fault::HitCount(Site::kModelQuery), 1u);
+  EXPECT_EQ(fault::TriggeredCount(Site::kModelQuery), 1u);
   EXPECT_NE(r.value().tier, ServingTier::kModelEstimate)
       << "a mis-estimate this large cannot pass on the first attempt";
   EXPECT_LE(r.value().relative_error, 0.08);
@@ -139,6 +144,53 @@ TEST_F(FaultLadderTest, VerifyArchiveCatchesDecodeFaultAndEscalates) {
               std::string::npos)
         << r.status().message();
   }
+}
+
+TEST_F(FaultLadderTest, ChecksumOnlyVerificationNeverDecodes) {
+  // The cheap verification tier must not pay for an entropy decode: the
+  // decompress fault site is never even visited.
+  GuardOptions options = OpenGate();
+  options.verify_archive = true;
+  options.verify_checksum_only = true;
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget(), options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().archive_verified);
+  EXPECT_EQ(fault::HitCount(Site::kCompressorDecompress), 0u);
+
+  // Full verification does decode.
+  fault::ResetAll();
+  options.verify_checksum_only = false;
+  const StatusOr<GuardedResult> full =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], MidTarget(), options);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_GE(fault::HitCount(Site::kCompressorDecompress), 1u);
+}
+
+TEST_F(FaultLadderTest, BitrotAtChecksumTierInvalidatesTheArchive) {
+  // A chunked compressor gives the checksum tier real CRCs to verify;
+  // injected bitrot makes the first comparison lie, so the model tier's
+  // archive is rejected without any decode, and a lower tier must serve a
+  // verified replacement.
+  Fxrz chunked(std::make_unique<ChunkedCompressor>(
+      MakeCompressor("sz"), /*target_chunk_elems=*/1024, /*threads=*/1));
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(fxrz_->model().SaveToBytes(&blob).ok());
+  ASSERT_TRUE(chunked.model().LoadFromBytes(blob.data(), blob.size()).ok());
+
+  GuardOptions options = OpenGate();
+  options.verify_archive = true;
+  options.verify_checksum_only = true;
+  fault::Arm(Site::kBitrot, /*skip=*/0, /*count=*/1);
+  const StatusOr<GuardedResult> r =
+      chunked.GuardedCompressToRatio((*fields_)[3], MidTarget(), options);
+  EXPECT_EQ(fault::TriggeredCount(Site::kBitrot), 1u)
+      << "the checksum tier must have consulted a CRC";
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().tier, ServingTier::kModelEstimate)
+      << "the bitrot-failed first archive cannot be the one served";
+  EXPECT_TRUE(r.value().archive_verified);
+  EXPECT_EQ(fault::HitCount(Site::kCompressorDecompress), 0u);
 }
 
 TEST_F(FaultLadderTest, DecompressFaultIsTransient) {

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "src/compressors/compressor.h"
+#include "src/core/compressibility.h"
+#include "src/core/features.h"
 #include "src/core/pipeline.h"
 #include "src/data/generators/catalog.h"
 #include "src/fraz/fraz.h"
@@ -87,15 +90,24 @@ TEST(FxrzEndToEndTest, FpzipIntegerConfigSpace) {
 
 TEST(FxrzEndToEndTest, AnalysisIsCompressionFree) {
   // The estimate must be far cheaper than one compression (Table VIII's
-  // headline). We compare analysis time against compression time.
+  // headline). Wall-clock ratios flake on loaded machines, so assert the
+  // structural property the timing claim rests on: one fixed-ratio request
+  // analyzes the tensor exactly once (one feature extraction, one
+  // constant-block scan) and never runs the compressor beyond the single
+  // archive-producing call.
   const TrainTestBundle bundle = MakeNyxBundle("temperature", SmallScale());
   Fxrz fxrz(MakeCompressor("sz"));
   fxrz.Train(Pointers(bundle.train));
   const Tensor& test = bundle.test[0].data;
 
+  const uint64_t extractions = FeatureExtractionCount();
+  const uint64_t scans = ConstantBlockScanCount();
   const auto result = fxrz.CompressToRatio(test, 40.0);
-  EXPECT_LT(result.analysis_seconds, result.compress_seconds * 2.0)
-      << "analysis should not dwarf compression";
+  EXPECT_EQ(FeatureExtractionCount() - extractions, 1u);
+  EXPECT_EQ(ConstantBlockScanCount() - scans, 1u);
+  EXPECT_EQ(result.compressions, 1);
+  EXPECT_GE(result.analysis_seconds, 0.0);
+  EXPECT_GT(result.compress_seconds, 0.0);
 }
 
 TEST(FrazBaselineTest, FindsAccurateConfigWithManyIterations) {

@@ -7,6 +7,7 @@
 
 #include "src/data/generators/grf.h"
 #include "src/data/statistics.h"
+#include "src/util/file_io.h"
 
 namespace fxrz {
 namespace {
@@ -117,6 +118,59 @@ TEST_F(FieldStoreTest, FileRoundTrip) {
   FieldStoreWriter writer("sz", &model_);
   ASSERT_TRUE(writer.AddFieldFixedRatio("a", fields_[0], 15.0).ok());
   ASSERT_TRUE(writer.WriteToFile(path).ok());
+
+  FieldStoreReader reader;
+  ASSERT_TRUE(reader.OpenFile(path).ok());
+  Tensor t;
+  ASSERT_TRUE(reader.ReadField("a", &t).ok());
+  EXPECT_EQ(t.dims(), fields_[0].dims());
+  std::remove(path.c_str());
+}
+
+TEST_F(FieldStoreTest, WriteToFileToUnwritableDirectoryReportsStatus) {
+  FieldStoreWriter writer("sz", &model_);
+  ASSERT_TRUE(writer.AddFieldFixedRatio("a", fields_[0], 15.0).ok());
+  const Status st = writer.WriteToFile("/no-such-dir/sub/store.fxst");
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(st.message().empty());
+}
+
+TEST_F(FieldStoreTest, FlippedFileByteAtEveryStrideIsDetected) {
+  // Store files are container-wrapped: any single corrupt byte on disk
+  // must fail OpenFile, never silently decode. Sweep a flip across the
+  // whole file at a 64-byte stride (plus the final byte).
+  const std::string path = ::testing::TempDir() + "/store_sweep.fxst";
+  const std::string bad_path = ::testing::TempDir() + "/store_sweep_bad.fxst";
+  FieldStoreWriter writer("sz", &model_);
+  ASSERT_TRUE(writer.AddFieldFixedRatio("a", fields_[0], 15.0).ok());
+  ASSERT_TRUE(writer.AddFieldFixedRatio("b", fields_[1], 25.0).ok());
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+  std::vector<size_t> positions;
+  for (size_t pos = 0; pos < bytes.size(); pos += 64) positions.push_back(pos);
+  positions.push_back(bytes.size() - 1);
+  for (size_t pos : positions) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[pos] ^= 0x01;
+    ASSERT_TRUE(AtomicWriteFile(bad_path, corrupt).ok());
+    FieldStoreReader reader;
+    ASSERT_FALSE(reader.OpenFile(bad_path).ok())
+        << "flipped byte " << pos << " of " << bytes.size()
+        << " went undetected";
+  }
+  std::remove(path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST_F(FieldStoreTest, VersionZeroRawFileStillOpens) {
+  // Files written before the container layer are raw FieldStore bytes;
+  // OpenFile must keep loading them (without integrity protection).
+  const std::string path = ::testing::TempDir() + "/store_v0.fxst";
+  FieldStoreWriter writer("sz", &model_);
+  ASSERT_TRUE(writer.AddFieldFixedRatio("a", fields_[0], 15.0).ok());
+  ASSERT_TRUE(AtomicWriteFile(path, writer.Serialize()).ok());
 
   FieldStoreReader reader;
   ASSERT_TRUE(reader.OpenFile(path).ok());

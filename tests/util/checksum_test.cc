@@ -1,0 +1,99 @@
+#include "src/util/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace fxrz {
+namespace {
+
+// Bit-at-a-time CRC32C: the definition the slice-by-8 tables must match.
+uint32_t ReferenceCrc32c(const uint8_t* data, size_t len) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0x82F63B78u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+TEST(ChecksumTest, KnownVectors) {
+  // RFC 3720 appendix B.4 check value.
+  EXPECT_EQ(Crc32c::Compute("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c::Compute(nullptr, 0), 0x00000000u);
+  const std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c::Compute(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c::Compute(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(ChecksumTest, MatchesBitwiseReferenceAtEveryAlignmentAndLength) {
+  // Exercise the slice-by-8 fast path, the scalar tail, and every pointer
+  // alignment of the 8-byte inner loop.
+  std::vector<uint8_t> buf(257);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>((i * 131) ^ (i >> 3));
+  }
+  for (size_t start = 0; start < 9; ++start) {
+    for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{63}, size_t{64}, size_t{200}}) {
+      ASSERT_EQ(Crc32c::Compute(buf.data() + start, len),
+                ReferenceCrc32c(buf.data() + start, len))
+          << "start=" << start << " len=" << len;
+    }
+  }
+}
+
+TEST(ChecksumTest, IncrementalEqualsOneShot) {
+  const std::string payload = "feature-driven fixed-ratio lossy compression";
+  const uint32_t one_shot = Crc32c::Compute(payload.data(), payload.size());
+  // Split at every possible boundary, including empty halves.
+  for (size_t split = 0; split <= payload.size(); ++split) {
+    Crc32c crc;
+    crc.Update(payload.data(), split);
+    crc.Update(payload.data() + split, payload.size() - split);
+    ASSERT_EQ(crc.value(), one_shot) << "split=" << split;
+  }
+  // Byte-at-a-time agrees too.
+  Crc32c crc;
+  for (char c : payload) crc.Update(&c, 1);
+  EXPECT_EQ(crc.value(), one_shot);
+}
+
+TEST(ChecksumTest, ResetStartsAFreshStream) {
+  Crc32c crc;
+  crc.Update("garbage", 7);
+  crc.Reset();
+  crc.Update("123456789", 9);
+  EXPECT_EQ(crc.value(), 0xE3069283u);
+}
+
+TEST(ChecksumTest, EverySingleBitFlipChangesTheChecksum) {
+  // The container's corruption guarantee rests on this: CRCs are linear,
+  // so any single flipped bit always changes the value.
+  std::vector<uint8_t> buf(96);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<uint8_t>(i);
+  const uint32_t clean = Crc32c::Compute(buf.data(), buf.size());
+  for (size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<uint8_t>(1 << bit);
+      ASSERT_NE(Crc32c::Compute(buf.data(), buf.size()), clean)
+          << "byte=" << byte << " bit=" << bit;
+      buf[byte] ^= static_cast<uint8_t>(1 << bit);
+    }
+  }
+}
+
+TEST(ChecksumTest, MatchesHelperComparesAgainstExpected) {
+  const char* s = "123456789";
+  EXPECT_TRUE(Crc32cMatches(s, 9, 0xE3069283u));
+  EXPECT_FALSE(Crc32cMatches(s, 9, 0xE3069284u));
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -24,6 +24,29 @@ TEST_F(FaultInjectionTest, SiteNamesAreStable) {
   EXPECT_STREQ(fault::SiteName(Site::kCompressorCompress),
                "compressor-compress");
   EXPECT_STREQ(fault::SiteName(Site::kModelQuery), "model-query");
+  EXPECT_STREQ(fault::SiteName(Site::kBitrot), "bitrot");
+  EXPECT_STREQ(fault::SiteName(Site::kTornWrite), "torn-write");
+}
+
+TEST_F(FaultInjectionTest, TriggeredCountTracksFailuresNotVisits) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "built without FXRZ_FAULT_INJECT";
+  }
+  // 5 visits under a skip-2/count-2 schedule: every visit hits, only the
+  // middle two trigger.
+  fault::Arm(Site::kModelQuery, /*skip=*/2, /*count=*/2);
+  EXPECT_FALSE(fault::Hit(Site::kModelQuery));
+  EXPECT_FALSE(fault::Hit(Site::kModelQuery));
+  EXPECT_TRUE(fault::Hit(Site::kModelQuery));
+  EXPECT_TRUE(fault::Hit(Site::kModelQuery));
+  EXPECT_FALSE(fault::Hit(Site::kModelQuery));
+  EXPECT_EQ(fault::HitCount(Site::kModelQuery), 5u);
+  EXPECT_EQ(fault::TriggeredCount(Site::kModelQuery), 2u);
+}
+
+TEST_F(FaultInjectionTest, TriggeredCountZeroWhenUnarmed) {
+  for (int i = 0; i < 4; ++i) fault::Hit(Site::kBitrot);
+  EXPECT_EQ(fault::TriggeredCount(Site::kBitrot), 0u);
 }
 
 TEST_F(FaultInjectionTest, SkipCountScheduleIsDeterministic) {

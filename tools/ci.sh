@@ -40,7 +40,15 @@ run_config asan-ubsan build-ci-asan \
 # in (FXRZ_FAULT_INJECT) and runs the whole suite -- including the
 # escalation-ladder fault tests that GTEST_SKIP without the flag -- under
 # ASan+UBSan, proving the guarded serving layer recovers or errors cleanly
-# on every injected failure.
+# on every injected failure. Besides the serving-path sites
+# (compressor-compress/decompress, model-query, archive-decode), this
+# build arms the storage-integrity sites: `bitrot` forces a CRC32C
+# comparison (util/checksum.h Crc32cMatches) to report a mismatch, and
+# `torn-write` simulates a crash between flush and rename inside
+# AtomicWriteFile, leaving the temp file as debris. The container and
+# ladder suites use them to prove corrupt files are detected, a torn
+# write never damages the committed file, and checksum failures escalate
+# the serving ladder.
 run_config fault-inject build-ci-fault \
   -DFXRZ_SANITIZE=address,undefined -DFXRZ_FAULT_INJECT=ON \
   -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF

@@ -1,0 +1,215 @@
+// fxrz_verify: audit FXRZ artifacts at rest.
+//
+//   fxrz_verify inspect     <file>   container layout + section checksums
+//   fxrz_verify verify      <file>   checksum-only audit (no decoding)
+//   fxrz_verify verify-deep <file>   checksums + full decode of every
+//                                    section (field stores read every
+//                                    field, models deserialize, archives
+//                                    decompress)
+//   fxrz_verify make-fixtures <dir>  write one of each artifact kind
+//                                    (store.fxs, model.fxm, archive.fxa)
+//   fxrz_verify selftest    <dir>    end-to-end self-check: builds the
+//                                    fixtures, verifies them, then proves
+//                                    single-byte corruption and stale
+//                                    temp files are handled
+//
+// This is the supported way to audit archives on shared filesystems:
+// `verify` is one sequential read per file, `verify-deep` additionally
+// proves the payloads decode. Exit code 0 = intact, 1 = corrupt or
+// unreadable. Version-0 (pre-container) files carry no checksums; verify
+// reports them as unprotected but does not fail them.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/compressors/chunked.h"
+#include "src/compressors/compressor.h"
+#include "src/core/model.h"
+#include "src/data/generators/grf.h"
+#include "src/store/container.h"
+#include "src/store/field_store.h"
+#include "src/util/file_io.h"
+
+namespace {
+
+using namespace fxrz;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "FAIL: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Decodes one container section according to its name. Returns OK for
+// unknown section names (forward compatibility: new section kinds must not
+// fail old auditors).
+Status DeepVerifySection(const ContainerSection& section) {
+  const size_t size = static_cast<size_t>(section.size);
+  if (section.name == kSectionFieldStore) {
+    FieldStoreReader reader;
+    FXRZ_RETURN_IF_ERROR(
+        reader.FromBytes(std::vector<uint8_t>(section.data,
+                                              section.data + size)));
+    for (const FieldEntry& entry : reader.entries()) {
+      Tensor t;
+      FXRZ_RETURN_IF_ERROR(reader.ReadField(entry.name, &t));
+    }
+    return Status::Ok();
+  }
+  if (section.name == kSectionModel) {
+    FxrzModel model;
+    return model.LoadFromBytes(section.data, size);
+  }
+  if (section.name.rfind(kSectionArchivePrefix, 0) == 0) {
+    const std::string codec =
+        section.name.substr(std::strlen(kSectionArchivePrefix));
+    const auto comp = MakeArchiveCompressorOrNull(codec);
+    if (comp == nullptr) {
+      return Status::Corruption("unknown archive codec '" + codec + "'");
+    }
+    FXRZ_RETURN_IF_ERROR(comp->VerifyIntegrity(section.data, size));
+    Tensor t;
+    return comp->Decompress(section.data, size, &t);
+  }
+  return Status::Ok();
+}
+
+int Audit(const std::string& path, bool inspect, bool deep) {
+  std::vector<uint8_t> bytes;
+  const Status read = ReadFileBytes(path, &bytes);
+  if (!read.ok()) return Fail(read);
+  if (!LooksLikeContainer(bytes.data(), bytes.size())) {
+    std::printf("%s: version-0 file (%zu bytes, no integrity metadata)\n",
+                path.c_str(), bytes.size());
+    return 0;
+  }
+  const size_t file_bytes = bytes.size();
+  ContainerReader reader;
+  const Status parsed = reader.Parse(std::move(bytes));
+  if (!parsed.ok()) return Fail(parsed);
+  if (inspect) {
+    std::printf("%s: container v%u, %zu sections, %zu bytes\n", path.c_str(),
+                kContainerVersion, reader.sections().size(), file_bytes);
+    for (const ContainerSection& section : reader.sections()) {
+      std::printf("  %-24s %10llu bytes  crc32c %08x\n",
+                  section.name.c_str(),
+                  static_cast<unsigned long long>(section.size), section.crc);
+    }
+  }
+  for (const ContainerSection& section : reader.sections()) {
+    if (deep) {
+      const Status decoded = DeepVerifySection(section);
+      if (!decoded.ok()) {
+        std::fprintf(stderr, "FAIL: section '%s': %s\n", section.name.c_str(),
+                     decoded.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("%s: OK (%zu sections%s)\n", path.c_str(),
+              reader.sections().size(), deep ? ", deep-verified" : "");
+  return 0;
+}
+
+// One of each artifact kind, small enough that deep verification in ctest
+// stays cheap.
+int MakeFixtures(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const Tensor a = GaussianRandomField3D(16, 16, 16, 3.0, 7001);
+  const Tensor b = GaussianRandomField3D(16, 16, 16, 3.0, 7002);
+
+  {
+    FieldStoreWriter writer("sz", /*model=*/nullptr);
+    Status st = writer.AddFieldFixedConfig("density", a, 0.02);
+    if (st.ok()) st = writer.AddFieldFixedConfig("pressure", b, 0.05);
+    if (st.ok()) st = writer.WriteToFile(dir + "/store.fxs");
+    if (!st.ok()) return Fail(st);
+  }
+  {
+    FxrzModel model;
+    const auto sz = MakeCompressor("sz");
+    model.Train(*sz, {&a, &b});
+    const Status st = model.SaveToFile(dir + "/model.fxm");
+    if (!st.ok()) return Fail(st);
+  }
+  {
+    ChunkedCompressor chunked(MakeCompressor("sz"),
+                              /*target_chunk_elems=*/512, /*threads=*/1);
+    const Status st =
+        WriteContainerFile(dir + "/archive.fxa",
+                           std::string(kSectionArchivePrefix) + chunked.name(),
+                           chunked.Compress(a, 0.01));
+    if (!st.ok()) return Fail(st);
+  }
+  std::printf("fixtures written to %s\n", dir.c_str());
+  return 0;
+}
+
+int SelfTest(const std::string& dir) {
+  if (MakeFixtures(dir) != 0) return 1;
+
+  // Every fixture must pass a deep audit.
+  for (const char* name : {"store.fxs", "model.fxm", "archive.fxa"}) {
+    if (Audit(dir + "/" + name, /*inspect=*/false, /*deep=*/true) != 0) {
+      return 1;
+    }
+  }
+
+  // Single-byte corruption at a coarse stride must never verify.
+  std::vector<uint8_t> bytes;
+  const std::string store = dir + "/store.fxs";
+  Status st = ReadFileBytes(store, &bytes);
+  if (!st.ok()) return Fail(st);
+  for (size_t pos = 0; pos < bytes.size(); pos += 64) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[pos] ^= 0x20;
+    ContainerReader reader;
+    if (reader.Parse(std::move(corrupt)).ok()) {
+      std::fprintf(stderr, "FAIL: flipped byte %zu went undetected\n", pos);
+      return 1;
+    }
+  }
+
+  // A stale temp file (crash debris between flush and rename) must not
+  // affect the committed file.
+  {
+    std::vector<uint8_t> junk(128, 0xAB);
+    const Status wst = ReadFileBytes(store, &bytes);
+    if (!wst.ok()) return Fail(wst);
+    std::FILE* f = std::fopen(AtomicTempPath(store).c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(junk.data(), 1, junk.size(), f);
+      std::fclose(f);
+    }
+    if (Audit(store, /*inspect=*/false, /*deep=*/true) != 0) return 1;
+    std::remove(AtomicTempPath(store).c_str());
+  }
+
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <inspect|verify|verify-deep|make-fixtures|"
+                 "selftest> <file|dir>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const std::string target = argv[2];
+  if (cmd == "inspect") return Audit(target, /*inspect=*/true, /*deep=*/false);
+  if (cmd == "verify") return Audit(target, /*inspect=*/false, /*deep=*/false);
+  if (cmd == "verify-deep") {
+    return Audit(target, /*inspect=*/true, /*deep=*/true);
+  }
+  if (cmd == "make-fixtures") return MakeFixtures(target);
+  if (cmd == "selftest") return SelfTest(target);
+  std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  return 2;
+}
