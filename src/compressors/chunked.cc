@@ -8,11 +8,30 @@
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
 #include "src/util/checksum.h"
+#include "src/util/metrics.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace fxrz {
 
 namespace {
+
+// Archive verify outcomes: the guard's checksum-only tier and fxrz_verify
+// both land here, so pass/fail counts show how often at-rest corruption is
+// actually being caught.
+metrics::Counter& VerifyChecks() {
+  static metrics::Counter& c = metrics::GetCounter(
+      "fxrz_chunked_verify_total",
+      "Chunked-archive integrity verifications (index + per-chunk CRCs)");
+  return c;
+}
+
+metrics::Counter& VerifyFailures() {
+  static metrics::Counter& c = metrics::GetCounter(
+      "fxrz_chunked_verify_failures_total",
+      "Chunked-archive integrity verifications that found corruption");
+  return c;
+}
 
 constexpr uint32_t kMagicV1 = 0x43484B31;  // "CHK1": inline sizes, no CRCs
 constexpr uint32_t kMagicV2 = 0x43484B32;  // "CHK2": checksummed TOC
@@ -203,13 +222,19 @@ Status ChunkedCompressor::DecompressChunk(const uint8_t* data, size_t size,
 
 Status ChunkedCompressor::VerifyIntegrity(const uint8_t* data,
                                           size_t size) const {
-  ChunkIndex index;
-  FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &index));
-  if (!index.checksummed) return Status::Ok();  // v1: framing is all there is
-  for (size_t c = 0; c < index.spans.size(); ++c) {
-    FXRZ_RETURN_IF_ERROR(ChunkChecksumStatus(data, index.spans[c], c));
-  }
-  return Status::Ok();
+  FXRZ_TRACE_SPAN("chunked.verify");
+  VerifyChecks().Increment();
+  const Status status = [&]() -> Status {
+    ChunkIndex index;
+    FXRZ_RETURN_IF_ERROR(ParseChunkIndex(data, size, &index));
+    if (!index.checksummed) return Status::Ok();  // v1: framing is all
+    for (size_t c = 0; c < index.spans.size(); ++c) {
+      FXRZ_RETURN_IF_ERROR(ChunkChecksumStatus(data, index.spans[c], c));
+    }
+    return Status::Ok();
+  }();
+  if (!status.ok()) VerifyFailures().Increment();
+  return status;
 }
 
 Status ChunkedCompressor::Decompress(const uint8_t* data, size_t size,

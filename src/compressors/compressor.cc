@@ -6,11 +6,74 @@
 #include "src/compressors/sz.h"
 #include "src/compressors/sz3.h"
 #include "src/compressors/zfp.h"
+#include <map>
+#include <mutex>
+
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
 #include "src/util/fault_injection.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace fxrz {
+
+namespace {
+
+// Per-codec serving metrics, resolved once per codec name and cached. The
+// guarded wrappers below are the single choke point every serving-path
+// compression/decompression goes through, so instrumenting here covers all
+// codecs (and their chunked/relative decorators) at once. The map lookup is
+// mutex-guarded but costs nanoseconds against the millisecond-scale codec
+// runs it measures; the metric updates themselves are lock-free.
+struct CodecMetrics {
+  metrics::Counter* compress_calls;
+  metrics::Counter* compress_failures;
+  metrics::Counter* compress_bytes_in;
+  metrics::Counter* compress_bytes_out;
+  metrics::Counter* decompress_calls;
+  metrics::Counter* decompress_failures;
+  metrics::Counter* decompress_bytes_in;
+  metrics::Counter* decompress_bytes_out;
+  metrics::Histogram* achieved_ratio;
+};
+
+const CodecMetrics& GetCodecMetrics(const std::string& codec) {
+  static std::mutex mu;
+  static auto* cache = new std::map<std::string, CodecMetrics>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(codec);
+  if (it != cache->end()) return it->second;
+  const std::string label = "{codec=\"" + codec + "\"}";
+  CodecMetrics m;
+  m.compress_calls = &metrics::GetCounter(
+      "fxrz_codec_compress_total" + label, "TryCompress calls per codec");
+  m.compress_failures = &metrics::GetCounter(
+      "fxrz_codec_compress_failures_total" + label,
+      "TryCompress calls that returned a non-OK Status");
+  m.compress_bytes_in = &metrics::GetCounter(
+      "fxrz_codec_compress_bytes_in_total" + label,
+      "Uncompressed bytes fed to TryCompress (successful calls)");
+  m.compress_bytes_out = &metrics::GetCounter(
+      "fxrz_codec_compress_bytes_out_total" + label,
+      "Archive bytes produced by TryCompress (successful calls)");
+  m.decompress_calls = &metrics::GetCounter(
+      "fxrz_codec_decompress_total" + label, "TryDecompress calls per codec");
+  m.decompress_failures = &metrics::GetCounter(
+      "fxrz_codec_decompress_failures_total" + label,
+      "TryDecompress calls that returned a non-OK Status");
+  m.decompress_bytes_in = &metrics::GetCounter(
+      "fxrz_codec_decompress_bytes_in_total" + label,
+      "Archive bytes fed to TryDecompress (successful calls)");
+  m.decompress_bytes_out = &metrics::GetCounter(
+      "fxrz_codec_decompress_bytes_out_total" + label,
+      "Reconstructed bytes produced by TryDecompress (successful calls)");
+  m.achieved_ratio = &metrics::GetHistogram(
+      "fxrz_codec_achieved_ratio" + label, metrics::RatioBuckets(),
+      "Achieved compression ratio (bytes in / bytes out) per TryCompress");
+  return cache->emplace(codec, m).first->second;
+}
+
+}  // namespace
 
 double Compressor::MeasureCompressionRatio(const Tensor& data,
                                            double config) const {
@@ -23,13 +86,22 @@ double Compressor::MeasureCompressionRatio(const Tensor& data,
 Status Compressor::TryCompress(const Tensor& data, double config,
                                std::vector<uint8_t>* out) const {
   FXRZ_CHECK(out != nullptr);
+  FXRZ_TRACE_SPAN("codec.compress");
+  const CodecMetrics& m = GetCodecMetrics(name());
+  m.compress_calls->Increment();
   if (fault::Hit(fault::Site::kCompressorCompress)) {
+    m.compress_failures->Increment();
     return Status::Internal("injected fault: " + name() + " Compress");
   }
   *out = Compress(data, config);
   if (out->empty()) {
+    m.compress_failures->Increment();
     return Status::Internal(name() + ": Compress produced an empty archive");
   }
+  m.compress_bytes_in->Increment(data.size_bytes());
+  m.compress_bytes_out->Increment(out->size());
+  m.achieved_ratio->Observe(static_cast<double>(data.size_bytes()) /
+                            static_cast<double>(out->size()));
   return Status::Ok();
 }
 
@@ -45,10 +117,21 @@ Status Compressor::VerifyIntegrity(const uint8_t* data, size_t size) const {
 Status Compressor::TryDecompress(const uint8_t* data, size_t size,
                                  Tensor* out) const {
   FXRZ_CHECK(out != nullptr);
+  FXRZ_TRACE_SPAN("codec.decompress");
+  const CodecMetrics& m = GetCodecMetrics(name());
+  m.decompress_calls->Increment();
   if (fault::Hit(fault::Site::kCompressorDecompress)) {
+    m.decompress_failures->Increment();
     return Status::Internal("injected fault: " + name() + " Decompress");
   }
-  return Decompress(data, size, out);
+  const Status status = Decompress(data, size, out);
+  if (!status.ok()) {
+    m.decompress_failures->Increment();
+    return status;
+  }
+  m.decompress_bytes_in->Increment(size);
+  m.decompress_bytes_out->Increment(out->size_bytes());
+  return status;
 }
 
 std::unique_ptr<Compressor> MakeCompressorOrNull(const std::string& name) {

@@ -4,8 +4,32 @@
 #include <cstring>
 
 #include "src/util/check.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace fxrz {
+
+namespace {
+
+// One hit/miss pair shared by every AnalysisCache instance: operators care
+// about the process-wide hit rate, tests about exact deltas; the
+// per-instance hits()/misses() accessors remain for instance-level
+// assertions.
+metrics::Counter& CacheHits() {
+  static metrics::Counter& c = metrics::GetCounter(
+      "fxrz_analysis_cache_hits_total",
+      "Per-tensor analysis cache hits (feature extraction avoided)");
+  return c;
+}
+
+metrics::Counter& CacheMisses() {
+  static metrics::Counter& c = metrics::GetCounter(
+      "fxrz_analysis_cache_misses_total",
+      "Per-tensor analysis cache misses (full extraction + block scan)");
+  return c;
+}
+
+}  // namespace
 
 uint64_t TensorFingerprint(const Tensor& t) {
   uint64_t h = 0x9E3779B97F4A7C15ull * (t.size() + 1);
@@ -47,19 +71,24 @@ TensorAnalysis AnalysisCache::Get(const Tensor& data,
       if (e.key == key) {
         e.tick = ++tick_;
         ++hits_;
+        CacheHits().Increment();
         return e.value;
       }
     }
     ++misses_;
+    CacheMisses().Increment();
   }
 
   // Compute outside the lock so concurrent misses on different tensors
   // analyze in parallel.
   TensorAnalysis analysis;
-  analysis.features = ExtractFeatures(data, features);
-  if (use_ca) {
-    analysis.ca = ScanConstantBlocks(data, ca);
-    analysis.has_ca = true;
+  {
+    FXRZ_TRACE_SPAN("analysis.extract");
+    analysis.features = ExtractFeatures(data, features);
+    if (use_ca) {
+      analysis.ca = ScanConstantBlocks(data, ca);
+      analysis.has_ca = true;
+    }
   }
 
   {

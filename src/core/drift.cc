@@ -3,8 +3,37 @@
 #include <cmath>
 
 #include "src/util/check.h"
+#include "src/util/metrics.h"
 
 namespace fxrz {
+
+namespace {
+
+// Process-wide drift telemetry. Counters aggregate across every monitor;
+// the gauges reflect the most recently updated monitor (deployments run one
+// monitor per serving pipeline, and an operator watching several should
+// scrape their GuardedResults instead).
+struct DriftMetrics {
+  metrics::Counter& observations = metrics::GetCounter(
+      "fxrz_drift_observations_total",
+      "Dump outcomes recorded by DriftMonitor::Record");
+  metrics::Counter& dropped = metrics::GetCounter(
+      "fxrz_drift_dropped_total",
+      "Records ignored because the relative error was undefined");
+  metrics::Gauge& rolling_error = metrics::GetGauge(
+      "fxrz_drift_rolling_error",
+      "Rolling mean estimation error of the last-updated monitor");
+  metrics::Gauge& needs_retraining = metrics::GetGauge(
+      "fxrz_drift_needs_retraining",
+      "1 when the last-updated monitor recommends retraining, else 0");
+};
+
+DriftMetrics& DMetrics() {
+  static DriftMetrics* m = new DriftMetrics();  // never destroyed
+  return *m;
+}
+
+}  // namespace
 
 DriftMonitor::DriftMonitor(size_t window, double threshold)
     : window_(window), threshold_(threshold) {
@@ -18,6 +47,7 @@ void DriftMonitor::Record(double target_ratio, double measured_ratio) {
   // ratio on either side) is dropped instead of aborting the process.
   if (!(target_ratio > 0.0) || !(measured_ratio > 0.0) ||
       !std::isfinite(target_ratio) || !std::isfinite(measured_ratio)) {
+    DMetrics().dropped.Increment();
     return;
   }
   const double err = std::fabs(target_ratio - measured_ratio) / target_ratio;
@@ -27,6 +57,9 @@ void DriftMonitor::Record(double target_ratio, double measured_ratio) {
     error_sum_ -= errors_.front();
     errors_.pop_front();
   }
+  DMetrics().observations.Increment();
+  DMetrics().rolling_error.Set(rolling_error());
+  DMetrics().needs_retraining.Set(needs_retraining() ? 1.0 : 0.0);
 }
 
 double DriftMonitor::rolling_error() const {

@@ -7,8 +7,73 @@
 #include <utility>
 
 #include "src/core/pipeline.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace fxrz {
+
+namespace {
+
+// Serving-path observability (DESIGN.md "Observability model"). Counters
+// answer "how often does each ladder rung fire", the histograms give the
+// estimation-error and ratio distributions the drift/retraining decisions
+// hinge on. All handles resolve once (static) and cost one relaxed atomic
+// per update afterwards.
+struct GuardMetrics {
+  metrics::Counter& requests = metrics::GetCounter(
+      "fxrz_guard_requests_total", "Guarded serving requests");
+  metrics::Counter& rejected = metrics::GetCounter(
+      "fxrz_guard_admission_rejected_total",
+      "Requests refused by input admission");
+  metrics::Counter& exhausted = metrics::GetCounter(
+      "fxrz_guard_exhausted_total",
+      "Requests no ladder tier could serve within accept_error");
+  metrics::Counter& low_confidence = metrics::GetCounter(
+      "fxrz_guard_low_confidence_total",
+      "Requests whose confidence gate skipped the model tiers");
+  metrics::Counter& verify_failures = metrics::GetCounter(
+      "fxrz_guard_verify_failures_total",
+      "Pre-serve archive verifications that failed (tier invalidated)");
+  metrics::Counter& compressions = metrics::GetCounter(
+      "fxrz_guard_compressions_total",
+      "Compressor invocations spent by guarded requests (all tiers)");
+  metrics::Histogram& relative_error = metrics::GetHistogram(
+      "fxrz_guard_relative_error", metrics::RelErrorBuckets(),
+      "Relative |target-measured|/target error of served archives");
+  metrics::Histogram& target_ratio = metrics::GetHistogram(
+      "fxrz_guard_target_ratio", metrics::RatioBuckets(),
+      "Requested target compression ratios of admitted requests");
+  metrics::Histogram& measured_ratio = metrics::GetHistogram(
+      "fxrz_guard_measured_ratio", metrics::RatioBuckets(),
+      "Measured compression ratios of served archives");
+};
+
+GuardMetrics& GMetrics() {
+  static GuardMetrics* m = new GuardMetrics();  // never destroyed
+  return *m;
+}
+
+metrics::Counter& ServedCounter(ServingTier tier) {
+  auto make = [](const char* name) -> metrics::Counter* {
+    return &metrics::GetCounter(
+        std::string("fxrz_guard_served_total{tier=\"") + name + "\"}",
+        "Served requests by escalation-ladder tier");
+  };
+  static metrics::Counter* constant = make("constant-field");
+  static metrics::Counter* model = make("model-estimate");
+  static metrics::Counter* refined = make("refined");
+  static metrics::Counter* fraz = make("fraz-fallback");
+  switch (tier) {
+    case ServingTier::kConstantField: return *constant;
+    case ServingTier::kModelEstimate: return *model;
+    case ServingTier::kRefined: return *refined;
+    case ServingTier::kFrazFallback: return *fraz;
+    case ServingTier::kRejected: break;
+  }
+  return *constant;  // unreachable: rejected requests never serve
+}
+
+}  // namespace
 
 const char* ServingTierName(ServingTier tier) {
   switch (tier) {
@@ -22,6 +87,7 @@ const char* ServingTierName(ServingTier tier) {
 }
 
 AdmissionReport AdmitTensor(const Tensor& data, double target_ratio) {
+  FXRZ_TRACE_SPAN("guard.admission");
   AdmissionReport report;
   if (data.empty()) {
     report.status = Status::InvalidArgument("admission: empty tensor");
@@ -138,8 +204,14 @@ Attempt PolishTowardTarget(const Compressor& compressor, const Tensor& data,
 StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
     const Tensor& data, double target_ratio,
     const GuardOptions& options) const {
+  FXRZ_TRACE_SPAN("guard.request");
+  GMetrics().requests.Increment();
   const AdmissionReport admission = AdmitTensor(data, target_ratio);
-  if (!admission.admitted) return admission.status;
+  if (!admission.admitted) {
+    GMetrics().rejected.Increment();
+    return admission.status;
+  }
+  GMetrics().target_ratio.Observe(target_ratio);
 
   const ConfigSpace space = compressor_->config_space(data);
   const double accept_error = std::max(options.accept_error, 0.0);
@@ -159,6 +231,10 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
     if (options.drift != nullptr) {
       options.drift->Record(target_ratio, result.measured_ratio);
     }
+    ServedCounter(tier).Increment();
+    GMetrics().compressions.Increment(result.compressions);
+    GMetrics().relative_error.Observe(result.relative_error);
+    GMetrics().measured_ratio.Observe(result.measured_ratio);
     return std::move(result);
   };
   // Pre-serve verification (GuardOptions::verify_archive): an archive that
@@ -168,6 +244,7 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   // decode check unless verify_checksum_only stops there.
   auto verified = [&](const Attempt& attempt, const char* tier) -> bool {
     if (!options.verify_archive) return true;
+    FXRZ_TRACE_SPAN("guard.verify");
     Status status =
         compressor_->VerifyIntegrity(attempt.bytes.data(),
                                      attempt.bytes.size());
@@ -180,6 +257,7 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
       }
     }
     if (!status.ok()) {
+      GMetrics().verify_failures.Increment();
       note(std::string(tier) + ": archive failed verification [" +
            status.ToString() + "]");
       return false;
@@ -191,6 +269,7 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   // the model has nothing to say -- any mid-range config reaches an
   // enormous ratio, which can only over-achieve the target.
   if (admission.constant_field) {
+    FXRZ_TRACE_SPAN("guard.constant_tier");
     const double mid = space.log_scale ? std::sqrt(space.min * space.max)
                                        : 0.5 * (space.min + space.max);
     StatusOr<Attempt> attempt = AttemptCompress(*compressor_, data, space, mid);
@@ -220,6 +299,7 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   if (!model_.trained()) {
     note("model tier: model not trained");
   } else {
+    FXRZ_TRACE_SPAN("guard.model_tier");
     const FxrzModel::ConfidentEstimate est =
         model_.EstimateWithConfidence(data, target_ratio);
     result.knob_spread = est.knob_spread;
@@ -228,6 +308,7 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
         !est.has_spread || est.knob_spread <= options.max_knob_spread;
     result.low_confidence = !spread_ok || result.out_of_distribution;
     if (result.low_confidence) {
+      GMetrics().low_confidence.Increment();
       std::ostringstream msg;
       msg << "confidence gate: ";
       if (!spread_ok) msg << "knob spread " << est.knob_spread;
@@ -293,6 +374,7 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   if (!options.allow_fraz_fallback) {
     note("fraz tier: fallback disabled");
   } else {
+    FXRZ_TRACE_SPAN("guard.fraz_tier");
     FrazOptions fraz = options.fraz;  // sanitize: never abort on bad knobs
     fraz.num_bins = std::max(1, fraz.num_bins);
     fraz.total_max_iterations =
@@ -332,6 +414,8 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   }
 
   // Ladder exhausted: no tier met the target.
+  GMetrics().exhausted.Increment();
+  GMetrics().compressions.Increment(result.compressions);
   std::ostringstream msg;
   msg << "guarded compress: target ratio " << target_ratio
       << " not met within rel err " << accept_error;

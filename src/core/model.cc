@@ -13,12 +13,33 @@
 #include "src/util/byte_reader.h"
 #include "src/util/check.h"
 #include "src/util/fault_injection.h"
+#include "src/util/metrics.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
+#include "src/util/trace.h"
 
 namespace fxrz {
 
 namespace {
+
+struct ModelMetrics {
+  metrics::Counter& estimates = metrics::GetCounter(
+      "fxrz_model_estimates_total",
+      "Model config estimates (EstimateConfig/EstimateWithConfidence)");
+  metrics::Counter& refines = metrics::GetCounter(
+      "fxrz_model_refines_total",
+      "One-measurement RefineConfig corrections");
+  metrics::Counter& trainings = metrics::GetCounter(
+      "fxrz_model_trainings_total", "FxrzModel::Train invocations");
+  metrics::Gauge& training_rows = metrics::GetGauge(
+      "fxrz_model_training_rows",
+      "Training rows used by the most recent Train");
+};
+
+ModelMetrics& MMetrics() {
+  static ModelMetrics* m = new ModelMetrics();  // never destroyed
+  return *m;
+}
 
 constexpr uint32_t kModelMagic = 0x46585A4D;  // "FXZM"
 
@@ -129,6 +150,8 @@ double FxrzModel::FromKnob(double knob) const {
 TrainingBreakdown FxrzModel::Train(const Compressor& compressor,
                                    const std::vector<const Tensor*>& datasets,
                                    const FxrzTrainingOptions& options) {
+  FXRZ_TRACE_SPAN("model.train");
+  MMetrics().trainings.Increment();
   FXRZ_CHECK(!datasets.empty());
   options_ = options;
   analysis_cache_.Clear();  // keys depend on the (possibly new) options
@@ -281,6 +304,7 @@ TrainingBreakdown FxrzModel::Train(const Compressor& compressor,
     quality_model_.reset();
   }
   breakdown.fit_seconds = fit_timer.Seconds();
+  MMetrics().training_rows.Set(static_cast<double>(breakdown.training_rows));
   return breakdown;
 }
 
@@ -327,6 +351,8 @@ std::vector<double> FxrzModel::BuildInputs(const Tensor& data,
 
 double FxrzModel::EstimateConfig(const Tensor& data,
                                  double target_ratio) const {
+  FXRZ_TRACE_SPAN("model.estimate");
+  MMetrics().estimates.Increment();
   FXRZ_CHECK(trained()) << "EstimateConfig before Train/Load";
   FXRZ_CHECK_GT(target_ratio, 0.0);
   const std::vector<double> inputs = BuildInputs(data, target_ratio);
@@ -337,6 +363,8 @@ double FxrzModel::EstimateConfig(const Tensor& data,
 
 FxrzModel::ConfidentEstimate FxrzModel::EstimateWithConfidence(
     const Tensor& data, double target_ratio) const {
+  FXRZ_TRACE_SPAN("model.estimate");
+  MMetrics().estimates.Increment();
   FXRZ_CHECK(trained()) << "EstimateWithConfidence before Train/Load";
   FXRZ_CHECK_GT(target_ratio, 0.0);
   const std::vector<double> inputs = BuildInputs(data, target_ratio);
@@ -375,6 +403,8 @@ FxrzModel::ConfidentEstimate FxrzModel::EstimateWithConfidence(
 double FxrzModel::RefineConfig(const Tensor& data, double target_ratio,
                                double tried_config,
                                double measured_ratio) const {
+  FXRZ_TRACE_SPAN("model.refine");
+  MMetrics().refines.Increment();
   FXRZ_CHECK(trained());
   FXRZ_CHECK_GT(target_ratio, 0.0);
   FXRZ_CHECK_GT(measured_ratio, 0.0);

@@ -88,6 +88,9 @@ class ContainerReader {
               size_t* size) const;
 
  private:
+  // The actual parse; Parse wraps it with verify-outcome metrics.
+  Status ParseImpl(std::vector<uint8_t> bytes);
+
   std::vector<uint8_t> bytes_;
   std::vector<ContainerSection> sections_;
 };

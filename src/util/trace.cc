@@ -1,0 +1,73 @@
+#include "src/util/trace.h"
+
+namespace fxrz {
+namespace trace {
+
+namespace {
+
+struct ThreadStack {
+  const char* names[kMaxDepth];
+  int depth = 0;
+};
+
+ThreadStack& Stack() {
+  thread_local ThreadStack stack;
+  return stack;
+}
+
+}  // namespace
+
+#ifndef FXRZ_METRICS_DISABLED
+
+Span::Span(const char* name, metrics::Histogram& histogram)
+    : name_(name),
+      histogram_(&histogram),
+      start_(std::chrono::steady_clock::now()),
+      pushed_(false) {
+  ThreadStack& stack = Stack();
+  if (stack.depth < kMaxDepth) {
+    stack.names[stack.depth++] = name_;
+    pushed_ = true;
+  }
+}
+
+Span::~Span() {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  histogram_->Observe(seconds);
+  if (pushed_) {
+    ThreadStack& stack = Stack();
+    // Spans are scoped objects, so destruction order is strictly LIFO per
+    // thread; the top of the stack is always this span.
+    if (stack.depth > 0) --stack.depth;
+  }
+}
+
+#endif  // FXRZ_METRICS_DISABLED
+
+int Span::Depth() { return Stack().depth; }
+
+const char* Span::Current() {
+  const ThreadStack& stack = Stack();
+  return stack.depth > 0 ? stack.names[stack.depth - 1] : "";
+}
+
+std::string Span::CurrentPath() {
+  const ThreadStack& stack = Stack();
+  std::string path;
+  for (int i = 0; i < stack.depth; ++i) {
+    if (i > 0) path += "/";
+    path += stack.names[i];
+  }
+  return path;
+}
+
+metrics::Histogram& StageHistogram(const std::string& stage) {
+  return metrics::GetHistogram(
+      "fxrz_stage_seconds{stage=\"" + stage + "\"}",
+      metrics::LatencyBuckets(), "Wall time per pipeline stage");
+}
+
+}  // namespace trace
+}  // namespace fxrz

@@ -1,0 +1,92 @@
+// RAII pipeline trace spans.
+//
+// A Span marks one stage of the serving pipeline (admission, a ladder tier,
+// feature extraction, a codec run). On destruction it records its wall time
+// into a per-stage histogram ("fxrz_stage_seconds{stage=\"<name>\"}"), so a
+// scrape shows both how often each stage runs (histogram count) and its
+// latency distribution -- the per-stage timing evidence the ROADMAP's
+// scaling PRs need.
+//
+// Spans nest: each thread keeps a fixed-capacity thread-local stack of the
+// spans currently open on it, giving tests (and debuggers) the enclosing
+// stage path without any allocation. The stack is per-thread, so spans
+// opened by thread-pool workers (e.g. chunked codec runs) never interleave
+// with the caller's stack.
+//
+// Instrumentation sites use the macro, which registers the histogram once
+// per call site (function-local static) and keeps the hot path at one
+// steady_clock read on entry and one read + histogram observe on exit:
+//
+//   void ServeOne(...) {
+//     FXRZ_TRACE_SPAN("guard.request");
+//     ...
+//   }
+//
+// Span names are stable identifiers ("<subsystem>.<stage>"), documented in
+// DESIGN.md's observability section. With -DFXRZ_METRICS=OFF the macro
+// expands to nothing and the class methods are empty inlines.
+
+#ifndef FXRZ_UTIL_TRACE_H_
+#define FXRZ_UTIL_TRACE_H_
+
+#include <chrono>
+#include <string>
+
+#include "src/util/metrics.h"
+
+namespace fxrz {
+namespace trace {
+
+// Open spans a single thread can nest before further spans stop being
+// pushed onto the introspection stack (they still record their timing).
+inline constexpr int kMaxDepth = 32;
+
+class Span {
+ public:
+#ifdef FXRZ_METRICS_DISABLED
+  Span(const char*, metrics::Histogram&) {}
+#else
+  // `name` must outlive the span (instrumentation sites pass literals).
+  Span(const char* name, metrics::Histogram& histogram);
+  ~Span();
+#endif
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Introspection for the calling thread. Depth() is the number of open
+  // spans, Current() the innermost name ("" when none), CurrentPath() the
+  // "outer/inner" join of all open span names.
+  static int Depth();
+  static const char* Current();
+  static std::string CurrentPath();
+
+ private:
+#ifndef FXRZ_METRICS_DISABLED
+  const char* name_;
+  metrics::Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  bool pushed_;
+#endif
+};
+
+// Registers (once) and returns the latency histogram for a stage name.
+// Intended for the macro below, but callable directly when the stage name
+// is dynamic.
+metrics::Histogram& StageHistogram(const std::string& stage);
+
+}  // namespace trace
+}  // namespace fxrz
+
+#ifdef FXRZ_METRICS_DISABLED
+#define FXRZ_TRACE_SPAN(stage) ((void)0)
+#else
+#define FXRZ_TRACE_SPAN_CAT2(a, b) a##b
+#define FXRZ_TRACE_SPAN_CAT(a, b) FXRZ_TRACE_SPAN_CAT2(a, b)
+#define FXRZ_TRACE_SPAN(stage)                                       \
+  static ::fxrz::metrics::Histogram& FXRZ_TRACE_SPAN_CAT(            \
+      fxrz_span_hist_, __LINE__) = ::fxrz::trace::StageHistogram(stage); \
+  ::fxrz::trace::Span FXRZ_TRACE_SPAN_CAT(fxrz_span_, __LINE__)(     \
+      stage, FXRZ_TRACE_SPAN_CAT(fxrz_span_hist_, __LINE__))
+#endif
+
+#endif  // FXRZ_UTIL_TRACE_H_

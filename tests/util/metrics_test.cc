@@ -1,0 +1,337 @@
+// Unit tests for the metrics registry, histogram bucket semantics, snapshot
+// deltas, and the Prometheus/JSON exporters.
+//
+// The exporters are pure functions over snapshot data and are tested in
+// every build (including -DFXRZ_METRICS=OFF) against hand-built snapshots
+// and golden files under tests/util/golden/. Registry-backed tests are
+// skipped when the layer is compiled out.
+//
+// Regenerating goldens after an intentional exporter change:
+//   FXRZ_REGEN_GOLDEN=1 ./build/tests/fxrz_tests
+//       --gtest_filter='ExporterGolden*'   (one line)
+
+#include "src/util/metrics.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/file_io.h"
+
+namespace fxrz {
+namespace metrics {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  Counter& a = GetCounter("fxrz_test_idem_total", "help");
+  Counter& b = GetCounter("fxrz_test_idem_total");
+  EXPECT_EQ(&a, &b);
+
+  Gauge& g1 = GetGauge("fxrz_test_idem_gauge");
+  Gauge& g2 = GetGauge("fxrz_test_idem_gauge");
+  EXPECT_EQ(&g1, &g2);
+
+  Histogram& h1 = GetHistogram("fxrz_test_idem_hist", {1.0, 2.0});
+  // Later registrations keep the original bounds, whatever they pass.
+  Histogram& h2 = GetHistogram("fxrz_test_idem_hist", {5.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, CounterIncrements) {
+  if (!Enabled()) GTEST_SKIP() << "metrics compiled out";
+  Counter& c = GetCounter("fxrz_test_counter_total");
+  const uint64_t start = c.Value();
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), start + 42);
+}
+
+TEST(MetricsRegistry, GaugeKeepsLastValue) {
+  if (!Enabled()) GTEST_SKIP() << "metrics compiled out";
+  Gauge& g = GetGauge("fxrz_test_gauge");
+  g.Set(2.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.Value(), -1.25);
+}
+
+// ------------------------------------------------- histogram bucket edges
+
+TEST(MetricsHistogram, ZeroObservations) {
+  if (!Enabled()) GTEST_SKIP() << "metrics compiled out";
+  Histogram& h = GetHistogram("fxrz_test_hist_empty", {1.0, 2.0, 4.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(MetricsHistogram, BucketBoundaries) {
+  if (!Enabled()) GTEST_SKIP() << "metrics compiled out";
+  // Bucket i holds bounds[i-1] < v <= bounds[i]; last bucket is +Inf.
+  Histogram& h = GetHistogram("fxrz_test_hist_edges", {1.0, 2.0, 4.0});
+  h.Observe(0.5);   // below every bound: first bucket doubles as underflow
+  h.Observe(1.0);   // exactly on a bound: counted by that bound (le = 1)
+  h.Observe(1.5);   // interior
+  h.Observe(4.0);   // exactly the last finite bound
+  h.Observe(100.0); // above every bound: +Inf overflow bucket
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 107.0);
+}
+
+TEST(MetricsHistogram, NegativeValuesLandInFirstBucket) {
+  if (!Enabled()) GTEST_SKIP() << "metrics compiled out";
+  Histogram& h = GetHistogram("fxrz_test_hist_neg", {1.0, 2.0});
+  h.Observe(-3.0);
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{1, 0, 0}));
+  EXPECT_DOUBLE_EQ(h.Sum(), -3.0);
+}
+
+// ---------------------------------------------------- snapshots and deltas
+
+TEST(MetricsSnapshotTest, CaptureSeesRegisteredMetrics) {
+  if (!Enabled()) GTEST_SKIP() << "metrics compiled out";
+  Counter& c = GetCounter("fxrz_test_capture_total", "captured");
+  c.Increment(3);
+  const MetricsSnapshot snap = MetricsSnapshot::Capture();
+  const MetricValue* v = snap.Find("fxrz_test_capture_total");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->kind, MetricKind::kCounter);
+  EXPECT_GE(v->counter, 3u);
+  EXPECT_EQ(v->help, "captured");
+}
+
+TEST(MetricsSnapshotTest, CaptureIsSortedByName) {
+  const MetricsSnapshot snap = MetricsSnapshot::Capture();
+  for (size_t i = 1; i < snap.values.size(); ++i) {
+    EXPECT_LT(snap.values[i - 1].name, snap.values[i].name);
+  }
+}
+
+TEST(MetricsSnapshotTest, DeltaAgainstLiveRegistry) {
+  if (!Enabled()) GTEST_SKIP() << "metrics compiled out";
+  Counter& c = GetCounter("fxrz_test_delta_total");
+  Histogram& h = GetHistogram("fxrz_test_delta_hist", {1.0, 10.0});
+  const MetricsSnapshot before = MetricsSnapshot::Capture();
+  c.Increment(7);
+  h.Observe(0.5);
+  h.Observe(5.0);
+  const MetricsSnapshot delta =
+      MetricsSnapshot::Delta(before, MetricsSnapshot::Capture());
+  EXPECT_EQ(delta.CounterValue("fxrz_test_delta_total"), 7u);
+  const MetricValue* hv = delta.Find("fxrz_test_delta_hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->count, 2u);
+  EXPECT_DOUBLE_EQ(hv->sum, 5.5);
+  EXPECT_EQ(hv->buckets, (std::vector<uint64_t>{1, 1, 0}));
+}
+
+MetricValue MakeCounter(const std::string& name, uint64_t value,
+                        const std::string& help = "") {
+  MetricValue v;
+  v.name = name;
+  v.help = help;
+  v.kind = MetricKind::kCounter;
+  v.counter = value;
+  return v;
+}
+
+MetricValue MakeGauge(const std::string& name, double value,
+                      const std::string& help = "") {
+  MetricValue v;
+  v.name = name;
+  v.help = help;
+  v.kind = MetricKind::kGauge;
+  v.gauge = value;
+  return v;
+}
+
+MetricValue MakeHistogram(const std::string& name, std::vector<double> bounds,
+                          std::vector<uint64_t> buckets, double sum,
+                          const std::string& help = "") {
+  MetricValue v;
+  v.name = name;
+  v.help = help;
+  v.kind = MetricKind::kHistogram;
+  v.bounds = std::move(bounds);
+  v.buckets = std::move(buckets);
+  for (uint64_t b : v.buckets) v.count += b;
+  v.sum = sum;
+  return v;
+}
+
+// The Delta/Filter/exporter tests below run on hand-built snapshots, so
+// they exercise the shared pure-function layer in both build configs.
+
+TEST(MetricsSnapshotTest, DeltaSubtractsCountersKeepsGauges) {
+  MetricsSnapshot before, after;
+  before.values = {MakeCounter("c", 10), MakeGauge("g", 1.0)};
+  after.values = {MakeCounter("c", 25), MakeGauge("g", 4.0),
+                  MakeCounter("new_c", 3)};
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(before, after);
+  EXPECT_EQ(delta.CounterValue("c"), 15u);
+  EXPECT_EQ(delta.GaugeValue("g"), 4.0);  // gauges are point-in-time
+  // Absent from `before` counts as zero there.
+  EXPECT_EQ(delta.CounterValue("new_c"), 3u);
+}
+
+TEST(MetricsSnapshotTest, DeltaSubtractsHistogramBuckets) {
+  MetricsSnapshot before, after;
+  before.values = {MakeHistogram("h", {1.0, 2.0}, {1, 0, 0}, 0.5)};
+  after.values = {MakeHistogram("h", {1.0, 2.0}, {2, 3, 1}, 9.0)};
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(before, after);
+  const MetricValue* v = delta.Find("h");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->buckets, (std::vector<uint64_t>{1, 3, 1}));
+  EXPECT_EQ(v->count, 5u);
+  EXPECT_DOUBLE_EQ(v->sum, 8.5);
+}
+
+TEST(MetricsSnapshotTest, FindAndLookupsOnMissingNames) {
+  MetricsSnapshot snap;
+  EXPECT_EQ(snap.Find("absent"), nullptr);
+  EXPECT_EQ(snap.CounterValue("absent"), 0u);
+  EXPECT_EQ(snap.GaugeValue("absent"), 0.0);
+}
+
+TEST(MetricsSnapshotTest, WithoutTimingsDropsSecondsMetrics) {
+  MetricsSnapshot snap;
+  snap.values = {
+      MakeCounter("fxrz_guard_requests_total", 1),
+      MakeHistogram("fxrz_stage_seconds{stage=\"guard.request\"}", {1.0},
+                    {1, 0}, 0.5),
+      MakeCounter("fxrz_codec_compress_total{codec=\"sz\"}", 2),
+  };
+  const MetricsSnapshot filtered = snap.WithoutTimings();
+  ASSERT_EQ(filtered.values.size(), 2u);
+  EXPECT_EQ(filtered.values[0].name, "fxrz_guard_requests_total");
+  EXPECT_EQ(filtered.values[1].name,
+            "fxrz_codec_compress_total{codec=\"sz\"}");
+}
+
+// ------------------------------------------------------ exporter behavior
+
+TEST(Exporters, EmptySnapshot) {
+  MetricsSnapshot snap;
+  EXPECT_EQ(ToPrometheusText(snap), "");
+  EXPECT_EQ(ToJson(snap), "{\n}\n");
+}
+
+TEST(Exporters, HistogramBucketsAreCumulativeWithInf) {
+  MetricsSnapshot snap;
+  snap.values = {MakeHistogram("h", {1.0, 2.0}, {2, 1, 3}, 10.5)};
+  const std::string prom = ToPrometheusText(snap);
+  EXPECT_NE(prom.find("h_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("h_bucket{le=\"2\"} 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("h_bucket{le=\"+Inf\"} 6\n"), std::string::npos);
+  EXPECT_NE(prom.find("h_sum 10.5\n"), std::string::npos);
+  EXPECT_NE(prom.find("h_count 6\n"), std::string::npos);
+}
+
+TEST(Exporters, ZeroObservationHistogram) {
+  MetricsSnapshot snap;
+  snap.values = {MakeHistogram("h", {1.0}, {0, 0}, 0.0)};
+  const std::string prom = ToPrometheusText(snap);
+  EXPECT_NE(prom.find("h_bucket{le=\"1\"} 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("h_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("h_sum 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("h_count 0\n"), std::string::npos);
+  const std::string json = ToJson(snap);
+  EXPECT_NE(json.find("\"count\": 0, \"sum\": 0"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"+Inf\", \"count\": 0}"), std::string::npos);
+}
+
+TEST(Exporters, LabeledHistogramMergesLeIntoLabelSet) {
+  MetricsSnapshot snap;
+  snap.values = {MakeHistogram("fxrz_h{codec=\"sz\"}", {1.0}, {1, 0}, 0.5)};
+  const std::string prom = ToPrometheusText(snap);
+  EXPECT_NE(prom.find("fxrz_h_bucket{codec=\"sz\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fxrz_h_bucket{codec=\"sz\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fxrz_h_sum{codec=\"sz\"} 0.5\n"), std::string::npos);
+  EXPECT_NE(prom.find("fxrz_h_count{codec=\"sz\"} 1\n"), std::string::npos);
+  // TYPE header names the base family, not the labeled instance.
+  EXPECT_NE(prom.find("# TYPE fxrz_h histogram\n"), std::string::npos);
+}
+
+TEST(Exporters, HelpAndTypeEmittedOncePerFamily) {
+  MetricsSnapshot snap;
+  snap.values = {
+      MakeCounter("fxrz_served_total{tier=\"a\"}", 1, "Requests served"),
+      MakeCounter("fxrz_served_total{tier=\"b\"}", 2, "Requests served"),
+  };
+  const std::string prom = ToPrometheusText(snap);
+  size_t first = prom.find("# TYPE fxrz_served_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(prom.find("# TYPE fxrz_served_total counter", first + 1),
+            std::string::npos);
+  EXPECT_NE(prom.find("fxrz_served_total{tier=\"a\"} 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("fxrz_served_total{tier=\"b\"} 2\n"), std::string::npos);
+}
+
+TEST(Exporters, JsonEscapesQuotesInLabeledNames) {
+  MetricsSnapshot snap;
+  snap.values = {MakeCounter("c{tier=\"x\"}", 5)};
+  const std::string json = ToJson(snap);
+  EXPECT_NE(json.find("\"c{tier=\\\"x\\\"}\": "
+                      "{\"type\": \"counter\", \"value\": 5}"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- exporter goldens
+
+// A fixed snapshot covering every exporter feature: unlabeled and labeled
+// counters sharing a family, a gauge (negative, fractional), a labeled
+// histogram, and a zero-observation histogram.
+MetricsSnapshot GoldenSnapshot() {
+  MetricsSnapshot snap;
+  snap.values = {
+      MakeCounter("fxrz_demo_requests_total", 42, "Requests seen"),
+      MakeGauge("fxrz_demo_rolling_error", -0.0625, "Rolling error"),
+      MakeCounter("fxrz_demo_served_total{tier=\"model-estimate\"}", 7,
+                  "Served per tier"),
+      MakeCounter("fxrz_demo_served_total{tier=\"refined\"}", 3,
+                  "Served per tier"),
+      MakeHistogram("fxrz_demo_ratio{codec=\"sz\"}", {1.0, 8.0, 64.0},
+                    {0, 2, 1, 1}, 150.25, "Achieved ratio"),
+      MakeHistogram("fxrz_demo_unobserved", {0.5}, {0, 0}, 0.0,
+                    "Never observed"),
+  };
+  snap.SortByName();
+  return snap;
+}
+
+std::string GoldenDir() {
+  return std::string(FXRZ_TEST_SRCDIR) + "/util/golden";
+}
+
+void CompareToGolden(const std::string& actual, const std::string& filename) {
+  const std::string path = GoldenDir() + "/" + filename;
+  if (std::getenv("FXRZ_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(AtomicWriteFile(
+                    path, std::vector<uint8_t>(actual.begin(), actual.end()))
+                    .ok());
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok()) << "missing golden " << path;
+  const std::string expected(bytes.begin(), bytes.end());
+  EXPECT_EQ(actual, expected)
+      << "exporter output diverged from " << path
+      << "; run with FXRZ_REGEN_GOLDEN=1 if the change is intentional";
+}
+
+TEST(ExporterGolden, PrometheusText) {
+  CompareToGolden(ToPrometheusText(GoldenSnapshot()), "exporter.prom");
+}
+
+TEST(ExporterGolden, Json) {
+  CompareToGolden(ToJson(GoldenSnapshot()), "exporter.json");
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace fxrz

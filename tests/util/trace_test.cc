@@ -1,0 +1,115 @@
+// Tests for RAII trace spans: thread-local nesting introspection, LIFO
+// unwind, per-stage histogram recording, and depth-cap behavior.
+
+#include "src/util/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/metrics.h"
+
+namespace fxrz {
+namespace trace {
+namespace {
+
+TEST(TraceSpan, EmptyStackIntrospection) {
+  EXPECT_EQ(Span::Depth(), 0);
+  EXPECT_STREQ(Span::Current(), "");
+  EXPECT_EQ(Span::CurrentPath(), "");
+}
+
+TEST(TraceSpan, NestingAndLifoUnwind) {
+  if (!metrics::Enabled()) GTEST_SKIP() << "metrics compiled out";
+  metrics::Histogram& h = StageHistogram("test.outer");
+  {
+    Span outer("test.outer", h);
+    EXPECT_EQ(Span::Depth(), 1);
+    EXPECT_STREQ(Span::Current(), "test.outer");
+    {
+      Span inner("test.inner", StageHistogram("test.inner"));
+      EXPECT_EQ(Span::Depth(), 2);
+      EXPECT_STREQ(Span::Current(), "test.inner");
+      EXPECT_EQ(Span::CurrentPath(), "test.outer/test.inner");
+    }
+    EXPECT_EQ(Span::Depth(), 1);
+    EXPECT_STREQ(Span::Current(), "test.outer");
+  }
+  EXPECT_EQ(Span::Depth(), 0);
+}
+
+TEST(TraceSpan, RecordsIntoStageHistogram) {
+  if (!metrics::Enabled()) GTEST_SKIP() << "metrics compiled out";
+  metrics::Histogram& h = StageHistogram("test.recorded");
+  const uint64_t before = h.Count();
+  { Span span("test.recorded", h); }
+  { Span span("test.recorded", h); }
+  EXPECT_EQ(h.Count(), before + 2);
+  EXPECT_GE(h.Sum(), 0.0);  // steady_clock durations are non-negative
+}
+
+TEST(TraceSpan, StageHistogramNameAndRegistration) {
+  metrics::Histogram& a = StageHistogram("test.same");
+  metrics::Histogram& b = StageHistogram("test.same");
+  EXPECT_EQ(&a, &b);
+  if (!metrics::Enabled()) return;
+  const metrics::MetricsSnapshot snap = metrics::MetricsSnapshot::Capture();
+  EXPECT_NE(snap.Find("fxrz_stage_seconds{stage=\"test.same\"}"), nullptr);
+  // Stage timings are exactly what WithoutTimings() exists to drop.
+  EXPECT_EQ(snap.WithoutTimings().Find(
+                "fxrz_stage_seconds{stage=\"test.same\"}"),
+            nullptr);
+}
+
+TEST(TraceSpan, MacroCompilesAndTracks) {
+  const int base = Span::Depth();
+  {
+    FXRZ_TRACE_SPAN("test.macro");
+    if (metrics::Enabled()) {
+      EXPECT_EQ(Span::Depth(), base + 1);
+      EXPECT_STREQ(Span::Current(), "test.macro");
+    } else {
+      EXPECT_EQ(Span::Depth(), base);  // macro folds to nothing
+    }
+  }
+  EXPECT_EQ(Span::Depth(), base);
+}
+
+TEST(TraceSpan, DepthCapStopsPushesButStillRecords) {
+  if (!metrics::Enabled()) GTEST_SKIP() << "metrics compiled out";
+  metrics::Histogram& h = StageHistogram("test.deep");
+  const uint64_t before = h.Count();
+  std::vector<Span*> spans;
+  spans.reserve(kMaxDepth + 4);
+  for (int i = 0; i < kMaxDepth + 4; ++i) {
+    spans.push_back(new Span("test.deep", h));
+  }
+  // The introspection stack saturates at kMaxDepth...
+  EXPECT_EQ(Span::Depth(), kMaxDepth);
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) delete *it;
+  EXPECT_EQ(Span::Depth(), 0);
+  // ...but every span still timed itself.
+  EXPECT_EQ(h.Count(), before + static_cast<uint64_t>(kMaxDepth) + 4);
+}
+
+TEST(TraceSpan, StacksArePerThread) {
+  if (!metrics::Enabled()) GTEST_SKIP() << "metrics compiled out";
+  metrics::Histogram& h = StageHistogram("test.threaded");
+  Span outer("test.threaded", h);
+  int other_depth = -1;
+  std::string other_path;
+  std::thread t([&] {
+    other_depth = Span::Depth();
+    Span inner("test.worker", StageHistogram("test.worker"));
+    other_path = Span::CurrentPath();
+  });
+  t.join();
+  EXPECT_EQ(other_depth, 0);            // caller's span is invisible there
+  EXPECT_EQ(other_path, "test.worker");  // worker's span invisible here
+  EXPECT_EQ(Span::Depth(), 1);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace fxrz

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Full local CI matrix: release build + tests, ThreadSanitizer build +
-# tests, ASan+UBSan build + tests (including the fuzz-corpus replay
-# harnesses), an ASan+UBSan FXRZ_FAULT_INJECT build running the
-# fault-injection/escalation-ladder suite, then the clang-tidy lint pass.
+# Full local CI matrix: a build-artifact hygiene check, release build +
+# tests, an FXRZ_METRICS=OFF build proving the observability layer strips
+# cleanly, ThreadSanitizer build + tests, ASan+UBSan build + tests
+# (including the fuzz-corpus replay harnesses), an ASan+UBSan
+# FXRZ_FAULT_INJECT build running the fault-injection/escalation-ladder
+# suite, then the clang-tidy lint pass.
 # Mirrors what the acceptance gates for the decode-hardening and guarded
 # serving work require.
 #
@@ -13,6 +15,17 @@ set -euo pipefail
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
+
+# Build outputs must never be committed: they bloat the history and go
+# stale the moment a source file changes. Fail fast if any build
+# directory's contents are tracked or staged.
+echo "=== build-artifact hygiene ==="
+if git ls-files --cached -- 'build/' 'build-*/' | grep -q .; then
+  echo "FAIL: build outputs are tracked/staged:" >&2
+  git ls-files --cached -- 'build/' 'build-*/' | head >&2
+  echo "(run: git rm -r --cached build/ <...> and commit)" >&2
+  exit 1
+fi
 
 run_config() {
   local name="$1" build_dir="$2"
@@ -27,6 +40,14 @@ run_config() {
 
 run_config release build-ci-release \
   -DCMAKE_BUILD_TYPE=Release
+
+# Observability-off configuration: FXRZ_METRICS=OFF compiles the metrics
+# registry and trace spans down to no-ops. The suite must pass unchanged
+# (metrics-dependent tests GTEST_SKIP), proving production can strip the
+# layer without behavioral drift.
+run_config metrics-off build-ci-nometrics \
+  -DFXRZ_METRICS=OFF \
+  -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
 
 run_config thread build-ci-tsan \
   -DFXRZ_SANITIZE=thread \

@@ -12,6 +12,17 @@
 //                                    fixtures, verifies them, then proves
 //                                    single-byte corruption and stale
 //                                    temp files are handled
+//   fxrz_verify stats <dir> [golden] scripted train -> compress ->
+//                                    decompress -> audit run; dumps the
+//                                    metrics delta it produced as
+//                                    Prometheus text (<dir>/stats.prom)
+//                                    and JSON (<dir>/stats.json) and
+//                                    prints both. Wall-clock histograms
+//                                    are excluded, so the output is
+//                                    deterministic; with [golden] given,
+//                                    both files are byte-compared against
+//                                    golden/stats.{prom,json} and a
+//                                    mismatch exits 1.
 //
 // This is the supported way to audit archives on shared filesystems:
 // `verify` is one sequential read per file, `verify-deep` additionally
@@ -27,11 +38,14 @@
 
 #include "src/compressors/chunked.h"
 #include "src/compressors/compressor.h"
+#include "src/core/drift.h"
 #include "src/core/model.h"
+#include "src/core/pipeline.h"
 #include "src/data/generators/grf.h"
 #include "src/store/container.h"
 #include "src/store/field_store.h"
 #include "src/util/file_io.h"
+#include "src/util/metrics.h"
 
 namespace {
 
@@ -191,18 +205,148 @@ int SelfTest(const std::string& dir) {
   return 0;
 }
 
+Status WriteAndCompare(const std::string& path, const std::string& text,
+                       const std::string& golden_path) {
+  FXRZ_RETURN_IF_ERROR(
+      AtomicWriteFile(path, std::vector<uint8_t>(text.begin(), text.end())));
+  if (golden_path.empty()) return Status::Ok();
+  std::vector<uint8_t> golden;
+  FXRZ_RETURN_IF_ERROR(ReadFileBytes(golden_path, &golden));
+  if (std::string(golden.begin(), golden.end()) != text) {
+    return Status::Internal("stats output differs from golden " +
+                            golden_path + " (regenerate with `fxrz_verify "
+                            "stats <dir>` and inspect the diff)");
+  }
+  return Status::Ok();
+}
+
+// Scripted, fully seeded serving run that exercises every instrumented
+// subsystem exactly once per design: train -> guarded compress (model
+// ladder, a constant field, a rejected request) -> decompress -> container
+// round trip -> chunked checksum audit. Everything is single-threaded and
+// seed-pinned, so the metrics delta it produces is a pure function of the
+// code -- which is what makes golden-file comparison meaningful.
+int Stats(const std::string& dir, const std::string& golden_dir) {
+  if (!metrics::Enabled()) {
+    std::printf("metrics layer compiled out (FXRZ_METRICS=OFF); no stats\n");
+    return 0;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Fail(Status::Internal("cannot create stats dir " + dir + ": " +
+                                 ec.message()));
+  }
+  const metrics::MetricsSnapshot before = metrics::MetricsSnapshot::Capture();
+
+  // Train on three small fields; serve a fourth.
+  std::vector<Tensor> fields;
+  for (uint64_t seed = 9001; seed <= 9003; ++seed) {
+    fields.push_back(GaussianRandomField3D(16, 16, 16, 3.0, seed));
+  }
+  Fxrz fxrz(MakeCompressor("sz"));
+  fxrz.Train({&fields[0], &fields[1], &fields[2]});
+
+  DriftMonitor drift;
+  GuardOptions options;
+  options.verify_archive = true;
+  options.verify_checksum_only = false;
+  options.drift = &drift;
+
+  const Tensor query = GaussianRandomField3D(16, 16, 16, 3.0, 9004);
+  std::vector<uint8_t> archive;
+  for (double target : {8.0, 16.0, 32.0}) {
+    StatusOr<GuardedResult> result =
+        fxrz.GuardedCompressToRatio(query, target, options);
+    if (!result.ok()) return Fail(result.status());
+    archive = std::move(result.value().compressed);
+  }
+
+  // Constant-field fast path and an admission reject.
+  Tensor constant({8, 8, 8});
+  for (size_t i = 0; i < constant.size(); ++i) constant[i] = 1.5f;
+  if (StatusOr<GuardedResult> r =
+          fxrz.GuardedCompressToRatio(constant, 16.0, options);
+      !r.ok()) {
+    return Fail(r.status());
+  }
+  if (fxrz.GuardedCompressToRatio(query, 0.5, options).ok()) {
+    return Fail(Status::Internal("admission accepted an invalid target"));
+  }
+
+  // Decompress the last served archive through the instrumented wrapper.
+  Tensor decoded;
+  if (Status st = fxrz.compressor().TryDecompress(archive.data(),
+                                                  archive.size(), &decoded);
+      !st.ok()) {
+    return Fail(st);
+  }
+
+  // Container round trip + chunked checksum audit.
+  ChunkedCompressor chunked(MakeCompressor("sz"), /*target_chunk_elems=*/512,
+                            /*threads=*/1);
+  const std::vector<uint8_t> chunked_archive = chunked.Compress(query, 0.01);
+  if (Status st = chunked.VerifyIntegrity(chunked_archive.data(),
+                                          chunked_archive.size());
+      !st.ok()) {
+    return Fail(st);
+  }
+  const std::string archive_path = dir + "/stats_archive.fxa";
+  if (Status st = WriteContainerFile(
+          archive_path, std::string(kSectionArchivePrefix) + chunked.name(),
+          chunked_archive);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::vector<uint8_t> reread;
+  if (Status st = ReadContainerFile(
+          archive_path, std::string(kSectionArchivePrefix) + chunked.name(),
+          &reread);
+      !st.ok()) {
+    return Fail(st);
+  }
+
+  const metrics::MetricsSnapshot delta =
+      metrics::MetricsSnapshot::Delta(before,
+                                      metrics::MetricsSnapshot::Capture())
+          .WithoutTimings();
+  const std::string prom = metrics::ToPrometheusText(delta);
+  const std::string json = metrics::ToJson(delta);
+  std::printf("%s\n%s", prom.c_str(), json.c_str());
+
+  Status st = WriteAndCompare(
+      dir + "/stats.prom", prom,
+      golden_dir.empty() ? "" : golden_dir + "/stats.prom");
+  if (st.ok()) {
+    st = WriteAndCompare(dir + "/stats.json", json,
+                         golden_dir.empty() ? "" : golden_dir + "/stats.json");
+  }
+  if (!st.ok()) return Fail(st);
+  std::printf("stats written to %s%s\n", dir.c_str(),
+              golden_dir.empty() ? "" : " (golden match)");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
+  if (argc < 3 || argc > 4) {
     std::fprintf(stderr,
                  "usage: %s <inspect|verify|verify-deep|make-fixtures|"
-                 "selftest> <file|dir>\n",
-                 argv[0]);
+                 "selftest> <file|dir>\n"
+                 "       %s stats <dir> [golden-dir]\n",
+                 argv[0], argv[0]);
     return 2;
   }
   const std::string cmd = argv[1];
   const std::string target = argv[2];
+  if (cmd == "stats") {
+    return Stats(target, argc == 4 ? argv[3] : "");
+  }
+  if (argc != 3) {
+    std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+    return 2;
+  }
   if (cmd == "inspect") return Audit(target, /*inspect=*/true, /*deep=*/false);
   if (cmd == "verify") return Audit(target, /*inspect=*/false, /*deep=*/false);
   if (cmd == "verify-deep") {
