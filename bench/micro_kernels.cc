@@ -1,24 +1,56 @@
-// Micro-benchmarks (google-benchmark) for the kernels underneath FXRZ:
-// compressor throughput, feature extraction, entropy coders, FFT/GRF.
-// Not tied to a specific paper table; used to track performance regressions.
+// Micro-benchmarks for the kernels underneath FXRZ: compressor throughput,
+// feature extraction, entropy coders, FFT/GRF. Not tied to a specific paper
+// table; used to track performance regressions.
+//
+// Two modes:
+//   * default: the google-benchmark suite (./micro_kernels [--benchmark_*]).
+//   * --kernels: the per-kernel throughput harness. Times every codec's
+//     compress/decompress path and both entropy coders at 64^3 and 256^3,
+//     reports GB/s of uncompressed data moved, optionally writes the
+//     results as JSON (--json FILE) and gates them against a checked-in
+//     baseline (--gate FILE [--tolerance T]). The gate compares only when
+//     the baseline was recorded at the same SIMD dispatch level, and fails
+//     a kernel only when it drops below tolerance * baseline -- it exists
+//     to catch lost vectorization and algorithmic regressions, not noise.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/compressors/compressor.h"
+#include "src/compressors/relative.h"
 #include "src/core/compressibility.h"
 #include "src/core/features.h"
 #include "src/data/fft.h"
 #include "src/data/generators/grf.h"
+#include "src/encoding/arith.h"
 #include "src/encoding/huffman.h"
 #include "src/encoding/zlite.h"
+#include "src/util/check.h"
 #include "src/util/random.h"
+#include "src/util/simd.h"
+#include "src/util/timer.h"
 
 namespace {
 
 using namespace fxrz;
+
+// Resolves codec names, including the "relative" error-bound adapter which
+// is a decorator rather than a factory entry.
+std::unique_ptr<Compressor> MakeBenchCompressor(const std::string& name) {
+  if (name == "relative") {
+    return std::make_unique<RelativeErrorCompressor>(MakeCompressor("sz"));
+  }
+  return MakeCompressor(name);
+}
 
 const Tensor& TestField() {
   static const Tensor* field =
@@ -26,8 +58,74 @@ const Tensor& TestField() {
   return *field;
 }
 
+// Smooth field plus noise, synthesized directly (no FFT) so 256^3 setup
+// stays cheap. Deterministic for run-to-run comparability.
+Tensor MakeCubeField(size_t n) {
+  Rng rng(4242);
+  Tensor t({n, n, n});
+  float* p = t.data();
+  size_t i = 0;
+  for (size_t z = 0; z < n; ++z) {
+    for (size_t y = 0; y < n; ++y) {
+      for (size_t x = 0; x < n; ++x, ++i) {
+        p[i] = static_cast<float>(std::sin(0.11 * z) + std::cos(0.07 * y) +
+                                  0.013 * x + 0.05 * rng.NextGaussian());
+      }
+    }
+  }
+  return t;
+}
+
+// Quantization-code-like symbol stream: sharply peaked at the zero-error
+// code with a geometric spread, matching what the codecs feed Huffman.
+std::vector<uint32_t> MakeCodeStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> symbols(n);
+  for (auto& s : symbols) {
+    const double r = rng.NextDouble();
+    if (r < 0.85) {
+      s = 32768u;
+    } else {
+      s = 32768u + static_cast<uint32_t>(rng.NextBelow(64)) -
+          static_cast<uint32_t>(rng.NextBelow(64));
+    }
+  }
+  return symbols;
+}
+
+// 16-bit symbols through the adaptive binary coder, one context per bit
+// position (how fpzip-style codecs drive it).
+std::vector<uint8_t> ArithEncode16(const std::vector<uint32_t>& symbols) {
+  ArithEncoder enc;
+  BitContext ctx[16];
+  for (uint32_t s : symbols) {
+    for (int b = 15; b >= 0; --b) {
+      enc.EncodeBit(&ctx[b], (s >> b) & 1u);
+    }
+  }
+  return std::move(enc).Finish();
+}
+
+void ArithDecode16(const uint8_t* data, size_t size, size_t count,
+                   std::vector<uint32_t>* out) {
+  ArithDecoder dec(data, size);
+  BitContext ctx[16];
+  out->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t s = 0;
+    for (int b = 15; b >= 0; --b) {
+      s |= dec.DecodeBit(&ctx[b]) << b;
+    }
+    (*out)[i] = s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite (default mode).
+// ---------------------------------------------------------------------------
+
 void BM_Compress(benchmark::State& state, const std::string& name) {
-  const auto comp = MakeCompressor(name);
+  const auto comp = MakeBenchCompressor(name);
   const Tensor& data = TestField();
   const ConfigSpace space = comp->config_space(data);
   const double config = space.integer ? 16 : std::sqrt(space.min * space.max);
@@ -38,7 +136,7 @@ void BM_Compress(benchmark::State& state, const std::string& name) {
 }
 
 void BM_Decompress(benchmark::State& state, const std::string& name) {
-  const auto comp = MakeCompressor(name);
+  const auto comp = MakeBenchCompressor(name);
   const Tensor& data = TestField();
   const ConfigSpace space = comp->config_space(data);
   const double config = space.integer ? 16 : std::sqrt(space.min * space.max);
@@ -69,14 +167,38 @@ void BM_ConstantBlockScan(benchmark::State& state) {
 }
 
 void BM_Huffman(benchmark::State& state) {
-  Rng rng(1);
-  std::vector<uint32_t> symbols(1 << 16);
-  for (auto& s : symbols) {
-    s = rng.NextDouble() < 0.9 ? 32768u
-                               : static_cast<uint32_t>(rng.NextBelow(65536));
-  }
+  const std::vector<uint32_t> symbols = MakeCodeStream(1 << 16, 1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(HuffmanEncode(symbols));
+  }
+  state.SetBytesProcessed(state.iterations() * symbols.size() * 4);
+}
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const std::vector<uint32_t> symbols = MakeCodeStream(1 << 16, 1);
+  const std::vector<uint8_t> enc = HuffmanEncode(symbols);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HuffmanDecode(enc.data(), enc.size(), &out));
+  }
+  state.SetBytesProcessed(state.iterations() * symbols.size() * 4);
+}
+
+void BM_ArithEncode(benchmark::State& state) {
+  const std::vector<uint32_t> symbols = MakeCodeStream(1 << 16, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ArithEncode16(symbols));
+  }
+  state.SetBytesProcessed(state.iterations() * symbols.size() * 4);
+}
+
+void BM_ArithDecode(benchmark::State& state) {
+  const std::vector<uint32_t> symbols = MakeCodeStream(1 << 16, 2);
+  const std::vector<uint8_t> enc = ArithEncode16(symbols);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    ArithDecode16(enc.data(), enc.size(), symbols.size(), &out);
+    benchmark::DoNotOptimize(out);
   }
   state.SetBytesProcessed(state.iterations() * symbols.size() * 4);
 }
@@ -112,20 +234,267 @@ void BM_GrfSynthesis(benchmark::State& state) {
 }
 
 BENCHMARK_CAPTURE(BM_Compress, sz, "sz");
+BENCHMARK_CAPTURE(BM_Compress, sz3, "sz3");
 BENCHMARK_CAPTURE(BM_Compress, zfp, "zfp");
 BENCHMARK_CAPTURE(BM_Compress, fpzip, "fpzip");
 BENCHMARK_CAPTURE(BM_Compress, mgard, "mgard");
+BENCHMARK_CAPTURE(BM_Compress, relative, "relative");
 BENCHMARK_CAPTURE(BM_Decompress, sz, "sz");
+BENCHMARK_CAPTURE(BM_Decompress, sz3, "sz3");
 BENCHMARK_CAPTURE(BM_Decompress, zfp, "zfp");
 BENCHMARK_CAPTURE(BM_Decompress, fpzip, "fpzip");
 BENCHMARK_CAPTURE(BM_Decompress, mgard, "mgard");
+BENCHMARK_CAPTURE(BM_Decompress, relative, "relative");
 BENCHMARK(BM_FeatureExtraction)->Arg(1)->Arg(4);
 BENCHMARK(BM_ConstantBlockScan);
 BENCHMARK(BM_Huffman);
+BENCHMARK(BM_HuffmanDecode);
+BENCHMARK(BM_ArithEncode);
+BENCHMARK(BM_ArithDecode);
 BENCHMARK(BM_Zlite);
 BENCHMARK(BM_Fft3D);
 BENCHMARK(BM_GrfSynthesis);
 
+// ---------------------------------------------------------------------------
+// Per-kernel throughput harness (--kernels mode).
+// ---------------------------------------------------------------------------
+
+struct KernelResult {
+  std::string name;
+  size_t grid = 0;  // cube edge length
+  double gbps = 0.0;
+};
+
+// Wall-clock best-of-N: the minimum is the least-noise estimator on a
+// machine with background load.
+double BestSeconds(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+std::vector<KernelResult> RunKernelHarness(const std::vector<size_t>& grids) {
+  std::vector<KernelResult> results;
+  const char* codecs[] = {"sz", "sz3", "zfp", "fpzip", "mgard", "relative"};
+  for (size_t grid : grids) {
+    const Tensor data = MakeCubeField(grid);
+    const double bytes = static_cast<double>(data.size_bytes());
+    // Large grids take ~1s per pass; two timed reps keep the gate fast
+    // while the warmup pass absorbs first-touch effects.
+    const int reps = grid >= 128 ? 2 : 3;
+
+    for (const char* name : codecs) {
+      const auto comp = MakeBenchCompressor(name);
+      const ConfigSpace space = comp->config_space(data);
+      const double config =
+          space.integer ? 16 : std::sqrt(space.min * space.max);
+      const std::vector<uint8_t> archive = comp->Compress(data, config);
+      const double enc_s = BestSeconds(
+          reps, [&] { benchmark::DoNotOptimize(comp->Compress(data, config)); });
+      Tensor out;
+      FXRZ_CHECK(comp->Decompress(archive.data(), archive.size(), &out).ok());
+      const double dec_s = BestSeconds(reps, [&] {
+        benchmark::DoNotOptimize(
+            comp->Decompress(archive.data(), archive.size(), &out));
+      });
+      results.push_back(
+          {std::string(name) + "_compress", grid, bytes / enc_s / 1e9});
+      results.push_back(
+          {std::string(name) + "_decompress", grid, bytes / dec_s / 1e9});
+      std::fprintf(stderr, "  %-22s %zu^3  enc %7.4f GB/s  dec %7.4f GB/s\n",
+                   name, grid, bytes / enc_s / 1e9, bytes / dec_s / 1e9);
+    }
+
+    const std::vector<uint32_t> symbols = MakeCodeStream(data.size(), 9);
+    const double sym_bytes = static_cast<double>(symbols.size()) * 4;
+    const std::vector<uint8_t> huff = HuffmanEncode(symbols);
+    const double huff_enc_s = BestSeconds(
+        reps, [&] { benchmark::DoNotOptimize(HuffmanEncode(symbols)); });
+    std::vector<uint32_t> decoded;
+    const double huff_dec_s = BestSeconds(reps, [&] {
+      benchmark::DoNotOptimize(HuffmanDecode(huff.data(), huff.size(),
+                                             &decoded));
+    });
+    FXRZ_CHECK(decoded == symbols);
+    results.push_back({"huffman_encode", grid, sym_bytes / huff_enc_s / 1e9});
+    results.push_back({"huffman_decode", grid, sym_bytes / huff_dec_s / 1e9});
+    std::fprintf(stderr, "  %-22s %zu^3  enc %7.4f GB/s  dec %7.4f GB/s\n",
+                 "huffman", grid, sym_bytes / huff_enc_s / 1e9,
+                 sym_bytes / huff_dec_s / 1e9);
+
+    const std::vector<uint8_t> arith = ArithEncode16(symbols);
+    const double arith_enc_s = BestSeconds(
+        reps, [&] { benchmark::DoNotOptimize(ArithEncode16(symbols)); });
+    const double arith_dec_s = BestSeconds(reps, [&] {
+      ArithDecode16(arith.data(), arith.size(), symbols.size(), &decoded);
+      benchmark::DoNotOptimize(decoded);
+    });
+    FXRZ_CHECK(decoded == symbols);
+    results.push_back({"arith_encode", grid, sym_bytes / arith_enc_s / 1e9});
+    results.push_back({"arith_decode", grid, sym_bytes / arith_dec_s / 1e9});
+    std::fprintf(stderr, "  %-22s %zu^3  enc %7.4f GB/s  dec %7.4f GB/s\n",
+                 "arith", grid, sym_bytes / arith_enc_s / 1e9,
+                 sym_bytes / arith_dec_s / 1e9);
+  }
+  return results;
+}
+
+std::string ResultsToJson(const std::vector<KernelResult>& results) {
+  std::ostringstream out;
+  const char* level = simd::LevelName(simd::ActiveLevel());
+  out << "[\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "{\"kernel\":\"%s\",\"grid\":%zu,\"gbps\":%.6f,"
+                  "\"simd_level\":\"%s\"}%s",
+                  results[i].name.c_str(), results[i].grid, results[i].gbps,
+                  level, i + 1 < results.size() ? "," : "");
+    out << line << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+// Minimal field scanners for the line-per-entry JSON this harness writes.
+bool ExtractString(const std::string& line, const std::string& key,
+                   std::string* out) {
+  const std::string pat = "\"" + key + "\":\"";
+  const size_t pos = line.find(pat);
+  if (pos == std::string::npos) return false;
+  const size_t start = pos + pat.size();
+  const size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool ExtractNumber(const std::string& line, const std::string& key,
+                   double* out) {
+  const std::string pat = "\"" + key + "\":";
+  const size_t pos = line.find(pat);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + pos + pat.size(), nullptr);
+  return true;
+}
+
+// Gates live results against a baseline file. Returns the number of
+// failures. Baseline entries recorded at a different SIMD level are
+// skipped: absolute GB/s only compare on like-for-like dispatch.
+int GateAgainstBaseline(const std::vector<KernelResult>& results,
+                        const std::string& baseline_path, double tolerance) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "gate: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  const std::string live_level = simd::LevelName(simd::ActiveLevel());
+  int failures = 0;
+  size_t compared = 0, skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string kernel, level;
+    double grid = 0, gbps = 0;
+    if (!ExtractString(line, "kernel", &kernel) ||
+        !ExtractNumber(line, "grid", &grid) ||
+        !ExtractNumber(line, "gbps", &gbps)) {
+      continue;
+    }
+    ExtractString(line, "simd_level", &level);
+    if (level != live_level) {
+      ++skipped;
+      continue;
+    }
+    const KernelResult* live = nullptr;
+    for (const auto& r : results) {
+      if (r.name == kernel && r.grid == static_cast<size_t>(grid)) {
+        live = &r;
+        break;
+      }
+    }
+    if (live == nullptr) {
+      std::fprintf(stderr, "gate: FAIL %s@%zu^3 missing from live run\n",
+                   kernel.c_str(), static_cast<size_t>(grid));
+      ++failures;
+      continue;
+    }
+    ++compared;
+    const double floor = gbps * tolerance;
+    if (live->gbps < floor) {
+      std::fprintf(stderr,
+                   "gate: FAIL %s@%zu^3 %.4f GB/s < %.4f GB/s "
+                   "(baseline %.4f * tolerance %.2f)\n",
+                   kernel.c_str(), live->grid, live->gbps, floor, gbps,
+                   tolerance);
+      ++failures;
+    }
+  }
+  std::fprintf(stderr,
+               "gate: %zu kernels compared, %zu skipped (level mismatch), "
+               "%d failed (tolerance %.2f, level %s)\n",
+               compared, skipped, failures, tolerance, live_level.c_str());
+  return failures;
+}
+
+int KernelHarnessMain(int argc, char** argv) {
+  std::string json_path, gate_path;
+  double tolerance = 0.35;
+  std::vector<size_t> grids = {64, 256};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--kernels") continue;
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--gate" && i + 1 < argc) {
+      gate_path = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--quick") {
+      grids = {64};
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_kernels --kernels [--json FILE] "
+                   "[--gate FILE] [--tolerance T] [--quick]\n");
+      return 2;
+    }
+  }
+  std::fprintf(stderr, "kernel throughput harness (simd level: %s)\n",
+               simd::LevelName(simd::ActiveLevel()));
+  const std::vector<KernelResult> results = RunKernelHarness(grids);
+  const std::string json = ResultsToJson(results);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  if (!gate_path.empty()) {
+    return GateAgainstBaseline(results, gate_path, tolerance) == 0 ? 0 : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernels") == 0) {
+      return KernelHarnessMain(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "src/util/check.h"
 #include "src/util/fault_injection.h"
 #include "src/util/metrics.h"
+#include "src/util/timer.h"
 #include "src/util/trace.h"
 
 namespace fxrz {
@@ -35,6 +36,7 @@ struct CodecMetrics {
   metrics::Counter* decompress_bytes_in;
   metrics::Counter* decompress_bytes_out;
   metrics::Histogram* achieved_ratio;
+  metrics::Histogram* decompress_throughput;
 };
 
 const CodecMetrics& GetCodecMetrics(const std::string& codec) {
@@ -70,6 +72,11 @@ const CodecMetrics& GetCodecMetrics(const std::string& codec) {
   m.achieved_ratio = &metrics::GetHistogram(
       "fxrz_codec_achieved_ratio" + label, metrics::RatioBuckets(),
       "Achieved compression ratio (bytes in / bytes out) per TryCompress");
+  m.decompress_throughput = &metrics::GetHistogram(
+      "fxrz_codec_decompress_bytes_per_second" + label,
+      metrics::ThroughputBuckets(),
+      "Decode throughput in reconstructed bytes per wall-clock second per "
+      "successful TryDecompress (dropped by WithoutTimings)");
   return cache->emplace(codec, m).first->second;
 }
 
@@ -124,13 +131,19 @@ Status Compressor::TryDecompress(const uint8_t* data, size_t size,
     m.decompress_failures->Increment();
     return Status::Internal("injected fault: " + name() + " Decompress");
   }
+  const WallTimer timer;
   const Status status = Decompress(data, size, out);
   if (!status.ok()) {
     m.decompress_failures->Increment();
     return status;
   }
+  const double elapsed = timer.Seconds();
   m.decompress_bytes_in->Increment(size);
   m.decompress_bytes_out->Increment(out->size_bytes());
+  if (elapsed > 0.0) {
+    m.decompress_throughput->Observe(
+        static_cast<double>(out->size_bytes()) / elapsed);
+  }
   return status;
 }
 

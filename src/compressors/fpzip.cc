@@ -8,6 +8,7 @@
 #include "src/encoding/arith.h"
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
+#include "src/util/simd.h"
 
 namespace fxrz {
 
@@ -21,10 +22,7 @@ uint32_t FloatToOrdered(float f) {
   return (u & 0x80000000u) ? ~u : (u | 0x80000000u);
 }
 
-float OrderedToFloat(uint32_t o) {
-  const uint32_t u = (o & 0x80000000u) ? (o & 0x7FFFFFFFu) : ~o;
-  return std::bit_cast<float>(u);
-}
+// The inverse map (OrderedToFloat) lives in simd::OrderedToFloats.
 
 // Precision reduction: keep the top `p` bits of the ordered representation.
 uint32_t Truncate(uint32_t o, int p) {
@@ -143,6 +141,72 @@ int64_t PredictOrdered(const uint32_t* slice, const SliceLayout& lay,
   return std::clamp<int64_t>(pred, 0, 0xFFFFFFFFll);
 }
 
+// Invokes fn(linear, pred) for every point of the slice in raster order.
+// Interior points (every backward neighbor present) take a direct-offset
+// Lorenzo predictor; boundary points use PredictOrdered's checked lambda.
+// Integer sums are exact, so the two paths agree wherever both apply.
+// Decoders write slice[linear] inside fn before the next point's prediction
+// reads it (the Lorenzo recurrence is inherently sequential). Stops and
+// returns false when fn returns false.
+template <typename Fn>
+bool ForEachLorenzoPoint(const uint32_t* slice, const SliceLayout& lay,
+                         Fn&& fn) {
+  if (lay.nd == 1) {
+    for (size_t x = 0; x < lay.dims[0]; ++x) {
+      const int64_t pred =
+          x == 0 ? static_cast<int64_t>(FloatToOrdered(0.0f))
+                 : std::clamp<int64_t>(static_cast<int64_t>(slice[x - 1]), 0,
+                                       0xFFFFFFFFll);
+      if (!fn(x, pred)) return false;
+    }
+    return true;
+  }
+  if (lay.nd == 2) {
+    const size_t sy = lay.strides[0];
+    size_t lin = 0;
+    for (size_t y = 0; y < lay.dims[0]; ++y) {
+      for (size_t x = 0; x < lay.dims[1]; ++x, ++lin) {
+        int64_t pred;
+        if (y > 0 && x > 0) {
+          pred = static_cast<int64_t>(slice[lin - 1]) +
+                 static_cast<int64_t>(slice[lin - sy]) -
+                 static_cast<int64_t>(slice[lin - sy - 1]);
+          pred = std::clamp<int64_t>(pred, 0, 0xFFFFFFFFll);
+        } else {
+          const size_t idx[3] = {y, x, 0};
+          pred = PredictOrdered(slice, lay, idx, lin);
+        }
+        if (!fn(lin, pred)) return false;
+      }
+    }
+    return true;
+  }
+  const size_t sz = lay.strides[0], sy = lay.strides[1];
+  size_t lin = 0;
+  for (size_t z = 0; z < lay.dims[0]; ++z) {
+    for (size_t y = 0; y < lay.dims[1]; ++y) {
+      for (size_t x = 0; x < lay.dims[2]; ++x, ++lin) {
+        int64_t pred;
+        if (z > 0 && y > 0 && x > 0) {
+          pred = static_cast<int64_t>(slice[lin - 1]) +
+                 static_cast<int64_t>(slice[lin - sy]) +
+                 static_cast<int64_t>(slice[lin - sz]) -
+                 static_cast<int64_t>(slice[lin - sy - 1]) -
+                 static_cast<int64_t>(slice[lin - sz - 1]) -
+                 static_cast<int64_t>(slice[lin - sz - sy]) +
+                 static_cast<int64_t>(slice[lin - sz - sy - 1]);
+          pred = std::clamp<int64_t>(pred, 0, 0xFFFFFFFFll);
+        } else {
+          const size_t idx[3] = {z, y, x};
+          pred = PredictOrdered(slice, lay, idx, lin);
+        }
+        if (!fn(lin, pred)) return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 ConfigSpace FpzipCompressor::config_space(const Tensor& data) const {
@@ -164,30 +228,26 @@ std::vector<uint8_t> FpzipCompressor::Compress(const Tensor& data,
 
   // Precision-reduce the whole field first; both sides of the codec then
   // agree on the exact integer stream.
+  const uint32_t keep_mask =
+      p >= 32 ? 0xFFFFFFFFu : ~((1u << (32 - p)) - 1u);
   std::vector<uint32_t> ordered(data.size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    ordered[i] = Truncate(FloatToOrdered(data[i]), p);
-  }
+  simd::FloatToOrderedTrunc(data.data(), data.size(), keep_mask,
+                            ordered.data());
 
   ArithEncoder enc;
   ResidualModel model;
   const SliceLayout lay = MakeSliceLayout(data.dims());
+  // Residual in units of the truncation step keeps magnitudes small.
+  const int64_t step = 1ll << (32 - p);
   for (size_t s = 0; s < lay.num_slices; ++s) {
     const uint32_t* slice = ordered.data() + s * lay.slice_elems;
-    size_t idx[3] = {0, 0, 0};
-    for (size_t i = 0; i < lay.slice_elems; ++i) {
-      const int64_t pred = PredictOrdered(slice, lay, idx, i);
+    ForEachLorenzoPoint(slice, lay, [&](size_t i, int64_t pred) {
       const int64_t actual = static_cast<int64_t>(slice[i]);
-      // Residual in units of the truncation step keeps magnitudes small.
-      const int64_t step = 1ll << (32 - p);
-      const int64_t r = (actual - Truncate(static_cast<uint32_t>(pred), p)) /
-                        step;
+      const int64_t r =
+          (actual - Truncate(static_cast<uint32_t>(pred), p)) / step;
       EncodeResidual(&enc, &model, r);
-      for (size_t d = lay.nd; d-- > 0;) {
-        if (++idx[d] < lay.dims[d]) break;
-        idx[d] = 0;
-      }
-    }
+      return true;
+    });
   }
 
   std::vector<uint8_t> out;
@@ -224,33 +284,33 @@ Status FpzipCompressor::Decompress(const uint8_t* data, size_t size,
   ArithDecoder dec(payload, payload_size);
   ResidualModel model;
   const SliceLayout lay = MakeSliceLayout(dims);
+  const int64_t step = 1ll << (32 - p);
   for (size_t s = 0; s < lay.num_slices; ++s) {
     uint32_t* slice = ordered.data() + s * lay.slice_elems;
-    size_t idx[3] = {0, 0, 0};
-    for (size_t i = 0; i < lay.slice_elems; ++i) {
-      const int64_t pred = PredictOrdered(slice, lay, idx, i);
-      int64_t r = 0;
-      if (!DecodeResidual(&dec, &model, &r)) {
-        return Status::Corruption("fpzip: bad residual class");
-      }
-      const int64_t step = 1ll << (32 - p);
-      const int64_t actual =
-          static_cast<int64_t>(Truncate(static_cast<uint32_t>(pred), p)) +
-          r * step;
-      if (actual < 0 || actual > 0xFFFFFFFFll || dec.overrun()) {
-        return Status::Corruption("fpzip: bad residual stream");
-      }
-      slice[i] = static_cast<uint32_t>(actual);
-      for (size_t d = lay.nd; d-- > 0;) {
-        if (++idx[d] < lay.dims[d]) break;
-        idx[d] = 0;
-      }
+    bool bad_class = false;
+    const bool done =
+        ForEachLorenzoPoint(slice, lay, [&](size_t i, int64_t pred) {
+          int64_t r = 0;
+          if (!DecodeResidual(&dec, &model, &r)) {
+            bad_class = true;
+            return false;
+          }
+          const int64_t actual =
+              static_cast<int64_t>(Truncate(static_cast<uint32_t>(pred), p)) +
+              r * step;
+          if (actual < 0 || actual > 0xFFFFFFFFll || dec.overrun()) {
+            return false;
+          }
+          slice[i] = static_cast<uint32_t>(actual);
+          return true;
+        });
+    if (!done) {
+      return Status::Corruption(bad_class ? "fpzip: bad residual class"
+                                          : "fpzip: bad residual stream");
     }
   }
 
-  for (size_t i = 0; i < result.size(); ++i) {
-    result[i] = OrderedToFloat(ordered[i]);
-  }
+  simd::OrderedToFloats(ordered.data(), ordered.size(), result.data());
   *out = std::move(result);
   return Status::Ok();
 }

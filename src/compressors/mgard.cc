@@ -9,6 +9,7 @@
 #include "src/encoding/huffman.h"
 #include "src/encoding/zlite.h"
 #include "src/util/check.h"
+#include "src/util/simd.h"
 
 namespace fxrz {
 
@@ -66,45 +67,76 @@ class MultilevelTransform {
   // point: coordinates of processed axes (b < axis) on the coarse grid
   // (% step == 0), later axes (b > axis) still on the fine grid (% half == 0),
   // and this axis' coordinate at % step == half.
+  //
+  // Detail points are iterated directly (no full-grid odometer scan), which
+  // is valid because same-pass detail points are never each other's
+  // neighbors: a neighbor sits at +/- half along `axis`, which lands on a
+  // coordinate that is 0 mod step, never half mod step. Updates within a
+  // pass are therefore independent and any order (including the vector
+  // kernel's) produces bit-identical results.
   void LiftAxis(int l, size_t axis, bool forward) {
     const size_t step = 1ull << l;
     const size_t half = step >> 1;
     if (dims_[axis] <= half) return;
 
-    std::vector<size_t> idx(rank_, 0);
-    for (size_t lin = 0; lin < n_;) {
-      // Check membership of this point as a detail point for (l, axis).
-      bool detail = idx[axis] % step == half;
-      if (detail) {
-        for (size_t b = 0; b < rank_ && detail; ++b) {
-          if (b == axis) continue;
-          const size_t mod = b < axis ? step : half;
-          if (idx[b] % mod != 0) detail = false;
+    const size_t last = rank_ - 1;
+    const size_t nbr = half * strides_[axis];
+    const size_t row = dims_[last];
+    double* v = v_->data();
+
+    // Outer odometer over axes 0..rank_-2; the inner loop walks the last
+    // axis. When `axis` is an outer axis and the inner stride is 1 (level
+    // 1), whole rows are contiguous detail runs and go to the SIMD kernel.
+    std::vector<size_t> coord(rank_, 0);
+    std::vector<size_t> inc(rank_);
+    for (size_t b = 0; b < rank_; ++b) {
+      inc[b] = b == axis ? step : (b < axis ? step : half);
+    }
+    if (axis != last) coord[axis] = half;
+    for (;;) {
+      size_t base = 0;
+      for (size_t b = 0; b + 1 < rank_; ++b) base += coord[b] * strides_[b];
+      if (axis == last) {
+        for (size_t c = half; c < row; c += step) {
+          const size_t lin = base + c;
+          const bool has_right = c + half < row;
+          const double left = v[lin - half];
+          const double pred = has_right ? 0.5 * (left + v[lin + half]) : left;
+          if (forward) {
+            v[lin] -= pred;
+          } else {
+            v[lin] += pred;
+          }
         }
-      }
-      if (detail) {
-        const size_t coord = idx[axis];
-        double pred;
-        const bool has_right = coord + half < dims_[axis];
-        const double left = (*v_)[lin - half * strides_[axis]];
-        if (has_right) {
-          pred = 0.5 * (left + (*v_)[lin + half * strides_[axis]]);
+      } else {
+        const bool has_right = coord[axis] + half < dims_[axis];
+        if (half == 1) {
+          simd::LiftPredictContiguous(v, base, nbr, row, has_right, forward);
         } else {
-          pred = left;
-        }
-        if (forward) {
-          (*v_)[lin] -= pred;
-        } else {
-          (*v_)[lin] += pred;
+          for (size_t c = 0; c < row; c += half) {
+            const size_t lin = base + c;
+            const double left = v[lin - nbr];
+            const double pred = has_right ? 0.5 * (left + v[lin + nbr]) : left;
+            if (forward) {
+              v[lin] -= pred;
+            } else {
+              v[lin] += pred;
+            }
+          }
         }
       }
-      // Advance the odometer.
-      size_t d = rank_;
-      for (; d-- > 0;) {
-        if (++idx[d] < dims_[d]) break;
-        idx[d] = 0;
+      // Advance the outer odometer (carry resets `axis` to its half start).
+      size_t b = rank_ - 1;
+      bool done = true;
+      while (b-- > 0) {
+        coord[b] += inc[b];
+        if (coord[b] < dims_[b]) {
+          done = false;
+          break;
+        }
+        coord[b] = b == axis ? half : 0;
       }
-      ++lin;
+      if (done) break;
     }
   }
 
@@ -138,7 +170,7 @@ std::vector<uint8_t> MgardCompressor::Compress(const Tensor& data,
   const double offset = stats.min;
 
   std::vector<double> v(data.size());
-  for (size_t i = 0; i < data.size(); ++i) v[i] = data[i] - offset;
+  simd::ShiftToDouble(data.data(), data.size(), offset, v.data());
 
   const int levels = NumLevels(data.dims());
   MultilevelTransform transform(&v, data.dims());
@@ -150,13 +182,10 @@ std::vector<uint8_t> MgardCompressor::Compress(const Tensor& data,
       2.0 * eb / (static_cast<double>(levels) * data.rank() + 1.0);
 
   std::vector<uint32_t> codes(v.size());
-  for (size_t i = 0; i < v.size(); ++i) {
-    const double code_d = std::round(v[i] / q);
-    FXRZ_CHECK(std::fabs(code_d) < 1e9)
-        << "mgard: quantization overflow; eb too small for this data";
-    const int64_t code = static_cast<int64_t>(code_d);
-    codes[i] = static_cast<uint32_t>(code >= 0 ? 2 * code : -2 * code - 1);
-  }
+  const double max_code = simd::QuantizeZigZag(v.data(), v.size(), q,
+                                               codes.data());
+  FXRZ_CHECK(max_code < 1e9)
+      << "mgard: quantization overflow; eb too small for this data";
 
   std::vector<uint8_t> body;
   AppendDouble(&body, eb);
@@ -214,19 +243,12 @@ Status MgardCompressor::Decompress(const uint8_t* data, size_t size,
   const double q =
       2.0 * eb / (static_cast<double>(levels) * dims.size() + 1.0);
   std::vector<double> v(codes.size());
-  for (size_t i = 0; i < codes.size(); ++i) {
-    const int64_t code = (codes[i] & 1)
-                             ? -static_cast<int64_t>((codes[i] + 1) / 2)
-                             : static_cast<int64_t>(codes[i] / 2);
-    v[i] = static_cast<double>(code) * q;
-  }
+  simd::DequantizeZigZag(codes.data(), codes.size(), q, v.data());
 
   MultilevelTransform transform(&v, dims);
   transform.Inverse(levels);
 
-  for (size_t i = 0; i < result.size(); ++i) {
-    result[i] = static_cast<float>(v[i] + offset);
-  }
+  simd::ShiftToFloat(v.data(), v.size(), offset, result.data());
   *out = std::move(result);
   return Status::Ok();
 }

@@ -11,6 +11,7 @@
 #include "src/encoding/huffman.h"
 #include "src/encoding/zlite.h"
 #include "src/util/check.h"
+#include "src/util/simd.h"
 
 namespace fxrz {
 
@@ -27,7 +28,35 @@ class LorenzoSlice {
   LorenzoSlice(const float* recon, size_t nd, const size_t* strides)
       : recon_(recon), nd_(nd), strides_(strides) {}
 
+  // Interior points (every lagged neighbor in range) take a direct-offset
+  // fast path; the sums keep the same left-to-right evaluation order as the
+  // generic boundary form, so both produce bit-identical predictions.
   double Predict(const size_t* idx, size_t linear) const {
+    const float* r = recon_;
+    const size_t* s = strides_;
+    switch (nd_) {
+      case 1:
+        return idx[0] >= 1 ? static_cast<double>(r[linear - s[0]]) : 0.0;
+      case 2:
+        if (idx[0] >= 1 && idx[1] >= 1) {
+          return static_cast<double>(r[linear - s[1]]) + r[linear - s[0]] -
+                 r[linear - s[0] - s[1]];
+        }
+        break;
+      default:
+        if (idx[0] >= 1 && idx[1] >= 1 && idx[2] >= 1) {
+          const size_t s0 = s[0], s1 = s[1], s2 = s[2];
+          return static_cast<double>(r[linear - s2]) + r[linear - s1] +
+                 r[linear - s0] - r[linear - s1 - s2] - r[linear - s0 - s2] -
+                 r[linear - s0 - s1] + r[linear - s0 - s1 - s2];
+        }
+        break;
+    }
+    return PredictBoundary(idx, linear);
+  }
+
+ private:
+  double PredictBoundary(const size_t* idx, size_t linear) const {
     auto value = [&](size_t dz, size_t dy, size_t dx) -> double {
       const size_t offs[3] = {dz, dy, dx};
       size_t lin = linear;
@@ -52,7 +81,6 @@ class LorenzoSlice {
     }
   }
 
- private:
   const float* recon_;
   size_t nd_;
   const size_t* strides_;
@@ -91,51 +119,89 @@ struct RegressionCoefs {
   double c0 = 0, cz = 0, cy = 0, cx = 0;
 };
 
-// Least-squares plane fit over a (z_n x y_n x x_n) block of `data` starting
-// at `base` (strides per dim). On a regular grid the normal equations
-// decouple: each slope is cov(coord, v) / var(coord).
-RegressionCoefs FitBlock(const float* data, const size_t* strides,
-                         const size_t* lo, const size_t* hi) {
-  RegressionCoefs c;
-  double sum = 0.0, szv = 0.0, syv = 0.0, sxv = 0.0;
-  size_t n = 0;
-  const double mz = (static_cast<double>(hi[0] - lo[0]) - 1) / 2.0;
-  const double my = (static_cast<double>(hi[1] - lo[1]) - 1) / 2.0;
-  const double mx = (static_cast<double>(hi[2] - lo[2]) - 1) / 2.0;
-  double vz = 0.0, vy = 0.0, vx = 0.0;
-  for (size_t z = lo[0]; z < hi[0]; ++z) {
-    for (size_t y = lo[1]; y < hi[1]; ++y) {
-      for (size_t x = lo[2]; x < hi[2]; ++x) {
-        const double v =
-            data[z * strides[0] + y * strides[1] + x * strides[2]];
-        const double dz = static_cast<double>(z - lo[0]) - mz;
-        const double dy = static_cast<double>(y - lo[1]) - my;
-        const double dx = static_cast<double>(x - lo[2]) - mx;
-        sum += v;
-        szv += dz * v;
-        syv += dy * v;
-        sxv += dx * v;
-        vz += dz * dz;
-        vy += dy * dy;
-        vx += dx * dx;
-        ++n;
+// Per-block scratch reused across blocks: values gathered contiguous
+// (x-fastest) plus block-local coordinates as doubles, so the plane-fit and
+// prediction kernels in util/simd.h run unstrided. Capacity is kBlock^3.
+struct BlockScratch {
+  std::vector<float> vals;
+  std::vector<double> cz, cy, cx;     // block-local coords (0-based)
+  std::vector<double> ccz, ccy, ccx;  // centered coords (mean removed)
+  std::vector<double> pred;
+};
+
+// Fills the block-local coordinate arrays for the block and returns its
+// element count.
+size_t FillBlockCoords(const size_t* lo, const size_t* hi, BlockScratch* s) {
+  const size_t nz = hi[0] - lo[0];
+  const size_t ny = hi[1] - lo[1];
+  const size_t nx = hi[2] - lo[2];
+  const size_t n = nz * ny * nx;
+  s->cz.resize(n);
+  s->cy.resize(n);
+  s->cx.resize(n);
+  s->pred.resize(n);
+  size_t i = 0;
+  for (size_t z = 0; z < nz; ++z) {
+    for (size_t y = 0; y < ny; ++y) {
+      for (size_t x = 0; x < nx; ++x, ++i) {
+        s->cz[i] = static_cast<double>(z);
+        s->cy[i] = static_cast<double>(y);
+        s->cx[i] = static_cast<double>(x);
       }
     }
   }
-  const double mean = sum / static_cast<double>(n);
-  c.cz = vz > 0 ? szv / vz : 0.0;
-  c.cy = vy > 0 ? syv / vy : 0.0;
-  c.cx = vx > 0 ? sxv / vx : 0.0;
+  return n;
+}
+
+// Copies the block's values row-by-row into contiguous scratch. The last
+// dimension always has stride 1, so each x-run is one memcpy.
+void GatherBlockValues(const float* data, const size_t* strides,
+                       const size_t* lo, const size_t* hi, BlockScratch* s) {
+  const size_t nx = hi[2] - lo[2];
+  s->vals.resize((hi[0] - lo[0]) * (hi[1] - lo[1]) * nx);
+  size_t i = 0;
+  for (size_t z = lo[0]; z < hi[0]; ++z) {
+    for (size_t y = lo[1]; y < hi[1]; ++y) {
+      const float* row =
+          data + z * strides[0] + y * strides[1] + lo[2] * strides[2];
+      std::memcpy(s->vals.data() + i, row, nx * sizeof(float));
+      i += nx;
+    }
+  }
+}
+
+// Least-squares plane fit over one gathered block. On a regular grid the
+// normal equations decouple: each slope is cov(coord, v) / var(coord). The
+// reductions run through the lane-partitioned kernel so scalar and vector
+// dispatch produce bit-identical coefficients.
+RegressionCoefs FitBlock(BlockScratch* s, size_t n, const size_t* lo,
+                         const size_t* hi) {
+  const double mz = (static_cast<double>(hi[0] - lo[0]) - 1) / 2.0;
+  const double my = (static_cast<double>(hi[1] - lo[1]) - 1) / 2.0;
+  const double mx = (static_cast<double>(hi[2] - lo[2]) - 1) / 2.0;
+  s->ccz.resize(n);
+  s->ccy.resize(n);
+  s->ccx.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    s->ccz[i] = s->cz[i] - mz;
+    s->ccy[i] = s->cy[i] - my;
+    s->ccx[i] = s->cx[i] - mx;
+  }
+  double sums[7];
+  simd::PlaneFitSums(s->vals.data(), s->ccz.data(), s->ccy.data(),
+                     s->ccx.data(), n, sums);
+  RegressionCoefs c;
+  const double mean = sums[0] / static_cast<double>(n);
+  c.cz = sums[4] > 0 ? sums[1] / sums[4] : 0.0;
+  c.cy = sums[5] > 0 ? sums[2] / sums[5] : 0.0;
+  c.cx = sums[6] > 0 ? sums[3] / sums[6] : 0.0;
   // Express the intercept at block-local (0,0,0).
   c.c0 = mean - c.cz * mz - c.cy * my - c.cx * mx;
   return c;
 }
 
-double PredictRegression(const RegressionCoefs& c, size_t dz, size_t dy,
-                         size_t dx) {
-  return c.c0 + c.cz * static_cast<double>(dz) + c.cy * static_cast<double>(dy) +
-         c.cx * static_cast<double>(dx);
-}
+// Plane evaluation (c0 + cz*dz + cy*dy + cx*dx) lives in simd::PlanePredict;
+// both encode and decode evaluate whole blocks through it.
 
 uint32_t ZigZag(int64_t v) {
   return static_cast<uint32_t>(v >= 0 ? 2 * v : -2 * v - 1);
@@ -203,6 +269,7 @@ std::vector<uint8_t> SzCompressor::Compress(const Tensor& data,
   BitWriter selection;       // 1 bit per block: 1 = regression predictor
 
   const SliceLayout lay = MakeSliceLayout(data.dims());
+  BlockScratch scratch;
   for (size_t s = 0; s < lay.num_slices; ++s) {
     const size_t base = s * lay.slice_elems;
     const float* in = data.data() + base;
@@ -210,8 +277,10 @@ std::vector<uint8_t> SzCompressor::Compress(const Tensor& data,
     LorenzoSlice lorenzo(out, lay.nd, lay.strides);
 
     ForEachBlock(lay, [&](const size_t* lo, const size_t* hi) {
+      const size_t n = FillBlockCoords(lo, hi, &scratch);
+      GatherBlockValues(in, lay.strides, lo, hi, &scratch);
       // --- Predictor selection on original data (like SZ2) ---
-      RegressionCoefs coefs = FitBlock(in, lay.strides, lo, hi);
+      RegressionCoefs coefs = FitBlock(&scratch, n, lo, hi);
       // Quantize coefficients; the decoder sees only the dequantized plane.
       int64_t qc[4];
       const double raw_coefs[4] = {coefs.c0, coefs.cz, coefs.cy, coefs.cx};
@@ -235,41 +304,42 @@ std::vector<uint8_t> SzCompressor::Compress(const Tensor& data,
       // Compare mean absolute prediction error of the two predictors.
       // Lorenzo is estimated with original neighbors (the standard SZ2
       // approximation of its online behaviour).
-      double err_lorenzo = 0.0, err_reg = 0.0;
+      double err_lorenzo = 0.0;
       LorenzoSlice lorenzo_orig(in, lay.nd, lay.strides);
       for (size_t z = lo[0]; z < hi[0]; ++z) {
         for (size_t y = lo[1]; y < hi[1]; ++y) {
-          for (size_t x = lo[2]; x < hi[2]; ++x) {
+          size_t lin =
+              z * lay.strides[0] + y * lay.strides[1] + lo[2] * lay.strides[2];
+          for (size_t x = lo[2]; x < hi[2]; ++x, ++lin) {
             const size_t idx[3] = {z, y, x};
-            const size_t lin =
-                z * lay.strides[0] + y * lay.strides[1] + x * lay.strides[2];
-            const double v = in[lin];
-            err_lorenzo += std::fabs(
-                v - lorenzo_orig.Predict(idx, lin));
-            if (coef_ok) {
-              err_reg += std::fabs(
-                  v - PredictRegression(dq, z - lo[0], y - lo[1], x - lo[2]));
-            }
+            err_lorenzo += std::fabs(in[lin] - lorenzo_orig.Predict(idx, lin));
           }
         }
       }
+      const double err_reg =
+          coef_ok ? simd::PlaneAbsErr(scratch.vals.data(), scratch.cz.data(),
+                                      scratch.cy.data(), scratch.cx.data(), n,
+                                      dq.c0, dq.cz, dq.cy, dq.cx)
+                  : 0.0;
       const bool use_regression = coef_ok && err_reg < err_lorenzo;
       selection.WriteBit(use_regression ? 1u : 0u);
       if (use_regression) {
         for (int k = 0; k < 4; ++k) coef_codes.push_back(ZigZag(qc[k]));
+        simd::PlanePredict(scratch.cz.data(), scratch.cy.data(),
+                           scratch.cx.data(), n, dq.c0, dq.cz, dq.cy, dq.cx,
+                           scratch.pred.data());
       }
 
       // --- Quantize the block ---
+      size_t i = 0;
       for (size_t z = lo[0]; z < hi[0]; ++z) {
         for (size_t y = lo[1]; y < hi[1]; ++y) {
-          for (size_t x = lo[2]; x < hi[2]; ++x) {
+          size_t lin =
+              z * lay.strides[0] + y * lay.strides[1] + lo[2] * lay.strides[2];
+          for (size_t x = lo[2]; x < hi[2]; ++x, ++i, ++lin) {
             const size_t idx[3] = {z, y, x};
-            const size_t lin =
-                z * lay.strides[0] + y * lay.strides[1] + x * lay.strides[2];
             const double pred =
-                use_regression
-                    ? PredictRegression(dq, z - lo[0], y - lo[1], x - lo[2])
-                    : lorenzo.Predict(idx, lin);
+                use_regression ? scratch.pred[i] : lorenzo.Predict(idx, lin);
             const double val = in[lin];
             const double code_d = std::round((val - pred) / bin);
             bool predictable =
@@ -378,6 +448,7 @@ Status SzCompressor::Decompress(const uint8_t* data, size_t size,
   size_t code_pos = 0;
   size_t coef_pos = 0;
   const SliceLayout lay = MakeSliceLayout(dims);
+  BlockScratch scratch;
   for (size_t s = 0; s < lay.num_slices; ++s) {
     const size_t base = s * lay.slice_elems;
     float* rec = result.data() + base;
@@ -387,24 +458,31 @@ Status SzCompressor::Decompress(const uint8_t* data, size_t size,
     ForEachBlock(lay, [&](const size_t* lo, const size_t* hi) {
       if (corrupt) return;
       const bool use_regression = selection.ReadBit() != 0;
-      RegressionCoefs dq;
       if (use_regression) {
         if (coef_pos + 4 > coef_codes.size()) {
           corrupt = true;
           return;
         }
+        RegressionCoefs dq;
         double* fields[4] = {&dq.c0, &dq.cz, &dq.cy, &dq.cx};
         for (int k = 0; k < 4; ++k) {
           *fields[k] = static_cast<double>(UnZigZag(coef_codes[coef_pos++])) *
                        coef_steps[k];
         }
+        // Regression predictions are data-independent within the block, so
+        // the whole plane is evaluated in one kernel call.
+        const size_t n = FillBlockCoords(lo, hi, &scratch);
+        simd::PlanePredict(scratch.cz.data(), scratch.cy.data(),
+                           scratch.cx.data(), n, dq.c0, dq.cz, dq.cy, dq.cx,
+                           scratch.pred.data());
       }
+      size_t i = 0;
       for (size_t z = lo[0]; z < hi[0] && !corrupt; ++z) {
         for (size_t y = lo[1]; y < hi[1]; ++y) {
-          for (size_t x = lo[2]; x < hi[2]; ++x) {
+          size_t lin =
+              z * lay.strides[0] + y * lay.strides[1] + lo[2] * lay.strides[2];
+          for (size_t x = lo[2]; x < hi[2]; ++x, ++i, ++lin) {
             const size_t idx[3] = {z, y, x};
-            const size_t lin =
-                z * lay.strides[0] + y * lay.strides[1] + x * lay.strides[2];
             const uint32_t sym = codes[code_pos++];
             if (sym == 0) {
               if (raw_used + 4 > raw_size) {
@@ -415,9 +493,7 @@ Status SzCompressor::Decompress(const uint8_t* data, size_t size,
               raw_used += 4;
             } else {
               const double pred =
-                  use_regression
-                      ? PredictRegression(dq, z - lo[0], y - lo[1], x - lo[2])
-                      : lorenzo.Predict(idx, lin);
+                  use_regression ? scratch.pred[i] : lorenzo.Predict(idx, lin);
               const int64_t code = static_cast<int64_t>(sym) - kRadius;
               rec[lin] =
                   static_cast<float>(pred + static_cast<double>(code) * bin);

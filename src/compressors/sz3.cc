@@ -10,6 +10,7 @@
 #include "src/encoding/huffman.h"
 #include "src/encoding/zlite.h"
 #include "src/util/check.h"
+#include "src/util/simd.h"
 
 namespace fxrz {
 
@@ -109,6 +110,70 @@ void ForEachPredictedPoint(const float* rec, const SliceLayout& lay, Fn&& fn) {
   // Refinement levels, coarse to fine; within a level, axis by axis. A
   // point belongs to (h, axis a) when coord[a] == h (mod 2h), earlier axes
   // are already on the h grid, later axes still on the 2h grid.
+  //
+  // Rows along the last axis always advance by 2h (the last axis is either
+  // the prediction axis with spacing 2h, or a later axis still on the 2h
+  // grid). A same-pass point is never another's interpolation neighbor
+  // (neighbors sit at coord +/- h or +/- 3h along the prediction axis,
+  // which is 0 mod 2h, not h mod 2h), so a whole row's predictions can be
+  // computed from `rec` up front and handed to the vector kernels before
+  // fn() consumes them in the original point order.
+  const size_t last = lay.nd - 1;
+  std::vector<double> pred(lay.dims[last] / 2 + 2);
+
+  // Row whose prediction axis differs from the last axis: the boundary
+  // ladder depends only on the (fixed) coordinate along `axis`, so one
+  // kernel covers the row.
+  auto row_across = [&](size_t coord, size_t lin0, size_t axis, size_t h) {
+    const size_t pt_step = 2 * h;  // stride along the last axis is 1
+    const size_t count = (lay.dims[last] + pt_step - 1) / pt_step;
+    const size_t extent = lay.dims[axis];
+    const size_t nbr = h * lay.strides[axis];
+    const bool has_l1 = coord >= h;
+    const bool has_r1 = coord + h < extent;
+    if (coord >= 3 * h && coord + 3 * h < extent) {
+      simd::CubicPredict(rec, lin0, pt_step, nbr, count, pred.data());
+    } else if (has_l1 && has_r1) {
+      simd::LinearPredict(rec, lin0, pt_step, nbr, count, pred.data());
+    } else if (has_l1) {
+      for (size_t k = 0; k < count; ++k) {
+        pred[k] = rec[lin0 + k * pt_step - nbr];
+      }
+    } else if (has_r1) {
+      for (size_t k = 0; k < count; ++k) {
+        pred[k] = rec[lin0 + k * pt_step + nbr];
+      }
+    } else {
+      std::fill_n(pred.begin(), count, 0.0);
+    }
+    for (size_t k = 0; k < count; ++k) fn(lin0 + k * pt_step, pred[k]);
+  };
+
+  // Row whose prediction axis IS the last axis: the ladder varies along
+  // the row. The first point (coord h < 3h) and at most two tail points
+  // lack the full cubic stencil; everything between is one cubic run.
+  auto row_along = [&](size_t row_base, size_t h) {
+    const size_t extent = lay.dims[last];
+    if (extent <= h) return;
+    const size_t pt_step = 2 * h;
+    size_t idx[3] = {0, 0, 0};
+    idx[last] = h;
+    fn(row_base + h,
+       InterpolatePrediction(rec, lay, idx, row_base + h, last, h));
+    const size_t n_cubic =
+        extent > 4 * h ? (extent - 4 * h - 1) / pt_step : 0;
+    if (n_cubic > 0) {
+      const size_t lin0 = row_base + 3 * h;
+      simd::CubicPredict(rec, lin0, pt_step, h, n_cubic, pred.data());
+      for (size_t k = 0; k < n_cubic; ++k) fn(lin0 + k * pt_step, pred[k]);
+    }
+    for (size_t c = h + (n_cubic + 1) * pt_step; c < extent; c += pt_step) {
+      idx[last] = c;
+      fn(row_base + c,
+         InterpolatePrediction(rec, lay, idx, row_base + c, last, h));
+    }
+  };
+
   for (size_t h = h_max; h >= 1; h /= 2) {
     for (size_t axis = 0; axis < lay.nd; ++axis) {
       // dims/strides are left-aligned: axis indexes them directly.
@@ -116,29 +181,37 @@ void ForEachPredictedPoint(const float* rec, const SliceLayout& lay, Fn&& fn) {
       for (size_t b = 0; b < lay.nd; ++b) {
         mods[b] = b < axis ? h : 2 * h;
       }
-      size_t idx[3] = {0, 0, 0};
-      // Iterate only over matching coordinates for speed.
-      for (size_t z = (axis == 0 ? h : 0); z < lay.dims[0];
-           z += (axis == 0 ? 2 * h : mods[0])) {
-        idx[0] = z;
-        const size_t zoff = z * lay.strides[0];
+      if (axis == last) {
         if (lay.nd == 1) {
-          fn(zoff, InterpolatePrediction(rec, lay, idx, zoff, 0, h));
-          continue;
-        }
-        for (size_t y = (axis == 1 ? h : 0); y < lay.dims[1];
-             y += (axis == 1 ? 2 * h : mods[1])) {
-          idx[1] = y;
-          const size_t yoff = zoff + y * lay.strides[1];
-          if (lay.nd == 2) {
-            fn(yoff, InterpolatePrediction(rec, lay, idx, yoff, axis, h));
-            continue;
+          row_along(0, h);
+        } else if (lay.nd == 2) {
+          for (size_t z = 0; z < lay.dims[0]; z += mods[0]) {
+            row_along(z * lay.strides[0], h);
           }
-          for (size_t x = (axis == 2 ? h : 0); x < lay.dims[2];
-               x += (axis == 2 ? 2 * h : mods[2])) {
-            idx[2] = x;
-            const size_t off = yoff + x * lay.strides[2];
-            fn(off, InterpolatePrediction(rec, lay, idx, off, axis, h));
+        } else {
+          for (size_t z = 0; z < lay.dims[0]; z += mods[0]) {
+            const size_t zoff = z * lay.strides[0];
+            for (size_t y = 0; y < lay.dims[1]; y += mods[1]) {
+              row_along(zoff + y * lay.strides[1], h);
+            }
+          }
+        }
+      } else if (axis == 0) {
+        for (size_t z = h; z < lay.dims[0]; z += 2 * h) {
+          const size_t zoff = z * lay.strides[0];
+          if (lay.nd == 2) {
+            row_across(z, zoff, 0, h);
+          } else {
+            for (size_t y = 0; y < lay.dims[1]; y += mods[1]) {
+              row_across(z, zoff + y * lay.strides[1], 0, h);
+            }
+          }
+        }
+      } else {  // axis == 1, lay.nd == 3
+        for (size_t z = 0; z < lay.dims[0]; z += mods[0]) {
+          const size_t zoff = z * lay.strides[0];
+          for (size_t y = h; y < lay.dims[1]; y += 2 * h) {
+            row_across(y, zoff + y * lay.strides[1], 1, h);
           }
         }
       }

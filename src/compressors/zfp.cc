@@ -9,6 +9,7 @@
 #include "src/encoding/bit_stream.h"
 #include "src/encoding/negabinary.h"
 #include "src/util/check.h"
+#include "src/util/simd.h"
 
 namespace fxrz {
 
@@ -22,27 +23,8 @@ constexpr int kTotalPlanes = 32;         // bitplanes kept per coefficient
 // accumulation of per-plane truncation.
 constexpr int kGuardBits = 5;
 
-// --- ZFP lifting transform on 4-element spans ---------------------------
-
-void FwdLift(int64_t* p, size_t s) {
-  int64_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
-  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
-}
-
-void InvLift(int64_t* p, size_t s) {
-  int64_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
-  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
-}
+// The 4-point lifting transform lives in src/util/simd.h
+// (ZfpForwardTransform / ZfpInverseTransform) with a vectorized variant.
 
 // Coefficient traversal order: by total degree i+j+k (low-frequency first),
 // matching ZFP's permutation tables.
@@ -136,10 +118,7 @@ bool ForwardBlock(const float* block, const BlockLayout& lay,
                   const std::vector<size_t>& order, int* exponent,
                   uint64_t* coeffs) {
   const size_t n = lay.block_elems;
-  double maxabs = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    maxabs = std::max(maxabs, std::fabs(static_cast<double>(block[i])));
-  }
+  const double maxabs = static_cast<double>(simd::MaxAbs(block, n));
   if (maxabs == 0.0 || !std::isfinite(maxabs)) return false;
 
   int e;
@@ -148,26 +127,10 @@ bool ForwardBlock(const float* block, const BlockLayout& lay,
   const double scale = std::ldexp(1.0, kFixedPointBits - e);
 
   int64_t fixed[64];
-  for (size_t i = 0; i < n; ++i) {
-    fixed[i] = static_cast<int64_t>(
-        std::llround(static_cast<double>(block[i]) * scale));
-  }
+  simd::QuantizeFixedPoint(block, n, scale, fixed);
 
   // Transform along x, then y, then z (strides 1, 4, 16).
-  if (lay.nd >= 1) {
-    for (size_t row = 0; row < n; row += 4) FwdLift(fixed + row, 1);
-  }
-  if (lay.nd >= 2) {
-    const size_t planes = lay.nd == 3 ? 4 : 1;
-    for (size_t z = 0; z < planes; ++z) {
-      for (size_t x = 0; x < 4; ++x) FwdLift(fixed + z * 16 + x, 4);
-    }
-  }
-  if (lay.nd >= 3) {
-    for (size_t y = 0; y < 4; ++y) {
-      for (size_t x = 0; x < 4; ++x) FwdLift(fixed + y * 4 + x, 16);
-    }
-  }
+  simd::ZfpForwardTransform(fixed, lay.nd);
 
   for (size_t i = 0; i < n; ++i) {
     coeffs[i] = Int64ToNegabinary(fixed[order[i]]);
@@ -185,20 +148,7 @@ void InverseBlock(const uint64_t* coeffs, const BlockLayout& lay,
     fixed[order[i]] = NegabinaryToInt64(coeffs[i]);
   }
 
-  if (lay.nd >= 3) {
-    for (size_t y = 0; y < 4; ++y) {
-      for (size_t x = 0; x < 4; ++x) InvLift(fixed + y * 4 + x, 16);
-    }
-  }
-  if (lay.nd >= 2) {
-    const size_t planes = lay.nd == 3 ? 4 : 1;
-    for (size_t z = 0; z < planes; ++z) {
-      for (size_t x = 0; x < 4; ++x) InvLift(fixed + z * 16 + x, 4);
-    }
-  }
-  if (lay.nd >= 1) {
-    for (size_t row = 0; row < n; row += 4) InvLift(fixed + row, 1);
-  }
+  simd::ZfpInverseTransform(fixed, lay.nd);
 
   const double scale = std::ldexp(1.0, exponent - kFixedPointBits);
   for (size_t i = 0; i < n; ++i) {
@@ -220,15 +170,30 @@ size_t EncodePlanes(BitWriter* bw, const uint64_t* coeffs, size_t n,
     return true;
   };
 
-  bool significant[64] = {false};
+  uint64_t sig = 0;  // bit i set once coefficient i has become significant
+  auto significant = [&sig](size_t i) { return (sig >> i) & 1u; };
   size_t insig[64];
   for (int plane = kTotalPlanes - 1; plane >= min_plane; --plane) {
-    // Refinement bits for already-significant coefficients.
-    for (size_t i = 0; i < n; ++i) {
-      if (!significant[i]) continue;
-      if (!write_bit(static_cast<uint32_t>((coeffs[i] >> plane) & 1u))) {
-        return written;
+    // Refinement bits for already-significant coefficients, gathered in
+    // ascending index order (matching the per-bit loop) and written as one
+    // batch. A budget cut mid-batch emits exactly the same prefix.
+    if (sig != 0) {
+      uint64_t bits = 0;
+      size_t nb = 0;
+      for (uint64_t m = sig; m != 0; m &= m - 1) {
+        const size_t i = static_cast<size_t>(__builtin_ctzll(m));
+        bits |= ((coeffs[i] >> plane) & 1u) << nb;
+        ++nb;
       }
+      const size_t avail =
+          max_bits < 0 ? nb
+                       : std::min<size_t>(
+                             nb, static_cast<size_t>(std::max<int64_t>(
+                                     0, max_bits -
+                                            static_cast<int64_t>(written))));
+      bw->WriteBits(bits, avail);
+      written += avail;
+      if (avail < nb) return written;
     }
     // Embedded group testing over the still-insignificant coefficients (in
     // traversal order): a "more to come" flag, then per-coefficient bits up
@@ -236,7 +201,7 @@ size_t EncodePlanes(BitWriter* bw, const uint64_t* coeffs, size_t n,
     // significance cost a single bit.
     size_t m = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (!significant[i]) insig[m++] = i;
+      if (!significant(i)) insig[m++] = i;
     }
     size_t k = 0;
     while (k < m) {
@@ -254,7 +219,7 @@ size_t EncodePlanes(BitWriter* bw, const uint64_t* coeffs, size_t n,
         const uint32_t b = static_cast<uint32_t>((coeffs[idx] >> plane) & 1u);
         if (!write_bit(b)) return written;
         if (b) {
-          significant[idx] = true;
+          sig |= 1ull << idx;
           break;
         }
       }
@@ -279,19 +244,34 @@ size_t DecodePlanes(BitReader* br, uint64_t* coeffs, size_t n, int min_plane,
   };
 
   for (size_t i = 0; i < n; ++i) coeffs[i] = 0;
-  bool significant[64] = {false};
+  uint64_t sig = 0;
+  auto significant = [&sig](size_t i) { return (sig >> i) & 1u; };
   size_t insig[64];
   for (int plane = kTotalPlanes - 1; plane >= min_plane && !exhausted;
        --plane) {
-    for (size_t i = 0; i < n; ++i) {
-      if (!significant[i]) continue;
-      const uint64_t b = read_bit();
-      if (exhausted) return consumed;
-      coeffs[i] |= b << plane;
+    // Refinement bits for already-significant coefficients, read as one
+    // batch and scattered in ascending index order. A budget cut mid-batch
+    // consumes exactly the bits the per-bit loop would have.
+    if (sig != 0) {
+      const size_t nb = static_cast<size_t>(__builtin_popcountll(sig));
+      const size_t avail =
+          max_bits < 0 ? nb
+                       : std::min<size_t>(
+                             nb, static_cast<size_t>(std::max<int64_t>(
+                                     0, max_bits -
+                                            static_cast<int64_t>(consumed))));
+      const uint64_t bits = br->ReadBits(avail);
+      consumed += avail;
+      uint64_t m = sig;
+      for (size_t k = 0; k < avail; ++k, m &= m - 1) {
+        const size_t i = static_cast<size_t>(__builtin_ctzll(m));
+        coeffs[i] |= ((bits >> k) & 1u) << plane;
+      }
+      if (avail < nb) return consumed;
     }
     size_t m = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (!significant[i]) insig[m++] = i;
+      if (!significant(i)) insig[m++] = i;
     }
     size_t k = 0;
     while (k < m) {
@@ -304,7 +284,7 @@ size_t DecodePlanes(BitReader* br, uint64_t* coeffs, size_t n, int min_plane,
         if (exhausted) return consumed;
         if (b) {
           coeffs[idx] |= b << plane;
-          significant[idx] = true;
+          sig |= 1ull << idx;
           break;
         }
       }
@@ -374,8 +354,9 @@ std::vector<uint8_t> CompressImpl(const Tensor& data, Mode mode, double eb,
               used += EncodePlanes(&bw, coeffs, lay.block_elems, 0,
                                    budget - static_cast<int64_t>(used));
             }
-            for (size_t pad = used; pad < static_cast<size_t>(budget); ++pad) {
-              bw.WriteBit(0);
+            for (size_t pad = used; pad < static_cast<size_t>(budget);
+                 pad += 64) {
+              bw.WriteBits(0, std::min<size_t>(64, budget - pad));
             }
           }
         }
@@ -487,11 +468,10 @@ Status ZfpCompressor::Decompress(const uint8_t* data, size_t size,
                                      : -1);
             InverseBlock(coeffs, lay, order, exponent, block);
           }
-          if (mode == Mode::kFixedRate) {
+          if (mode == Mode::kFixedRate &&
+              used < static_cast<size_t>(budget)) {
             // Skip padding to the fixed block boundary.
-            for (size_t pad = used; pad < static_cast<size_t>(budget); ++pad) {
-              br.ReadBit();
-            }
+            br.Advance(static_cast<size_t>(budget) - used);
           }
           ScatterBlock(slice, lay, bz, by, bx, block);
         }

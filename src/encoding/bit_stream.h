@@ -7,8 +7,10 @@
 #ifndef FXRZ_ENCODING_BIT_STREAM_H_
 #define FXRZ_ENCODING_BIT_STREAM_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "src/util/check.h"
@@ -21,10 +23,18 @@ class BitWriter {
   BitWriter() = default;
 
   // Writes the low `count` bits of `bits` (count <= 64), LSB first.
+  // Batched: fills the current partial byte, then appends whole bytes.
   void WriteBits(uint64_t bits, size_t count) {
     FXRZ_DCHECK(count <= 64);
-    for (size_t i = 0; i < count; ++i) {
-      WriteBit((bits >> i) & 1u);
+    if (count < 64) bits &= (~0ull >> (64 - count));
+    while (count > 0) {
+      if (bit_pos_ == 0) buffer_.push_back(0);
+      const size_t take = std::min<size_t>(8 - bit_pos_, count);
+      buffer_.back() |= static_cast<uint8_t>(
+          (bits & ((1u << take) - 1u)) << bit_pos_);
+      bit_pos_ = (bit_pos_ + take) & 7;
+      bits >>= take;
+      count -= take;
     }
   }
 
@@ -68,14 +78,56 @@ class BitReader {
     return bit;
   }
 
-  // Reads `count` bits (count <= 64), LSB first.
+  // Reads `count` bits (count <= 64), LSB first. Bits past the end read as
+  // zero and set the sticky overrun flag, matching per-bit semantics.
   uint64_t ReadBits(size_t count) {
     FXRZ_DCHECK(count <= 64);
-    uint64_t v = 0;
-    for (size_t i = 0; i < count; ++i) {
-      v |= static_cast<uint64_t>(ReadBit()) << i;
+    if (count <= kPeekMax) {
+      const uint64_t v = PeekBits(count);
+      Advance(count);
+      return v;
     }
+    uint64_t v = PeekBits(kPeekMax);
+    Advance(kPeekMax);
+    v |= PeekBits(count - kPeekMax) << kPeekMax;
+    Advance(count - kPeekMax);
     return v;
+  }
+
+  // Maximum lookahead PeekBits supports: a 64-bit window loaded at a byte
+  // boundary minus up to 7 bits of intra-byte offset.
+  static constexpr size_t kPeekMax = 57;
+
+  // Returns the next `count` (<= kPeekMax) bits without consuming them,
+  // LSB first. Bits past the end of the buffer read as zero (and do NOT set
+  // the overrun flag -- only consuming them via Advance does).
+  uint64_t PeekBits(size_t count) const {
+    FXRZ_DCHECK(count <= kPeekMax);
+    if (count == 0) return 0;
+    const size_t byte = pos_ >> 3;
+    const size_t nbytes = size_bits_ >> 3;
+    uint64_t window = 0;
+    if (byte + 8 <= nbytes) {
+      std::memcpy(&window, data_ + byte, 8);
+    } else if (byte < nbytes) {
+      std::memcpy(&window, data_ + byte, nbytes - byte);
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    window = __builtin_bswap64(window);
+#endif
+    window >>= (pos_ & 7);
+    return window & (~0ull >> (64 - count));
+  }
+
+  // Consumes `count` bits. Consuming past the end clamps to the end and
+  // sets the sticky overrun flag (mirrors ReadBit's zero-fill semantics).
+  void Advance(size_t count) {
+    if (count > size_bits_ - pos_) {
+      pos_ = size_bits_;
+      overrun_ = true;
+    } else {
+      pos_ += count;
+    }
   }
 
   // Checked variants: fail (and set the sticky overrun flag) instead of

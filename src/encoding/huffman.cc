@@ -16,6 +16,12 @@ namespace {
 
 constexpr size_t kMaxCodeLength = 48;
 
+// Primary decode table: direct lookup on the next kTableBits bits of the
+// stream. 2^11 entries keeps the table in L1 while still resolving the vast
+// majority of real code lengths in one probe.
+constexpr size_t kTableBits = 11;
+constexpr size_t kTableSize = 1u << kTableBits;
+
 struct SymbolLength {
   uint32_t symbol;
   uint8_t length;
@@ -120,6 +126,88 @@ CanonicalTable BuildCanonical(std::vector<SymbolLength> entries) {
   return t;
 }
 
+// Reverses the low `len` bits of `v`. Canonical codes are MSB-first values;
+// the bit stream is LSB-first, so codes are emitted (and looked up)
+// bit-reversed.
+uint64_t ReverseBits(uint64_t v, size_t len) {
+  uint64_t r = 0;
+  for (size_t i = 0; i < len; ++i) {
+    r = (r << 1) | (v & 1u);
+    v >>= 1;
+  }
+  return r;
+}
+
+// Canonical range arrays shared by the table fallback and the reference
+// decoder.
+struct CanonicalRanges {
+  std::vector<uint64_t> first_code;
+  std::vector<size_t> first_index;
+  std::vector<size_t> count;
+};
+
+CanonicalRanges BuildRanges(const CanonicalTable& table) {
+  CanonicalRanges r;
+  r.first_code.assign(table.max_length + 2, 0);
+  r.first_index.assign(table.max_length + 2, 0);
+  r.count.assign(table.max_length + 2, 0);
+  for (const SymbolLength& e : table.sorted) ++r.count[e.length];
+  uint64_t code = 0;
+  size_t index = 0;
+  for (size_t len = 1; len <= table.max_length; ++len) {
+    r.first_code[len] = code;
+    r.first_index[len] = index;
+    code = (code + r.count[len]) << 1;
+    index += r.count[len];
+  }
+  return r;
+}
+
+// Parses and validates the shared stream header up to (but excluding) the
+// payload. On success the canonical table is rebuilt from the stored
+// (symbol, length) pairs.
+Status ParseHeader(ByteReader* reader, uint64_t* num_symbols,
+                   CanonicalTable* table) {
+  uint32_t num_entries = 0;
+  if (!reader->ReadU64(num_symbols) ||
+      !reader->ReadCountU32(&num_entries, /*min_bytes_per_item=*/5)) {
+    return Status::Corruption("huffman: short header");
+  }
+  if (*num_symbols == 0) return Status::Ok();
+  if (num_entries == 0) return Status::Corruption("huffman: empty table");
+  // Every symbol costs at least one payload bit, so a valid stream can
+  // never claim more symbols than the bytes after the table could encode.
+  // Rejecting here keeps a forged count from driving a huge allocation.
+  if (*num_symbols > reader->remaining() * 8) {
+    return Status::Corruption("huffman: implausible symbol count");
+  }
+
+  std::vector<SymbolLength> entries(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    if (!reader->ReadU32(&entries[i].symbol) ||
+        !reader->ReadU8(&entries[i].length)) {
+      return Status::Corruption("huffman: truncated table");
+    }
+    if (entries[i].length == 0 || entries[i].length > kMaxCodeLength) {
+      return Status::Corruption("huffman: bad code length");
+    }
+  }
+  *table = BuildCanonical(std::move(entries));
+
+  // Kraft validation: an oversubscribed length profile cannot be a prefix
+  // code; decoding it would alias distinct symbols onto the same bits.
+  // (Undersubscribed tables are fine: unused codes simply never decode.)
+  uint64_t kraft = 0;
+  const uint64_t full = 1ull << table->max_length;
+  for (const SymbolLength& e : table->sorted) {
+    kraft += 1ull << (table->max_length - e.length);
+    if (kraft > full) {
+      return Status::Corruption("huffman: oversubscribed code table");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::vector<uint8_t> HuffmanEncode(const std::vector<uint32_t>& symbols) {
@@ -140,25 +228,41 @@ std::vector<uint8_t> HuffmanEncode(const std::vector<uint32_t>& symbols) {
 
   // Header: entry count, then (symbol: u32, length: u8) pairs.
   AppendUint32(&out, static_cast<uint32_t>(table.sorted.size()));
+  uint32_t max_symbol = 0;
   for (const SymbolLength& e : table.sorted) {
     AppendUint32(&out, e.symbol);
     out.push_back(e.length);
+    max_symbol = std::max(max_symbol, e.symbol);
   }
 
-  // Symbol -> (code, length) lookup for encoding.
-  std::unordered_map<uint32_t, std::pair<uint64_t, uint8_t>> enc;
-  enc.reserve(table.sorted.size() * 2);
+  // Symbol -> (bit-reversed code | length << 56) lookup. Dense direct-index
+  // table for compact alphabets (the quantization-code case), hash map
+  // otherwise.
+  constexpr size_t kDenseLimit = 1u << 20;
+  constexpr uint64_t kLenShift = 56;
+  std::vector<uint64_t> dense;
+  std::unordered_map<uint32_t, uint64_t> sparse;
+  const bool use_dense = max_symbol < kDenseLimit;
+  if (use_dense) {
+    dense.assign(static_cast<size_t>(max_symbol) + 1, 0);
+  } else {
+    sparse.reserve(table.sorted.size() * 2);
+  }
   for (size_t i = 0; i < table.sorted.size(); ++i) {
-    enc[table.sorted[i].symbol] = {table.codes[i], table.sorted[i].length};
+    const uint8_t len = table.sorted[i].length;
+    const uint64_t packed = ReverseBits(table.codes[i], len) |
+                            (static_cast<uint64_t>(len) << kLenShift);
+    if (use_dense) {
+      dense[table.sorted[i].symbol] = packed;
+    } else {
+      sparse[table.sorted[i].symbol] = packed;
+    }
   }
 
   BitWriter bw;
   for (uint32_t s : symbols) {
-    const auto& [code, len] = enc.at(s);
-    // Canonical codes are MSB-first by construction; emit MSB first.
-    for (int b = len - 1; b >= 0; --b) {
-      bw.WriteBit(static_cast<uint32_t>((code >> b) & 1u));
-    }
+    const uint64_t packed = use_dense ? dense[s] : sparse.at(s);
+    bw.WriteBits(packed, static_cast<size_t>(packed >> kLenShift));
   }
   const std::vector<uint8_t> payload = std::move(bw).Take();
   AppendUint64(&out, payload.size());
@@ -172,47 +276,120 @@ Status HuffmanDecode(const uint8_t* data, size_t size,
   out->clear();
   ByteReader reader(data, size);
   uint64_t num_symbols = 0;
-  uint32_t num_entries = 0;
-  if (!reader.ReadU64(&num_symbols) ||
-      !reader.ReadCountU32(&num_entries, /*min_bytes_per_item=*/5)) {
-    return Status::Corruption("huffman: short header");
-  }
+  CanonicalTable table;
+  FXRZ_RETURN_IF_ERROR(ParseHeader(&reader, &num_symbols, &table));
   if (num_symbols == 0) return Status::Ok();
-  if (num_entries == 0) return Status::Corruption("huffman: empty table");
-  // Every symbol costs at least one payload bit, so a valid stream can
-  // never claim more symbols than the bytes after the table could encode.
-  // Rejecting here keeps a forged count from driving a huge allocation.
-  if (num_symbols > reader.remaining() * 8) {
+  const CanonicalRanges ranges = BuildRanges(table);
+
+  const uint8_t* payload = nullptr;
+  size_t payload_bytes = 0;
+  if (!reader.ReadLengthPrefixed(&payload, &payload_bytes)) {
+    return Status::Corruption("huffman: truncated payload");
+  }
+  if (num_symbols > payload_bytes * 8) {
     return Status::Corruption("huffman: implausible symbol count");
   }
 
-  std::vector<SymbolLength> entries(num_entries);
-  for (uint32_t i = 0; i < num_entries; ++i) {
-    if (!reader.ReadU32(&entries[i].symbol) ||
-        !reader.ReadU8(&entries[i].length)) {
-      return Status::Corruption("huffman: truncated table");
-    }
-    if (entries[i].length == 0 || entries[i].length > kMaxCodeLength) {
-      return Status::Corruption("huffman: bad code length");
+  // Build the direct lookup table. Short codes fill every slot sharing
+  // their reversed-bit prefix; slots covered only by >kTableBits codes get
+  // the sentinel length 0xFF; slots no code reaches stay invalid (len 0).
+  struct TableEntry {
+    uint32_t symbol = 0;
+    uint8_t len = 0;
+  };
+  std::vector<TableEntry> lut(kTableSize);
+  for (size_t i = 0; i < table.sorted.size(); ++i) {
+    const uint8_t len = table.sorted[i].length;
+    if (len <= kTableBits) {
+      const uint64_t rev = ReverseBits(table.codes[i], len);
+      for (size_t j = rev; j < kTableSize; j += (1u << len)) {
+        lut[j] = {table.sorted[i].symbol, len};
+      }
+    } else {
+      // Mark the slot for the code's first kTableBits bits as "long".
+      const uint64_t prefix = table.codes[i] >> (len - kTableBits);
+      lut[ReverseBits(prefix, kTableBits)].len = 0xFF;
     }
   }
-  const CanonicalTable table = BuildCanonical(std::move(entries));
 
-  // first_code[len] / first_index[len] for canonical decoding.
-  std::vector<uint64_t> first_code(table.max_length + 2, 0);
-  std::vector<size_t> first_index(table.max_length + 2, 0);
-  std::vector<size_t> count(table.max_length + 2, 0);
-  for (const SymbolLength& e : table.sorted) ++count[e.length];
-  {
-    uint64_t code = 0;
-    size_t index = 0;
-    for (size_t len = 1; len <= table.max_length; ++len) {
-      first_code[len] = code;
-      first_index[len] = index;
-      code = (code + count[len]) << 1;
-      index += count[len];
+  // Dominant-symbol fast path: the first canonical entry has the shortest
+  // code, which is always the all-zero code. When four consecutive codes
+  // are that symbol, the next 4*len bits are all zero.
+  const uint32_t dom_symbol = table.sorted[0].symbol;
+  const size_t dom_len = table.sorted[0].length;
+  const size_t run_bits = 4 * dom_len;
+  const bool run_enabled = run_bits <= BitReader::kPeekMax &&
+                           table.codes[0] == 0;
+
+  BitReader br(payload, payload_bytes);
+  out->resize(num_symbols);
+  uint32_t* dst = out->data();
+  size_t produced = 0;
+  while (produced < num_symbols) {
+    if (run_enabled && produced + 4 <= num_symbols &&
+        br.bits_remaining() >= run_bits) {
+      while (br.PeekBits(run_bits) == 0 && produced + 4 <= num_symbols &&
+             br.bits_remaining() >= run_bits) {
+        dst[produced] = dom_symbol;
+        dst[produced + 1] = dom_symbol;
+        dst[produced + 2] = dom_symbol;
+        dst[produced + 3] = dom_symbol;
+        produced += 4;
+        br.Advance(run_bits);
+      }
+      if (produced >= num_symbols) break;
     }
+    const uint64_t window = br.PeekBits(kTableBits);
+    const TableEntry e = lut[window];
+    if (e.len == 0) {
+      return Status::Corruption("huffman: invalid code");
+    }
+    if (e.len != 0xFF) {
+      if (e.len > br.bits_remaining()) {
+        return Status::Corruption("huffman: truncated code stream");
+      }
+      br.Advance(e.len);
+      dst[produced++] = e.symbol;
+      continue;
+    }
+    // Long-code fallback: peek enough bits for the longest code and walk
+    // the canonical ranges beyond kTableBits.
+    const uint64_t v = br.PeekBits(table.max_length);
+    uint64_t code = 0;
+    size_t len = 1;
+    bool found = false;
+    for (; len <= table.max_length; ++len) {
+      code = (code << 1) | ((v >> (len - 1)) & 1u);
+      if (len <= kTableBits) continue;
+      if (ranges.count[len] > 0 && code >= ranges.first_code[len] &&
+          code < ranges.first_code[len] + ranges.count[len]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::Corruption("huffman: invalid code");
+    if (len > br.bits_remaining()) {
+      return Status::Corruption("huffman: truncated code stream");
+    }
+    const size_t idx = ranges.first_index[len] + (code - ranges.first_code[len]);
+    br.Advance(len);
+    dst[produced++] = table.sorted[idx].symbol;
   }
+  return Status::Ok();
+}
+
+namespace huffman_internal {
+
+Status DecodeReference(const uint8_t* data, size_t size,
+                       std::vector<uint32_t>* out) {
+  FXRZ_CHECK(out != nullptr);
+  out->clear();
+  ByteReader reader(data, size);
+  uint64_t num_symbols = 0;
+  CanonicalTable table;
+  FXRZ_RETURN_IF_ERROR(ParseHeader(&reader, &num_symbols, &table));
+  if (num_symbols == 0) return Status::Ok();
+  const CanonicalRanges ranges = BuildRanges(table);
 
   const uint8_t* payload = nullptr;
   size_t payload_bytes = 0;
@@ -238,9 +415,9 @@ Status HuffmanDecode(const uint8_t* data, size_t size,
       if (len > table.max_length) {
         return Status::Corruption("huffman: invalid code");
       }
-      if (count[len] > 0 && code < first_code[len] + count[len] &&
-          code >= first_code[len]) {
-        const size_t idx = first_index[len] + (code - first_code[len]);
+      if (ranges.count[len] > 0 && code < ranges.first_code[len] + ranges.count[len] &&
+          code >= ranges.first_code[len]) {
+        const size_t idx = ranges.first_index[len] + (code - ranges.first_code[len]);
         out->push_back(table.sorted[idx].symbol);
         break;
       }
@@ -248,5 +425,7 @@ Status HuffmanDecode(const uint8_t* data, size_t size,
   }
   return Status::Ok();
 }
+
+}  // namespace huffman_internal
 
 }  // namespace fxrz

@@ -5,10 +5,17 @@
 // around the zero-error code, which is where most of the compression comes
 // from). The header stores (symbol, code length) pairs for the symbols that
 // actually occur, so sparse alphabets (the common case) stay cheap.
+//
+// Decoding is table-driven: an 11-bit canonical-code lookup table resolves
+// most codes in a single probe, longer codes fall back to the canonical
+// first_code ranges, and runs of the dominant (shortest-code) symbol are
+// matched four at a time. The bit-at-a-time reference decoder survives in
+// huffman_internal for differential testing.
 
 #ifndef FXRZ_ENCODING_HUFFMAN_H_
 #define FXRZ_ENCODING_HUFFMAN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -23,6 +30,16 @@ std::vector<uint8_t> HuffmanEncode(const std::vector<uint32_t>& symbols);
 // malformed or truncated stream.
 Status HuffmanDecode(const uint8_t* data, size_t size,
                      std::vector<uint32_t>* out);
+
+namespace huffman_internal {
+
+// Reference decoder: walks the canonical code ranges one bit at a time.
+// Semantically identical to HuffmanDecode on well-formed streams; kept for
+// differential tests of the table-driven fast path.
+Status DecodeReference(const uint8_t* data, size_t size,
+                       std::vector<uint32_t>* out);
+
+}  // namespace huffman_internal
 
 }  // namespace fxrz
 

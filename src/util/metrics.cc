@@ -205,6 +205,10 @@ std::vector<double> RelErrorBuckets() {
   return {0.001, 0.005, 0.01, 0.02, 0.05, 0.08, 0.15, 0.3, 1.0};
 }
 
+std::vector<double> ThroughputBuckets() {
+  return {1e6, 4e6, 16e6, 64e6, 256e6, 1e9, 4e9};
+}
+
 void MetricsSnapshot::SortByName() {
   std::sort(values.begin(), values.end(),
             [](const MetricValue& a, const MetricValue& b) {
@@ -253,7 +257,8 @@ MetricsSnapshot MetricsSnapshot::Filter(
 
 MetricsSnapshot MetricsSnapshot::WithoutTimings() const {
   return Filter([](const MetricValue& value) {
-    return value.name.find("_seconds") == std::string::npos;
+    return value.name.find("_seconds") == std::string::npos &&
+           value.name.find("_per_second") == std::string::npos;
   });
 }
 

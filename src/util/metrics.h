@@ -180,10 +180,11 @@ inline Histogram& GetHistogram(std::string_view, std::vector<double>,
 #endif
 
 // Canonical bucket sets, shared so related histograms stay comparable.
-std::vector<double> LatencyBuckets();   // 1us .. 10s, decades
-std::vector<double> ByteBuckets();      // 64B .. 64MB, x16
-std::vector<double> RatioBuckets();     // compression ratios 1 .. 4096
-std::vector<double> RelErrorBuckets();  // relative errors 1e-3 .. 1
+std::vector<double> LatencyBuckets();     // 1us .. 10s, decades
+std::vector<double> ByteBuckets();        // 64B .. 64MB, x16
+std::vector<double> RatioBuckets();       // compression ratios 1 .. 4096
+std::vector<double> RelErrorBuckets();    // relative errors 1e-3 .. 1
+std::vector<double> ThroughputBuckets();  // bytes/s, 1MB/s .. 4GB/s, x4
 
 // -------- Snapshots & exporters (available in every build) ---------------
 
@@ -220,9 +221,9 @@ class MetricsSnapshot {
 
   // Keeps only metrics for which `keep` returns true.
   MetricsSnapshot Filter(bool (*keep)(const MetricValue&)) const;
-  // Drops wall-clock histograms (names containing "_seconds") -- what the
-  // deterministic golden tests compare, since every other built-in metric
-  // is a pure function of the inputs.
+  // Drops wall-clock-derived histograms (names containing "_seconds" or
+  // "_per_second") -- what the deterministic golden tests compare, since
+  // every other built-in metric is a pure function of the inputs.
   MetricsSnapshot WithoutTimings() const;
 
   const MetricValue* Find(std::string_view name) const;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "src/encoding/negabinary.h"
@@ -63,6 +64,71 @@ TEST(BitStreamTest, BitsRemaining) {
   EXPECT_EQ(br.bits_remaining(), 16u);
   br.ReadBits(5);
   EXPECT_EQ(br.bits_remaining(), 11u);
+}
+
+TEST(BitStreamTest, PeekDoesNotConsumeOrFlagOverrun) {
+  BitWriter bw;
+  bw.WriteBits(0b1101'0110'1010, 12);
+  const std::vector<uint8_t> bytes = std::move(bw).Take();
+  BitReader br(bytes);
+  // Peeking past the logical end zero-fills and must not set overrun.
+  EXPECT_EQ(br.PeekBits(12), 0b1101'0110'1010u);
+  EXPECT_EQ(br.PeekBits(BitReader::kPeekMax) & 0xFFFu, 0b1101'0110'1010u);
+  EXPECT_EQ(br.PeekBits(BitReader::kPeekMax) >> 16, 0u);
+  EXPECT_FALSE(br.overrun());
+  // Repeated peeks are idempotent.
+  EXPECT_EQ(br.PeekBits(5), br.PeekBits(5));
+  br.Advance(7);
+  EXPECT_EQ(br.bits_remaining(), 9u);
+  EXPECT_FALSE(br.overrun());
+  // Advancing past the end clamps and sets the sticky overrun flag.
+  br.Advance(100);
+  EXPECT_EQ(br.bits_remaining(), 0u);
+  EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitStreamTest, PeekAdvanceMatchesReadBits) {
+  Rng rng(17);
+  BitWriter bw;
+  std::vector<std::pair<uint64_t, size_t>> chunks;
+  for (int i = 0; i < 500; ++i) {
+    const size_t width = 1 + rng.NextBelow(BitReader::kPeekMax);
+    const uint64_t value =
+        rng.NextUint64() & ((width == 64) ? ~0ull : ((1ull << width) - 1));
+    chunks.push_back({value, width});
+    bw.WriteBits(value, width);
+  }
+  const std::vector<uint8_t> bytes = std::move(bw).Take();
+  BitReader via_read(bytes);
+  BitReader via_peek(bytes);
+  for (const auto& [value, width] : chunks) {
+    EXPECT_EQ(via_read.ReadBits(width), value);
+    EXPECT_EQ(via_peek.PeekBits(width), value);
+    via_peek.Advance(width);
+  }
+  EXPECT_FALSE(via_read.overrun());
+  EXPECT_FALSE(via_peek.overrun());
+}
+
+TEST(BitStreamTest, BatchedWritesMatchPerBitReference) {
+  // The batched WriteBits must produce the exact byte stream of the
+  // bit-at-a-time path for any interleaving of widths.
+  Rng rng(18);
+  for (int rep = 0; rep < 20; ++rep) {
+    BitWriter batched;
+    BitWriter reference;
+    for (int i = 0; i < 200; ++i) {
+      const size_t width = 1 + rng.NextBelow(64);
+      const uint64_t value =
+          rng.NextUint64() & ((width == 64) ? ~0ull : ((1ull << width) - 1));
+      batched.WriteBits(value, width);
+      for (size_t b = 0; b < width; ++b) {
+        reference.WriteBit(static_cast<uint32_t>((value >> b) & 1));
+      }
+    }
+    EXPECT_EQ(batched.bit_count(), reference.bit_count());
+    EXPECT_EQ(std::move(batched).Take(), std::move(reference).Take());
+  }
 }
 
 TEST(LittleEndianHelpersTest, RoundTrip) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "src/encoding/bit_stream.h"
 #include "src/util/random.h"
 
 namespace fxrz {
@@ -75,6 +77,81 @@ TEST(HuffmanTest, DecodeRejectsGarbage) {
   std::vector<uint8_t> garbage(64, 0xAB);
   std::vector<uint32_t> dec;
   EXPECT_FALSE(HuffmanDecode(garbage.data(), garbage.size(), &dec).ok());
+}
+
+// Decodes with both the table-driven decoder and the bit-at-a-time
+// reference and checks they agree with each other and the input.
+void RoundTripDifferential(const std::vector<uint32_t>& symbols) {
+  const std::vector<uint8_t> enc = HuffmanEncode(symbols);
+  std::vector<uint32_t> fast, ref;
+  ASSERT_TRUE(HuffmanDecode(enc.data(), enc.size(), &fast).ok());
+  ASSERT_TRUE(huffman_internal::DecodeReference(enc.data(), enc.size(), &ref)
+                  .ok());
+  EXPECT_EQ(symbols, fast);
+  EXPECT_EQ(fast, ref);
+}
+
+TEST(HuffmanTest, LongCodesBeyondTableBits) {
+  // A large alphabet with geometric frequencies pushes the rare symbols'
+  // code lengths well past the 11-bit lookup table, forcing the canonical
+  // range fallback on decode.
+  Rng rng(7);
+  std::vector<uint32_t> symbols;
+  for (uint32_t sym = 0; sym < 5000; ++sym) {
+    const size_t copies = 1 + static_cast<size_t>(rng.NextBelow(1 + sym / 16));
+    for (size_t i = 0; i < copies; ++i) symbols.push_back(sym);
+  }
+  // Shuffle so runs don't mask decoding errors.
+  for (size_t i = symbols.size(); i-- > 1;) {
+    std::swap(symbols[i], symbols[rng.NextBelow(i + 1)]);
+  }
+  RoundTripDifferential(symbols);
+}
+
+TEST(HuffmanTest, DominantSymbolRunFastPath) {
+  // Long runs of the most frequent symbol exercise the run-of-4 fast path;
+  // interleaved rare symbols check it re-synchronizes correctly.
+  Rng rng(8);
+  std::vector<uint32_t> symbols;
+  for (int seg = 0; seg < 200; ++seg) {
+    const size_t run = rng.NextBelow(40);
+    for (size_t i = 0; i < run; ++i) symbols.push_back(32768);
+    symbols.push_back(static_cast<uint32_t>(rng.NextBelow(300)));
+  }
+  RoundTripDifferential(symbols);
+}
+
+TEST(HuffmanTest, TableDecoderMatchesReferenceOnRandomStreams) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 977);
+    std::vector<uint32_t> symbols(4096);
+    const uint32_t alphabet = 1u << (2 + seed);
+    for (auto& s : symbols) {
+      s = rng.NextDouble() < 0.6 ? 0u
+                                 : static_cast<uint32_t>(
+                                       rng.NextBelow(alphabet));
+    }
+    RoundTripDifferential(symbols);
+  }
+}
+
+TEST(HuffmanTest, DecodeRejectsOversubscribedTable) {
+  // Hand-built header whose three one-bit codes violate the Kraft
+  // inequality; a conforming decoder must refuse to build the table.
+  std::vector<uint8_t> enc;
+  AppendUint64(&enc, 10);  // num_symbols
+  AppendUint32(&enc, 3);   // num_entries
+  for (uint32_t sym = 0; sym < 3; ++sym) {
+    AppendUint32(&enc, sym);
+    enc.push_back(1);  // all length 1: Kraft sum 3/2 > 1
+  }
+  AppendUint64(&enc, 8);  // payload size
+  enc.insert(enc.end(), 8, 0xFF);
+  std::vector<uint32_t> dec;
+  const Status st = HuffmanDecode(enc.data(), enc.size(), &dec);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(
+      huffman_internal::DecodeReference(enc.data(), enc.size(), &dec).ok());
 }
 
 }  // namespace

@@ -203,6 +203,9 @@ TEST(MetricsSnapshotTest, WithoutTimingsDropsSecondsMetrics) {
       MakeHistogram("fxrz_stage_seconds{stage=\"guard.request\"}", {1.0},
                     {1, 0}, 0.5),
       MakeCounter("fxrz_codec_compress_total{codec=\"sz\"}", 2),
+      // Throughput histograms are wall-clock derived too and must go.
+      MakeHistogram("fxrz_codec_decompress_bytes_per_second{codec=\"sz\"}",
+                    {1e6}, {0, 1}, 2e8),
   };
   const MetricsSnapshot filtered = snap.WithoutTimings();
   ASSERT_EQ(filtered.values.size(), 2u);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local CI matrix: a build-artifact hygiene check, release build +
 # tests, an FXRZ_METRICS=OFF build proving the observability layer strips
-# cleanly, ThreadSanitizer build + tests, ASan+UBSan build + tests
+# cleanly, an FXRZ_SIMD=OFF build proving the scalar kernel paths stand on
+# their own, ThreadSanitizer build + tests, ASan+UBSan build + tests
 # (including the fuzz-corpus replay harnesses), an ASan+UBSan
 # FXRZ_FAULT_INJECT build running the fault-injection/escalation-ladder
 # suite, then the clang-tidy lint pass.
@@ -47,6 +48,16 @@ run_config release build-ci-release \
 # layer without behavioral drift.
 run_config metrics-off build-ci-nometrics \
   -DFXRZ_METRICS=OFF \
+  -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
+
+# Scalar-dispatch configuration: FXRZ_SIMD=OFF compiles the vector kernel
+# variants out entirely, pinning every codec to the scalar reference path.
+# The suite must pass unchanged (the SIMD/scalar archive-equivalence tests
+# GTEST_SKIP), proving archives and results do not depend on the vector
+# unit. The sanitizer configs below keep SIMD on, so the vector paths get
+# the same TSan/ASan/UBSan coverage as the rest of the library.
+run_config simd-off build-ci-scalar \
+  -DFXRZ_SIMD=OFF \
   -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
 
 run_config thread build-ci-tsan \

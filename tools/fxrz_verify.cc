@@ -306,13 +306,28 @@ int Stats(const std::string& dir, const std::string& golden_dir) {
     return Fail(st);
   }
 
-  const metrics::MetricsSnapshot delta =
-      metrics::MetricsSnapshot::Delta(before,
-                                      metrics::MetricsSnapshot::Capture())
-          .WithoutTimings();
+  const metrics::MetricsSnapshot raw_delta = metrics::MetricsSnapshot::Delta(
+      before, metrics::MetricsSnapshot::Capture());
+  const metrics::MetricsSnapshot delta = raw_delta.WithoutTimings();
   const std::string prom = metrics::ToPrometheusText(delta);
   const std::string json = metrics::ToJson(delta);
   std::printf("%s\n%s", prom.c_str(), json.c_str());
+
+  // Kernel-speed readout from the timing histograms WithoutTimings strips:
+  // stdout only, never part of the golden-compared files, because the
+  // numbers are wall-clock dependent.
+  constexpr char kThroughputPrefix[] = "fxrz_codec_decompress_bytes_per_second";
+  std::printf("codec decode throughput (mean over this run):\n");
+  for (const metrics::MetricValue& v : raw_delta.values) {
+    if (v.kind != metrics::MetricKind::kHistogram || v.count == 0 ||
+        v.name.compare(0, sizeof(kThroughputPrefix) - 1, kThroughputPrefix) !=
+            0) {
+      continue;
+    }
+    std::printf("  %s  %.1f MB/s (n=%llu)\n", v.name.c_str(),
+                v.sum / static_cast<double>(v.count) / 1e6,
+                static_cast<unsigned long long>(v.count));
+  }
 
   Status st = WriteAndCompare(
       dir + "/stats.prom", prom,
