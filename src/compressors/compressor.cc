@@ -7,12 +7,12 @@
 #include "src/compressors/sz3.h"
 #include "src/compressors/zfp.h"
 #include <map>
-#include <mutex>
 
 #include "src/encoding/bit_stream.h"
 #include "src/util/check.h"
 #include "src/util/fault_injection.h"
 #include "src/util/metrics.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/timer.h"
 #include "src/util/trace.h"
 
@@ -39,10 +39,20 @@ struct CodecMetrics {
   metrics::Histogram* decompress_throughput;
 };
 
+// Registry lock for the codec-metrics cache below. A named, annotated
+// global (not a function-local static) so the thread-safety analysis can
+// tie the cache to it via FXRZ_GUARDED_BY.
+AnnotatedMutex g_codec_metrics_mu;
+std::map<std::string, CodecMetrics>* g_codec_metrics
+    FXRZ_GUARDED_BY(g_codec_metrics_mu) = nullptr;
+
 const CodecMetrics& GetCodecMetrics(const std::string& codec) {
-  static std::mutex mu;
-  static auto* cache = new std::map<std::string, CodecMetrics>();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(g_codec_metrics_mu);
+  if (g_codec_metrics == nullptr) {
+    // Leaked on purpose: metric handles are process-lifetime.
+    g_codec_metrics = new std::map<std::string, CodecMetrics>();
+  }
+  auto* cache = g_codec_metrics;
   auto it = cache->find(codec);
   if (it != cache->end()) return it->second;
   const std::string label = "{codec=\"" + codec + "\"}";

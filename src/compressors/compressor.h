@@ -65,9 +65,9 @@ class Compressor {
   // empty archive, an unserved config -- as Status instead of leaving the
   // caller to divide by a zero-sized archive. `config` must still lie
   // inside config_space(data); callers clamp before invoking.
-  Status TryCompress(const Tensor& data, double config,
+  [[nodiscard]] Status TryCompress(const Tensor& data, double config,
                      std::vector<uint8_t>* out) const;
-  Status TryDecompress(const uint8_t* data, size_t size, Tensor* out) const;
+  [[nodiscard]] Status TryDecompress(const uint8_t* data, size_t size, Tensor* out) const;
 
   // Convenience: compresses and returns original_bytes / compressed_bytes.
   double MeasureCompressionRatio(const Tensor& data, double config) const;

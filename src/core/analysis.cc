@@ -66,7 +66,7 @@ TensorAnalysis AnalysisCache::Get(const Tensor& data,
   key.fingerprint = TensorFingerprint(data);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (Entry& e : entries_) {
       if (e.key == key) {
         e.tick = ++tick_;
@@ -92,7 +92,7 @@ TensorAnalysis AnalysisCache::Get(const Tensor& data,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (Entry& e : entries_) {
       if (e.key == key) {  // raced with another miss; keep theirs
         e.tick = ++tick_;
@@ -112,17 +112,17 @@ TensorAnalysis AnalysisCache::Get(const Tensor& data,
 }
 
 void AnalysisCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 
 uint64_t AnalysisCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t AnalysisCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

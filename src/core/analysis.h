@@ -12,12 +12,12 @@
 #define FXRZ_CORE_ANALYSIS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "src/core/compressibility.h"
 #include "src/core/features.h"
 #include "src/data/tensor.h"
+#include "src/util/thread_annotations.h"
 
 namespace fxrz {
 
@@ -70,11 +70,11 @@ class AnalysisCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  uint64_t tick_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable AnnotatedMutex mu_;
+  std::vector<Entry> entries_ FXRZ_GUARDED_BY(mu_);
+  uint64_t tick_ FXRZ_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ FXRZ_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ FXRZ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fxrz

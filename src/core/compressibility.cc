@@ -14,6 +14,7 @@ namespace fxrz {
 
 namespace {
 
+// lock-free: relaxed monotonic call counter (test observability only).
 std::atomic<uint64_t> g_scan_count{0};
 
 // Tiling geometry shared by the fused and reference scans: the last <=3

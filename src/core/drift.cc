@@ -51,27 +51,50 @@ void DriftMonitor::Record(double target_ratio, double measured_ratio) {
     return;
   }
   const double err = std::fabs(target_ratio - measured_ratio) / target_ratio;
-  errors_.push_back(err);
-  error_sum_ += err;
-  if (errors_.size() > window_) {
-    error_sum_ -= errors_.front();
-    errors_.pop_front();
+  double rolling = 0.0;
+  bool retrain = false;
+  {
+    MutexLock lock(mu_);
+    errors_.push_back(err);
+    error_sum_ += err;
+    if (errors_.size() > window_) {
+      error_sum_ -= errors_.front();
+      errors_.pop_front();
+    }
+    rolling = RollingErrorLocked();
+    retrain = NeedsRetrainingLocked();
   }
   DMetrics().observations.Increment();
-  DMetrics().rolling_error.Set(rolling_error());
-  DMetrics().needs_retraining.Set(needs_retraining() ? 1.0 : 0.0);
+  DMetrics().rolling_error.Set(rolling);
+  DMetrics().needs_retraining.Set(retrain ? 1.0 : 0.0);
 }
 
-double DriftMonitor::rolling_error() const {
+double DriftMonitor::RollingErrorLocked() const {
   if (errors_.empty()) return 0.0;
   return error_sum_ / static_cast<double>(errors_.size());
 }
 
+bool DriftMonitor::NeedsRetrainingLocked() const {
+  return errors_.size() == window_ && RollingErrorLocked() > threshold_;
+}
+
+double DriftMonitor::rolling_error() const {
+  MutexLock lock(mu_);
+  return RollingErrorLocked();
+}
+
 bool DriftMonitor::needs_retraining() const {
-  return errors_.size() == window_ && rolling_error() > threshold_;
+  MutexLock lock(mu_);
+  return NeedsRetrainingLocked();
+}
+
+size_t DriftMonitor::observations() const {
+  MutexLock lock(mu_);
+  return errors_.size();
 }
 
 void DriftMonitor::Reset() {
+  MutexLock lock(mu_);
   errors_.clear();
   error_sum_ = 0.0;
 }

@@ -13,8 +13,12 @@
 #include <cstddef>
 #include <deque>
 
+#include "src/util/thread_annotations.h"
+
 namespace fxrz {
 
+// Thread-safe: a single monitor may be shared by every thread of a serving
+// pipeline (GuardOptions::drift), so the rolling window is mutex-guarded.
 class DriftMonitor {
  public:
   // `window`: number of recent dumps considered; `threshold`: rolling mean
@@ -37,13 +41,19 @@ class DriftMonitor {
   // Forget history (call after retraining).
   void Reset();
 
-  size_t observations() const { return errors_.size(); }
+  size_t observations() const;
 
  private:
-  size_t window_;
-  double threshold_;
-  std::deque<double> errors_;
-  double error_sum_ = 0.0;
+  // Lock-held variants so Record can publish derived gauges without
+  // re-entering the mutex.
+  double RollingErrorLocked() const FXRZ_REQUIRES(mu_);
+  bool NeedsRetrainingLocked() const FXRZ_REQUIRES(mu_);
+
+  const size_t window_;
+  const double threshold_;
+  mutable AnnotatedMutex mu_;
+  std::deque<double> errors_ FXRZ_GUARDED_BY(mu_);
+  double error_sum_ FXRZ_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace fxrz

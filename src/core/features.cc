@@ -14,6 +14,7 @@ namespace fxrz {
 
 namespace {
 
+// lock-free: relaxed monotonic call counter (test observability only).
 std::atomic<uint64_t> g_extract_count{0};
 
 // Signed log compression for features that may be negative (mean value).

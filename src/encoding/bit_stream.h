@@ -133,7 +133,7 @@ class BitReader {
   // Checked variants: fail (and set the sticky overrun flag) instead of
   // silently zero-filling, so decoders can distinguish "stream exhausted"
   // from a legitimate zero bit at the read site.
-  bool ReadBitChecked(uint32_t* bit) {
+  [[nodiscard]] bool ReadBitChecked(uint32_t* bit) {
     if (pos_ >= size_bits_) {
       overrun_ = true;
       return false;
@@ -142,7 +142,7 @@ class BitReader {
     return true;
   }
 
-  bool ReadBitsChecked(size_t count, uint64_t* value) {
+  [[nodiscard]] bool ReadBitsChecked(size_t count, uint64_t* value) {
     FXRZ_DCHECK(count <= 64);
     if (overrun_ || count > bits_remaining()) {
       overrun_ = true;

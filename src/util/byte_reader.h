@@ -42,7 +42,7 @@ class ByteReader {
       : ByteReader(bytes.data(), bytes.size()) {}
 
   // False once any read has failed; all later reads fail too.
-  bool ok() const { return !failed_; }
+  [[nodiscard]] bool ok() const { return !failed_; }
 
   size_t position() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
@@ -50,13 +50,13 @@ class ByteReader {
   // Pointer to the next unread byte (valid while remaining() > 0).
   const uint8_t* cursor() const { return data_ + pos_; }
 
-  bool ReadU8(uint8_t* v) {
+  [[nodiscard]] bool ReadU8(uint8_t* v) {
     if (!Require(1)) return false;
     *v = data_[pos_++];
     return true;
   }
 
-  bool ReadU32(uint32_t* v) {
+  [[nodiscard]] bool ReadU32(uint32_t* v) {
     if (!Require(4)) return false;
     uint32_t r = 0;
     for (int i = 0; i < 4; ++i) {
@@ -68,7 +68,7 @@ class ByteReader {
     return true;
   }
 
-  bool ReadU64(uint64_t* v) {
+  [[nodiscard]] bool ReadU64(uint64_t* v) {
     if (!Require(8)) return false;
     uint64_t r = 0;
     for (int i = 0; i < 8; ++i) {
@@ -80,7 +80,7 @@ class ByteReader {
     return true;
   }
 
-  bool ReadF64(double* v) {
+  [[nodiscard]] bool ReadF64(double* v) {
     uint64_t bits = 0;
     if (!ReadU64(&bits)) return false;
     std::memcpy(v, &bits, sizeof(*v));
@@ -88,7 +88,7 @@ class ByteReader {
   }
 
   // Hands out a view of the next `len` bytes and advances past them.
-  bool ReadSpan(size_t len, const uint8_t** span) {
+  [[nodiscard]] bool ReadSpan(size_t len, const uint8_t** span) {
     if (!Require(len)) return false;
     *span = data_ + pos_;
     pos_ += len;
@@ -99,7 +99,7 @@ class ByteReader {
   // validated against remaining() before any use, so a forged length can
   // neither wrap an address computation nor hand the caller an
   // out-of-bounds span.
-  bool ReadLengthPrefixed(const uint8_t** span, size_t* len) {
+  [[nodiscard]] bool ReadLengthPrefixed(const uint8_t** span, size_t* len) {
     uint64_t n = 0;
     if (!ReadU64(&n)) return false;
     if (n > remaining()) return Fail();
@@ -112,7 +112,7 @@ class ByteReader {
   // Reads an element count that must satisfy
   // count * min_bytes_per_item <= remaining(); rejects counts a truncated
   // stream cannot possibly back, before the caller allocates for them.
-  bool ReadCountU32(uint32_t* count, size_t min_bytes_per_item) {
+  [[nodiscard]] bool ReadCountU32(uint32_t* count, size_t min_bytes_per_item) {
     uint32_t n = 0;
     if (!ReadU32(&n)) return false;
     if (min_bytes_per_item > 0 && n > remaining() / min_bytes_per_item) {
@@ -122,14 +122,14 @@ class ByteReader {
     return true;
   }
 
-  bool Skip(size_t len) {
+  [[nodiscard]] bool Skip(size_t len) {
     if (!Require(len)) return false;
     pos_ += len;
     return true;
   }
 
   // Ok while no read has failed, otherwise Corruption naming `context`.
-  Status ToStatus(const std::string& context) const {
+  [[nodiscard]] Status ToStatus(const std::string& context) const {
     if (ok()) return Status::Ok();
     return Status::Corruption(context + ": truncated or malformed stream");
   }

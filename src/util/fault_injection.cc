@@ -1,8 +1,7 @@
 #include "src/util/fault_injection.h"
 
-#include <mutex>
-
 #include "src/util/check.h"
+#include "src/util/thread_annotations.h"
 
 namespace fxrz {
 namespace fault {
@@ -30,10 +29,10 @@ struct SiteState {
   int count = 0;  // remaining failures once skip reaches 0
 };
 
-std::mutex g_mu;
-SiteState g_sites[kNumSites];
+AnnotatedMutex g_mu;
+SiteState g_sites[kNumSites] FXRZ_GUARDED_BY(g_mu);
 
-SiteState& StateFor(Site site) {
+SiteState& StateFor(Site site) FXRZ_REQUIRES(g_mu) {
   const int i = static_cast<int>(site);
   FXRZ_CHECK(i >= 0 && i < kNumSites);
   return g_sites[i];
@@ -44,29 +43,29 @@ SiteState& StateFor(Site site) {
 void Arm(Site site, int skip, int count) {
   FXRZ_CHECK_GE(skip, 0);
   FXRZ_CHECK_GE(count, 0);
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   SiteState& s = StateFor(site);
   s.skip = skip;
   s.count = count;
 }
 
 void ResetAll() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   for (SiteState& s : g_sites) s = SiteState();
 }
 
 uint64_t HitCount(Site site) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   return StateFor(site).hits;
 }
 
 uint64_t TriggeredCount(Site site) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   return StateFor(site).triggered;
 }
 
 bool Hit(Site site) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   SiteState& s = StateFor(site);
   ++s.hits;
   if (s.skip > 0) {

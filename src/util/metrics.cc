@@ -5,10 +5,10 @@
 #include <cstdio>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 
 #include "src/util/check.h"
+#include "src/util/thread_annotations.h"
 
 namespace fxrz {
 namespace metrics {
@@ -108,7 +108,7 @@ class Registry {
 
   Entry& GetOrCreate(std::string_view name, std::string_view help,
                      MetricKind kind, std::vector<double> bounds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(std::string(name));
     if (it != index_.end()) {
       FXRZ_CHECK(it->second->kind == kind)
@@ -125,7 +125,7 @@ class Registry {
 
   MetricsSnapshot Capture() const {
     MetricsSnapshot snapshot;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.values.reserve(index_.size());
     for (const auto& [name, entry] : index_) {  // map iteration: sorted
       MetricValue value;
@@ -152,9 +152,9 @@ class Registry {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<Entry> entries_;
-  std::map<std::string, Entry*, std::less<>> index_;
+  mutable AnnotatedMutex mu_;
+  std::deque<Entry> entries_ FXRZ_GUARDED_BY(mu_);
+  std::map<std::string, Entry*, std::less<>> index_ FXRZ_GUARDED_BY(mu_);
 };
 
 }  // namespace

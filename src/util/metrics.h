@@ -82,6 +82,7 @@ class Counter {
 
  private:
 #ifndef FXRZ_METRICS_DISABLED
+  // lock-free: relaxed monotonic counter; readers tolerate any interleaving.
   std::atomic<uint64_t> value_{0};
 #endif
 };
@@ -110,6 +111,7 @@ class Gauge {
 
  private:
 #ifndef FXRZ_METRICS_DISABLED
+  // lock-free: relaxed last-writer-wins gauge; no cross-field invariant.
   std::atomic<double> value_{0.0};
 #endif
 };
@@ -147,7 +149,10 @@ class Histogram {
 
  private:
 #ifndef FXRZ_METRICS_DISABLED
-  std::vector<double> bounds_;
+  std::vector<double> bounds_;  // immutable after construction
+  // lock-free: relaxed per-bucket/count/sum updates; a snapshot may observe
+  // a bucket increment before the matching count/sum (documented tearing,
+  // acceptable for monitoring data).
   std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};

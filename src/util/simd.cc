@@ -30,6 +30,8 @@ namespace simd {
 
 namespace {
 
+// lock-free: relaxed dispatch-level cache; racing initializers write the
+// same detected value, and ForceLevel is test-only.
 std::atomic<int> g_active{-1};  // -1 = not yet initialized
 
 // Scalar lane reduce matching how a 256-bit accumulator folds: low half +

@@ -25,8 +25,10 @@ enum class StatusCode {
   kInternal,
 };
 
-// Value-semantic result of a fallible operation.
-class Status {
+// Value-semantic result of a fallible operation. [[nodiscard]]: silently
+// dropping a Status is how corruption gets swallowed; every call site must
+// check, propagate, or FXRZ_CHECK it.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -45,7 +47,7 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -80,7 +82,7 @@ class Status {
 // value() aborts when called on a non-OK result (programmer error, same
 // contract as FXRZ_CHECK); check ok() or use FXRZ_ASSIGN_OR_RETURN.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
   StatusOr(Status status) : status_(std::move(status)) {
@@ -89,7 +91,7 @@ class StatusOr {
   // NOLINTNEXTLINE(google-explicit-constructor)
   StatusOr(T value) : value_(std::move(value)) {}
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   T& value() & {

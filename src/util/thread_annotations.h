@@ -1,0 +1,141 @@
+// Clang thread-safety annotations and the project's annotated locking
+// vocabulary.
+//
+// FXRZ has exactly one sanctioned way to express cross-thread shared state:
+//
+//   AnnotatedMutex mu_;
+//   std::vector<Entry> entries_ FXRZ_GUARDED_BY(mu_);
+//
+//   void Touch() {
+//     MutexLock lock(mu_);   // RAII; the analysis sees acquire/release
+//     entries_.push_back(...);
+//   }
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable are banned in
+// src/ (enforced by the fxrz-no-unguarded-shared-state check in
+// tools/fxrz_lint.cc): clang's -Wthread-safety cannot see through
+// unannotated primitives, so a single raw mutex silently exempts every
+// member it guards from the analysis. std::atomic members stay allowed but
+// must document their protocol with either an FXRZ_GUARDED_BY annotation or
+// a `lock-free:` comment (same check).
+//
+// Under clang with -DFXRZ_THREAD_SAFETY_ANALYSIS=ON (adds
+// -Werror=thread-safety) the macros expand to the capability attributes and
+// lock/unlock mismatches or unguarded member access become compile errors.
+// Under gcc the macros expand to nothing and this header costs nothing.
+
+#ifndef FXRZ_UTIL_THREAD_ANNOTATIONS_H_
+#define FXRZ_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define FXRZ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FXRZ_THREAD_ANNOTATION_(x)
+#endif
+
+// A class that is a lockable capability ("mutex" names the capability kind
+// in diagnostics).
+#define FXRZ_CAPABILITY(x) FXRZ_THREAD_ANNOTATION_(capability(x))
+// An RAII type whose constructor acquires and destructor releases.
+#define FXRZ_SCOPED_CAPABILITY FXRZ_THREAD_ANNOTATION_(scoped_lockable)
+// Member is only read/written with the named capability held.
+#define FXRZ_GUARDED_BY(x) FXRZ_THREAD_ANNOTATION_(guarded_by(x))
+// Pointer member whose pointee is guarded by the named capability.
+#define FXRZ_PT_GUARDED_BY(x) FXRZ_THREAD_ANNOTATION_(pt_guarded_by(x))
+// Function requires the capability held on entry (and keeps it held).
+#define FXRZ_REQUIRES(...) \
+  FXRZ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+// Function acquires / releases the capability.
+#define FXRZ_ACQUIRE(...) \
+  FXRZ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define FXRZ_RELEASE(...) \
+  FXRZ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+// Function acquires the capability iff it returns `value`.
+#define FXRZ_TRY_ACQUIRE(value, ...) \
+  FXRZ_THREAD_ANNOTATION_(try_acquire_capability(value, __VA_ARGS__))
+// Function must be called with the capability NOT held (deadlock guard).
+#define FXRZ_EXCLUDES(...) FXRZ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// Function returns a reference to the named capability.
+#define FXRZ_RETURN_CAPABILITY(x) FXRZ_THREAD_ANNOTATION_(lock_returned(x))
+// Escape hatch for code the analysis cannot model; every use needs a
+// comment explaining why it is correct.
+#define FXRZ_NO_THREAD_SAFETY_ANALYSIS \
+  FXRZ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace fxrz {
+
+class CondVar;
+
+// std::mutex wrapped as an annotated capability. This is the only mutex
+// type allowed in src/; libstdc++'s std::mutex carries no capability
+// attribute, so locking it directly is invisible to the analysis.
+class FXRZ_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void Lock() FXRZ_ACQUIRE() { mu_.lock(); }
+  void Unlock() FXRZ_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() FXRZ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII guard over AnnotatedMutex; the annotated replacement for
+// std::lock_guard / std::unique_lock.
+class FXRZ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(AnnotatedMutex& mu) FXRZ_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~MutexLock() FXRZ_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  AnnotatedMutex& mu_;
+};
+
+// Condition variable bound to AnnotatedMutex. Wait atomically releases the
+// mutex and reacquires it before returning, so from the analysis's point of
+// view the capability is held across the call (FXRZ_REQUIRES).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // `mu` must be held (e.g. via an enclosing MutexLock). Spurious wakeups
+  // happen; prefer the predicate overload.
+  void Wait(AnnotatedMutex& mu) FXRZ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();  // the enclosing MutexLock still owns the mutex
+  }
+
+  // Waits until pred() is true; pred runs with `mu` held.
+  template <typename Pred>
+  void Wait(AnnotatedMutex& mu, Pred pred) FXRZ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock, std::move(pred));
+    relock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_UTIL_THREAD_ANNOTATIONS_H_

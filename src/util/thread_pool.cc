@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/util/check.h"
+#include "src/util/thread_annotations.h"
 
 namespace fxrz {
 
@@ -18,28 +19,30 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     FXRZ_CHECK(!shutdown_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mu_);
+    all_done_.Wait(mu_, [this]() FXRZ_REQUIRES(mu_) {
+      return in_flight_ == 0;
+    });
     std::swap(error, first_error_);
   }
   if (error) std::rethrow_exception(error);
@@ -49,9 +52,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      task_available_.Wait(mu_, [this]() FXRZ_REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -66,10 +70,10 @@ void ThreadPool::WorkerLoop() {
       error = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (error && !first_error_) first_error_ = error;
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -93,11 +97,14 @@ struct BlockedState {
   size_t grain = 1;
   size_t total_blocks = 0;
   const std::function<void(size_t, size_t)>* body = nullptr;
+  // lock-free: block claim/completion tickets; relaxed fetch_add suffices
+  // for claiming, and `done` pairs its release increment with the caller's
+  // acquire load in the wait predicate.
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::exception_ptr error;
+  AnnotatedMutex mu;
+  CondVar cv;
+  std::exception_ptr error FXRZ_GUARDED_BY(mu);
 
   void Drain() {
     for (;;) {
@@ -108,14 +115,19 @@ struct BlockedState {
       try {
         (*body)(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!error) error = std::current_exception();
       }
       if (done.fetch_add(1) + 1 == total_blocks) {
-        std::lock_guard<std::mutex> lock(mu);  // pair with the caller's wait
-        cv.notify_all();
+        MutexLock lock(mu);  // pair with the caller's wait
+        cv.NotifyAll();
       }
     }
+  }
+
+  std::exception_ptr TakeError() {
+    MutexLock lock(mu);
+    return error;
   }
 };
 
@@ -147,13 +159,15 @@ void ParallelForBlocked(ThreadPool* pool, size_t begin, size_t end,
   }
   state->Drain();
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] {
+    MutexLock lock(state->mu);
+    state->cv.Wait(state->mu, [&] {
       return state->done.load(std::memory_order_acquire) ==
              state->total_blocks;
     });
   }
-  if (state->error) std::rethrow_exception(state->error);
+  if (std::exception_ptr error = state->TakeError()) {
+    std::rethrow_exception(error);
+  }
 }
 
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,

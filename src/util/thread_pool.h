@@ -4,14 +4,14 @@
 #ifndef FXRZ_UTIL_THREAD_POOL_H_
 #define FXRZ_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace fxrz {
 
@@ -42,13 +42,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::exception_ptr first_error_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  AnnotatedMutex mu_;
+  std::queue<std::function<void()>> queue_ FXRZ_GUARDED_BY(mu_);
+  CondVar task_available_;
+  CondVar all_done_;
+  std::exception_ptr first_error_ FXRZ_GUARDED_BY(mu_);
+  size_t in_flight_ FXRZ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ FXRZ_GUARDED_BY(mu_) = false;
 };
 
 // Lazily constructed process-wide pool sized to the hardware concurrency.

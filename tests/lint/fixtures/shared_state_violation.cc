@@ -1,0 +1,46 @@
+// Negative fixture for the fxrz-no-unguarded-shared-state check. Linted
+// (never compiled) as if it lived under src/. Raw standard-library locking
+// primitives are invisible to clang's thread-safety analysis, so they are
+// banned in favor of AnnotatedMutex/MutexLock/CondVar
+// (src/util/thread_annotations.h); std::atomic members must document their
+// protocol. Every declaration below must be flagged.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+
+namespace fxrz {
+
+class UnsafeQueue {
+ public:
+  void Push(uint64_t v) {
+    // Violation: std::lock_guard over a raw mutex -- no capability tracking.
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push(v);
+    cv_.notify_one();
+  }
+
+  uint64_t Pop() {
+    // Violation: std::unique_lock, same problem.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty(); });
+    const uint64_t v = items_.front();
+    items_.pop();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;               // violation: raw mutex member
+  std::condition_variable cv_;  // violation: raw condition variable
+  std::queue<uint64_t> items_;
+
+  // Violation: atomic whose ordering protocol is not documented with the
+  // sanctioned annotation or comment marker. (The blank line above matters:
+  // it ends the declaration group, so the linter does not read this comment
+  // as covering the members before it either.)
+  std::atomic<uint64_t> pop_count{0};
+};
+
+}  // namespace fxrz

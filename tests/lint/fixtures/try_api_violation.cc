@@ -1,0 +1,25 @@
+// Negative fixture for the fxrz-try-api-in-serving check. Linted (never
+// compiled) as if it lived at src/core/guard.cc. Serving-path code must use
+// the Status-returning TryCompress/TryDecompress wrappers so fault
+// injection and per-codec metrics see every request; the raw virtual calls
+// below must be flagged.
+
+#include <cstdint>
+#include <vector>
+
+namespace fxrz {
+
+class Compressor;
+struct Tensor;
+
+std::vector<uint8_t> ServeOneRequest(Compressor& codec, const Tensor& data,
+                                     double error_bound, Tensor* round_trip) {
+  // Violation: raw member call bypasses the Try* serving wrappers.
+  std::vector<uint8_t> blob = codec.Compress(data, error_bound);
+  Compressor* base = &codec;
+  // Violation: same through a pointer.
+  base->Decompress(blob.data(), blob.size(), round_trip);
+  return blob;
+}
+
+}  // namespace fxrz

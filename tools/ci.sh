@@ -5,7 +5,9 @@
 # their own, ThreadSanitizer build + tests, ASan+UBSan build + tests
 # (including the fuzz-corpus replay harnesses), an ASan+UBSan
 # FXRZ_FAULT_INJECT build running the fault-injection/escalation-ladder
-# suite, then the clang-tidy lint pass.
+# suite, then the static-analysis passes: fxrz_lint + clang-tidy via the
+# lint target, and a clang -Werror=thread-safety compile of the library
+# (skipped with a message on gcc-only boxes).
 # Mirrors what the acceptance gates for the decode-hardening and guarded
 # serving work require.
 #
@@ -87,5 +89,26 @@ run_config fault-inject build-ci-fault \
 
 echo "=== lint ==="
 cmake --build build-ci-release --target lint
+
+# Thread-safety analysis configuration: clang compiles the library with
+# -Werror=thread-safety so any lock-discipline regression against the
+# FXRZ_* annotations (src/util/thread_annotations.h) is a hard compile
+# error. Compile-only -- the annotations are checked statically, the
+# behavioral coverage comes from the TSan configuration above. Skips with
+# a message on gcc-only boxes; the annotations are no-ops there and the
+# fxrz_lint stage still enforces that every locking site uses the
+# annotated vocabulary.
+echo "=== thread-safety analysis ==="
+CLANGXX="$(command -v clang++ || true)"
+if [[ -z "$CLANGXX" ]]; then
+  echo "ci.sh: clang++ not found; skipping -Werror=thread-safety build." >&2
+else
+  cmake -B build-ci-threadsafety -S . \
+    -DCMAKE_CXX_COMPILER="$CLANGXX" \
+    -DFXRZ_THREAD_SAFETY_ANALYSIS=ON \
+    -DFXRZ_BUILD_TESTS=OFF -DFXRZ_BUILD_BENCHMARKS=OFF \
+    -DFXRZ_BUILD_EXAMPLES=OFF
+  cmake --build build-ci-threadsafety -j "$JOBS"
+fi
 
 echo "=== CI matrix passed ==="

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Run clang-tidy over every translation unit in src/ using the repo's
-# .clang-tidy config. Fails (exit 1) on any finding; skips with exit 0
-# and a message when clang-tidy is not installed so gcc-only CI boxes
-# still pass the rest of the matrix.
+# Static-analysis pass over src/: first the project-specific fxrz_lint
+# checks (tools/fxrz_lint.cc -- byte-reader discipline, Try*-API-in-serving,
+# unguarded shared state), then clang-tidy with the repo's .clang-tidy
+# config. Fails (exit 1) on any finding. fxrz_lint has no clang dependency
+# and always runs (built from the build tree, or compiled ad hoc when the
+# build skipped tools); the clang-tidy stage skips with exit 0 and a
+# message when clang-tidy is not installed, so gcc-only CI boxes still get
+# the fxrz checks and pass the rest of the matrix.
 #
 # Usage: tools/run_lint.sh [BUILD_DIR]   (default: build)
 
@@ -11,6 +15,22 @@ set -u
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
+
+FXRZ_LINT="$BUILD_DIR/tools/fxrz_lint"
+if [[ ! -x "$FXRZ_LINT" ]]; then
+  FXRZ_LINT="$BUILD_DIR/fxrz_lint_standalone"
+  echo "run_lint.sh: $BUILD_DIR/tools/fxrz_lint not built; compiling" >&2
+  mkdir -p "$BUILD_DIR"
+  if ! "${CXX:-c++}" -std=c++20 -O1 -o "$FXRZ_LINT" tools/fxrz_lint.cc; then
+    echo "run_lint.sh: failed to compile tools/fxrz_lint.cc" >&2
+    exit 1
+  fi
+fi
+echo "run_lint.sh: fxrz_lint over src/"
+if ! "$FXRZ_LINT" --root "$REPO_ROOT" src; then
+  echo "run_lint.sh: fxrz_lint reported findings." >&2
+  exit 1
+fi
 
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "$TIDY" ]]; then
