@@ -108,7 +108,10 @@ Status Compressor::TryCompress(const Tensor& data, double config,
   m.compress_calls->Increment();
   if (fault::Hit(fault::Site::kCompressorCompress)) {
     m.compress_failures->Increment();
-    return Status::Internal("injected fault: " + name() + " Compress");
+    // Unavailable: the injected fault models a transient backend failure
+    // (the same request can succeed a moment later), which is what the
+    // serving layer's StatusIsRetryable classification keys on.
+    return Status::Unavailable("injected fault: " + name() + " Compress");
   }
   *out = Compress(data, config);
   if (out->empty()) {
@@ -139,7 +142,7 @@ Status Compressor::TryDecompress(const uint8_t* data, size_t size,
   m.decompress_calls->Increment();
   if (fault::Hit(fault::Site::kCompressorDecompress)) {
     m.decompress_failures->Increment();
-    return Status::Internal("injected fault: " + name() + " Decompress");
+    return Status::Unavailable("injected fault: " + name() + " Decompress");
   }
   const WallTimer timer;
   const Status status = Decompress(data, size, out);

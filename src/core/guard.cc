@@ -34,6 +34,16 @@ struct GuardMetrics {
   metrics::Counter& verify_failures = metrics::GetCounter(
       "fxrz_guard_verify_failures_total",
       "Pre-serve archive verifications that failed (tier invalidated)");
+  metrics::Counter& deadline_exceeded = metrics::GetCounter(
+      "fxrz_guard_deadline_exceeded_total",
+      "Requests ended by an expired deadline (no archive to degrade to)");
+  metrics::Counter& cancelled = metrics::GetCounter(
+      "fxrz_guard_cancelled_total",
+      "Requests ended by cooperative cancellation");
+  metrics::Counter& deadline_degraded = metrics::GetCounter(
+      "fxrz_guard_deadline_degraded_total",
+      "Requests served a lower-tier archive because the deadline/cancel "
+      "checkpoint fired mid-ladder");
   metrics::Counter& compressions = metrics::GetCounter(
       "fxrz_guard_compressions_total",
       "Compressor invocations spent by guarded requests (all tiers)");
@@ -156,11 +166,14 @@ StatusOr<Attempt> AttemptCompress(const Compressor& compressor,
 // gap its budgeted black-box search left open (when the target is
 // reachable at all). A compressor failure mid-polish keeps the best
 // archive found so far -- this path must never turn a good attempt into
-// an error.
+// an error. Deadline/cancel expiry likewise just stops polishing (the
+// caller's post-tier checkpoint decides whether to degrade-serve).
 Attempt PolishTowardTarget(const Compressor& compressor, const Tensor& data,
                            const ConfigSpace& space, Attempt seed,
                            double target_ratio, double accept_error,
-                           int max_iters, int* compressions) {
+                           int max_iters, int* compressions,
+                           const Deadline& deadline,
+                           const CancelToken* cancel) {
   const auto to_knob = [&space](double config) {
     return space.log_scale ? std::log10(config) : config;
   };
@@ -178,6 +191,7 @@ Attempt PolishTowardTarget(const Compressor& compressor, const Tensor& data,
   }
   Attempt best = std::move(seed);
   for (int i = 0; i < max_iters && lo < hi; ++i) {
+    if (!CheckCancel(deadline, cancel, "polish").ok()) break;
     if (space.integer && hi - lo < 1.0) break;  // knob resolution exhausted
     const double mid = 0.5 * (lo + hi);
     StatusOr<Attempt> probe =
@@ -216,6 +230,20 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   const ConfigSpace space = compressor_->config_space(data);
   const double accept_error = std::max(options.accept_error, 0.0);
   GuardedResult result;
+  // Cooperative deadline/cancel checkpoint, evaluated between compressions
+  // (see GuardOptions::deadline). Cancel wins over an expired deadline.
+  auto checkpoint = [&](const char* where) {
+    return CheckCancel(options.deadline, options.cancel, where);
+  };
+  // True once any tier failed with a retryable Status (injected transient
+  // backend faults surface as Unavailable): exhaustion is then reported as
+  // Unavailable too, so the serving layer's retry loop knows the same
+  // request may succeed on a fresh attempt.
+  bool transient_failure = false;
+  auto note_failure = [&](const std::string& tier, const Status& status) {
+    transient_failure = transient_failure || StatusIsRetryable(status);
+    return tier + ": " + status.ToString();
+  };
   std::string trail;  // per-tier notes for the exhaustion message
   auto note = [&trail](const std::string& s) {
     if (!trail.empty()) trail += "; ";
@@ -265,6 +293,15 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
     return true;
   };
 
+  // Nothing compressed yet, so expiry here cannot degrade: return the
+  // checkpoint Status directly.
+  if (Status cp = checkpoint("guard: admission"); !cp.ok()) {
+    (cp.code() == StatusCode::kCancelled ? GMetrics().cancelled
+                                         : GMetrics().deadline_exceeded)
+        .Increment();
+    return cp;
+  }
+
   // Constant-field fast path: the features are degenerate (zero range), so
   // the model has nothing to say -- any mid-range config reaches an
   // enormous ratio, which can only over-achieve the target.
@@ -274,6 +311,9 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
                                        : 0.5 * (space.min + space.max);
     StatusOr<Attempt> attempt = AttemptCompress(*compressor_, data, space, mid);
     if (!attempt.ok()) {
+      // A transient backend fault on the only tier this request can use:
+      // surface it retryably instead of burying it in an Internal wrapper.
+      if (StatusIsRetryable(attempt.status())) return attempt.status();
       return Status::Internal(std::string("guarded compress: tier ") +
                               ServingTierName(ServingTier::kConstantField) +
                               " failed [" + attempt.status().ToString() + "]");
@@ -290,8 +330,24 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
 
   Attempt best;
   bool have_best = false;
+  ServingTier best_tier = ServingTier::kModelEstimate;
   auto miss = [&](const Attempt& a) {
     return EstimationError(target_ratio, a.ratio);
+  };
+  // Deadline/cancel fired mid-ladder. With an archive in hand and
+  // degrade_on_expiry set, serve it (flagged) rather than waste the work;
+  // otherwise propagate the checkpoint Status.
+  auto expire = [&](Status why) -> StatusOr<GuardedResult> {
+    (why.code() == StatusCode::kCancelled ? GMetrics().cancelled
+                                          : GMetrics().deadline_exceeded)
+        .Increment();
+    if (options.degrade_on_expiry && have_best) {
+      GMetrics().deadline_degraded.Increment();
+      result.deadline_degraded = true;
+      return accept(best_tier, std::move(best));
+    }
+    GMetrics().compressions.Increment(result.compressions);
+    return why;
   };
 
   // Tiers 1-2: model estimate, then one-measurement refinement -- gated on
@@ -318,14 +374,18 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
       }
       note(msg.str());
     } else {
+      if (Status cp = checkpoint("guard: model tier"); !cp.ok()) {
+        return expire(std::move(cp));
+      }
       StatusOr<Attempt> first =
           AttemptCompress(*compressor_, data, space, est.config);
       if (!first.ok()) {
-        note("model tier: " + first.status().ToString());
+        note(note_failure("model tier", first.status()));
       } else {
         ++result.compressions;
         best = std::move(first).value();
         have_best = true;
+        best_tier = ServingTier::kModelEstimate;
         if (miss(best) <= accept_error) {
           if (verified(best, "model tier")) {
             return accept(ServingTier::kModelEstimate, std::move(best));
@@ -335,6 +395,9 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
         } else {
           for (int extra = 0; extra < options.max_refine_compressions;
                ++extra) {
+            if (Status cp = checkpoint("guard: refine tier"); !cp.ok()) {
+              return expire(std::move(cp));
+            }
             const double corrected = model_.RefineConfig(
                 data, target_ratio, best.config, best.ratio);
             if (corrected == best.config) {
@@ -344,7 +407,7 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
             StatusOr<Attempt> again =
                 AttemptCompress(*compressor_, data, space, corrected);
             if (!again.ok()) {
-              note("refine tier: " + again.status().ToString());
+              note(note_failure("refine tier", again.status()));
               break;
             }
             ++result.compressions;
@@ -353,6 +416,7 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
               break;
             }
             best = std::move(again).value();
+            best_tier = ServingTier::kRefined;
             if (miss(best) <= accept_error) {
               if (verified(best, "refine tier")) {
                 return accept(ServingTier::kRefined, std::move(best));
@@ -374,20 +438,35 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   if (!options.allow_fraz_fallback) {
     note("fraz tier: fallback disabled");
   } else {
+    if (Status cp = checkpoint("guard: fraz tier"); !cp.ok()) {
+      return expire(std::move(cp));
+    }
     FXRZ_TRACE_SPAN("guard.fraz_tier");
     FrazOptions fraz = options.fraz;  // sanitize: never abort on bad knobs
     fraz.num_bins = std::max(1, fraz.num_bins);
     fraz.total_max_iterations =
         std::max(fraz.num_bins, fraz.total_max_iterations);
+    // Overlay the request's deadline/cancel on any caller-provided stop
+    // hook so FRaZ's inner loop also honors the budget (within one
+    // compression, its poll granularity).
+    const std::function<bool()> caller_stop = std::move(fraz.should_stop);
+    fraz.should_stop = [&options, &caller_stop] {
+      if (caller_stop && caller_stop()) return true;
+      return (options.cancel != nullptr && options.cancel->cancelled()) ||
+             options.deadline.expired();
+    };
     const FrazResult found =
         FrazSearch(*compressor_, data, target_ratio, fraz);
     result.compressions += found.compressor_runs;
+    if (Status cp = checkpoint("guard: fraz tier"); !cp.ok()) {
+      return expire(std::move(cp));
+    }
     // FRaZ reports the winning config but keeps no archive; produce it
     // with one more (guarded) run.
     StatusOr<Attempt> last =
         AttemptCompress(*compressor_, data, space, found.config);
     if (!last.ok()) {
-      note("fraz tier: " + last.status().ToString());
+      note(note_failure("fraz tier", last.status()));
     } else {
       ++result.compressions;
       Attempt attempt = std::move(last).value();
@@ -396,7 +475,8 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
                                      std::move(attempt), target_ratio,
                                      accept_error,
                                      options.max_polish_compressions,
-                                     &result.compressions);
+                                     &result.compressions, options.deadline,
+                                     options.cancel);
       }
       if (miss(attempt) <= accept_error &&
           verified(attempt, "fraz tier")) {
@@ -409,6 +489,10 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
       if (!have_best || miss(attempt) < miss(best)) {
         best = std::move(attempt);
         have_best = true;
+        best_tier = ServingTier::kFrazFallback;
+      }
+      if (Status cp = checkpoint("guard: post-fraz"); !cp.ok()) {
+        return expire(std::move(cp));
       }
     }
   }
@@ -421,6 +505,10 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
       << " not met within rel err " << accept_error;
   if (have_best) msg << "; best measured ratio " << best.ratio;
   msg << " [" << trail << "]";
+  // Exhaustion caused (at least partly) by a transient backend fault is
+  // itself transient: report it retryably so the serving layer's backoff
+  // loop gets another shot at the same request.
+  if (transient_failure) return Status::Unavailable(msg.str());
   return Status::Internal(msg.str());
 }
 

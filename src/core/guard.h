@@ -35,6 +35,7 @@
 #include "src/core/drift.h"
 #include "src/data/tensor.h"
 #include "src/fraz/fraz.h"
+#include "src/util/deadline.h"
 #include "src/util/status.h"
 
 namespace fxrz {
@@ -109,6 +110,23 @@ struct GuardOptions {
   // Optional: every archive-producing request is recorded here
   // (target vs measured ratio), feeding the retraining recommendation.
   DriftMonitor* drift = nullptr;
+  // Per-request time budget and cooperative cancel, checked at every tier
+  // boundary (admission -> model -> each refine compression -> FRaZ ->
+  // each polish bisection step) and inside the FRaZ search itself (via
+  // FrazOptions::should_stop, which the ladder overlays on any caller-set
+  // hook). Expiry between compressions -- never mid-compression; the
+  // checkpoints are cooperative -- ends the ladder early. Defaults: no
+  // deadline, no cancel.
+  Deadline deadline;
+  const CancelToken* cancel = nullptr;
+  // What expiry means when a lower tier already produced an archive: with
+  // degrade_on_expiry set (default) the request is served that archive --
+  // possibly outside accept_error, flagged via
+  // GuardedResult::deadline_degraded -- on the theory that a worse ratio
+  // beats no archive. Cleared, expiry always returns
+  // DeadlineExceeded/Cancelled. With no archive in hand the Status is
+  // returned either way.
+  bool degrade_on_expiry = true;
 };
 
 // A served request. Only produced together with a valid archive.
@@ -126,6 +144,10 @@ struct GuardedResult {
   double knob_spread = 0.0;
   // True when GuardOptions::verify_archive decode-checked this archive.
   bool archive_verified = false;
+  // True when the deadline/cancel checkpoint ended the ladder early and the
+  // request was served the best archive found so far (which may miss
+  // accept_error); see GuardOptions::degrade_on_expiry.
+  bool deadline_degraded = false;
   std::vector<uint8_t> compressed;
 };
 

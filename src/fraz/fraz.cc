@@ -22,6 +22,12 @@ FrazResult FrazSearch(const Compressor& compressor, const Tensor& data,
   WallTimer timer;
   double best_err = -1.0;
 
+  // Cooperative cancellation: polled before every compressor run (the only
+  // expensive step), so a stop request is honored within one compression.
+  auto stopped = [&options] {
+    return options.should_stop && options.should_stop();
+  };
+
   auto evaluate = [&](double knob) -> double {
     double config = space.log_scale ? std::pow(10.0, knob) : knob;
     config = std::clamp(config, space.min, space.max);
@@ -53,6 +59,10 @@ FrazResult FrazSearch(const Compressor& compressor, const Tensor& data,
     double bin_best_knob = lo;
     double bin_best_err = -1.0;
     for (int i = 0; i < explore; ++i) {
+      if (stopped()) {
+        result.search_seconds = timer.Seconds();
+        return result;
+      }
       const double f =
           explore == 1 ? 0.5 : static_cast<double>(i) / (explore - 1);
       const double knob = lo + (0.25 + 0.5 * f) * (hi - lo);
@@ -72,6 +82,10 @@ FrazResult FrazSearch(const Compressor& compressor, const Tensor& data,
     double step = (hi - lo) / (2.0 * explore);
     int sign = 1;
     for (int it = explore; it < iters_per_bin; ++it) {
+      if (stopped()) {
+        result.search_seconds = timer.Seconds();
+        return result;
+      }
       const double knob =
           std::clamp(bin_best_knob + sign * step, knob_lo, knob_hi);
       const double ratio = evaluate(knob);

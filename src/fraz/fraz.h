@@ -11,6 +11,8 @@
 #ifndef FXRZ_FRAZ_FRAZ_H_
 #define FXRZ_FRAZ_FRAZ_H_
 
+#include <functional>
+
 #include "src/compressors/compressor.h"
 #include "src/data/tensor.h"
 
@@ -21,6 +23,12 @@ struct FrazOptions {
   int total_max_iterations = 15;  // paper evaluates 6 and 15
   // Early-exit tolerance on |measured - target| / target.
   double tolerance = 0.01;
+  // Cooperative cancellation probe, polled before every compressor run.
+  // When it returns true the search stops and reports the best result so
+  // far (possibly zero runs). The guard ladder wires this to the request's
+  // deadline/cancel token so a slow FRaZ escalation cannot pin a serving
+  // worker past its budget.
+  std::function<bool()> should_stop;
 };
 
 struct FrazResult {

@@ -1,0 +1,112 @@
+#include "src/serve/circuit_breaker.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace fxrz {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+namespace {
+
+double StateGaugeValue(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return 0.0;
+    case BreakerState::kHalfOpen: return 1.0;
+    case BreakerState::kOpen: return 2.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(std::string name, CircuitBreakerOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      trips_(metrics::GetCounter(
+          "fxrz_breaker_trips_total{backend=\"" + name_ + "\"}",
+          "Circuit breaker transitions to open, per backend")),
+      fast_fails_(metrics::GetCounter(
+          "fxrz_breaker_fast_fails_total{backend=\"" + name_ + "\"}",
+          "Requests failed fast by an open/half-open breaker, per backend")),
+      state_gauge_(metrics::GetGauge(
+          "fxrz_breaker_state{backend=\"" + name_ + "\"}",
+          "Breaker state: 0 closed, 1 half-open, 2 open")) {
+  FXRZ_CHECK_GE(options_.failure_threshold, 1);
+  FXRZ_CHECK_GE(options_.open_seconds, 0.0);
+  FXRZ_CHECK_GE(options_.half_open_probes, 1);
+  state_gauge_.Set(0.0);
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState next) {
+  if (next == BreakerState::kOpen && state_ != BreakerState::kOpen) {
+    trips_.Increment();
+    open_until_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         options_.open_seconds));
+  }
+  state_ = next;
+  if (next != BreakerState::kHalfOpen) probes_in_flight_ = 0;
+  if (next == BreakerState::kClosed) consecutive_failures_ = 0;
+  state_gauge_.Set(StateGaugeValue(next));
+}
+
+Status CircuitBreaker::Allow() {
+  MutexLock lock(mu_);
+  if (state_ == BreakerState::kOpen) {
+    if (Clock::now() >= open_until_) {
+      TransitionLocked(BreakerState::kHalfOpen);
+    } else {
+      fast_fails_.Increment();
+      return Status::Unavailable("circuit breaker open for backend \"" +
+                                 name_ + "\"");
+    }
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probes_in_flight_ >= options_.half_open_probes) {
+      fast_fails_.Increment();
+      return Status::Unavailable("circuit breaker half-open for backend \"" +
+                                 name_ + "\": probe slots taken");
+    }
+    ++probes_in_flight_;
+  }
+  return Status::Ok();
+}
+
+void CircuitBreaker::RecordResult(bool healthy) {
+  MutexLock lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (healthy) {
+        consecutive_failures_ = 0;
+      } else if (++consecutive_failures_ >= options_.failure_threshold) {
+        TransitionLocked(BreakerState::kOpen);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // One probe outcome decides: a healthy backend closes the breaker,
+      // a still-failing one reopens it for a fresh cooldown.
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      TransitionLocked(healthy ? BreakerState::kClosed : BreakerState::kOpen);
+      break;
+    case BreakerState::kOpen:
+      // A request admitted half-open can report after a concurrent probe
+      // already reopened the breaker; its outcome is stale, drop it.
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+}  // namespace fxrz

@@ -1,0 +1,99 @@
+// Per-backend circuit breaker for the serving layer.
+//
+// A breaker sits in front of one compression backend and fails requests
+// fast -- Status::Unavailable, no compressor work -- while the backend is
+// demonstrably unhealthy, instead of letting every queued request burn its
+// full retry budget against a broken codec. Classic three-state machine:
+//
+//   closed    -- normal operation. Transient failures (StatusIsRetryable)
+//                are counted; `failure_threshold` CONSECUTIVE failures trip
+//                the breaker open. Any healthy outcome resets the count.
+//   open      -- all requests fail fast with Unavailable until
+//                `open_seconds` of cooldown has passed (0 means the very
+//                next Allow() probes, which is what deterministic tests
+//                use).
+//   half-open -- after cooldown, up to `half_open_probes` requests are let
+//                through concurrently as probes; everything else still
+//                fails fast. One healthy probe closes the breaker; one
+//                transient probe failure reopens it (fresh cooldown).
+//
+// Health classification is the caller's: report every allowed request's
+// terminal outcome with RecordResult(healthy). A permanent failure (bad
+// request, unreachable target ratio) means the backend RESPONDED, so it
+// counts as healthy for breaker purposes -- only transient failures
+// indicate the backend itself is down. Pair every successful Allow() with
+// exactly one RecordResult(); dropping the pairing leaks a half-open probe
+// slot and the breaker can wedge.
+//
+// Thread-safe; all transitions happen under one mutex. Cooldown uses
+// steady_clock so wall-clock jumps cannot reopen or close a breaker.
+
+#ifndef FXRZ_SERVE_CIRCUIT_BREAKER_H_
+#define FXRZ_SERVE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <string>
+
+#include "src/util/metrics.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace fxrz {
+
+struct CircuitBreakerOptions {
+  // Consecutive transient failures that trip a closed breaker open.
+  int failure_threshold = 5;
+  // Cooldown before an open breaker starts probing. 0 makes the transition
+  // immediate (next Allow() is a probe) for deterministic tests.
+  double open_seconds = 1.0;
+  // Concurrent probes admitted while half-open.
+  int half_open_probes = 1;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  // `name` labels the breaker's metrics (the backend/codec name).
+  explicit CircuitBreaker(std::string name, CircuitBreakerOptions options = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // Ok: proceed (and later call RecordResult exactly once). Unavailable:
+  // fail fast, the breaker is open (or half-open with all probe slots
+  // taken); do NOT call RecordResult for this request.
+  [[nodiscard]] Status Allow();
+
+  // Terminal outcome of a request Allow() admitted. healthy = the backend
+  // responded (success or permanent failure); !healthy = transient failure.
+  void RecordResult(bool healthy);
+  void RecordSuccess() { RecordResult(true); }
+  void RecordFailure() { RecordResult(false); }
+
+  BreakerState state() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void TransitionLocked(BreakerState next) FXRZ_REQUIRES(mu_);
+
+  const std::string name_;
+  const CircuitBreakerOptions options_;
+  metrics::Counter& trips_;      // closed/half-open -> open transitions
+  metrics::Counter& fast_fails_; // requests rejected without backend work
+  metrics::Gauge& state_gauge_;  // 0 closed, 1 half-open, 2 open
+
+  mutable AnnotatedMutex mu_;
+  BreakerState state_ FXRZ_GUARDED_BY(mu_) = BreakerState::kClosed;
+  int consecutive_failures_ FXRZ_GUARDED_BY(mu_) = 0;
+  int probes_in_flight_ FXRZ_GUARDED_BY(mu_) = 0;
+  Clock::time_point open_until_ FXRZ_GUARDED_BY(mu_){};
+};
+
+}  // namespace fxrz
+
+#endif  // FXRZ_SERVE_CIRCUIT_BREAKER_H_

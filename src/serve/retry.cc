@@ -1,0 +1,46 @@
+#include "src/serve/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fxrz {
+
+namespace {
+
+// SplitMix64 (Steele et al.): one multiply-xorshift round is enough to
+// decorrelate adjacent (request_id, attempt) pairs.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RetryBackoffSeconds(const RetryOptions& options, uint64_t request_id,
+                           int attempt) {
+  if (options.initial_backoff_seconds <= 0.0 || attempt <= 0) return 0.0;
+  const double multiplier = std::max(options.backoff_multiplier, 1.0);
+  double backoff = options.initial_backoff_seconds *
+                   std::pow(multiplier, static_cast<double>(attempt - 1));
+  backoff = std::min(backoff, std::max(options.max_backoff_seconds,
+                                       options.initial_backoff_seconds));
+  const double jitter = std::clamp(options.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    // u in [0, 1): the top 53 bits of the hash as a double fraction.
+    const uint64_t hash =
+        SplitMix64((request_id << 32) ^ static_cast<uint64_t>(attempt));
+    const double u = static_cast<double>(hash >> 11) * 0x1.0p-53;
+    backoff *= 1.0 - jitter * u;
+  }
+  return backoff;
+}
+
+bool ShouldRetry(const RetryOptions& options, const Status& status,
+                 int attempts_made) {
+  return !status.ok() && StatusIsRetryable(status) &&
+         attempts_made < options.max_attempts;
+}
+
+}  // namespace fxrz

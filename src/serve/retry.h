@@ -1,0 +1,53 @@
+// Retry policy for the serving layer: bounded attempts with exponential
+// backoff and deterministic jitter.
+//
+// Only transient failures are retried -- StatusIsRetryable (Unavailable,
+// ResourceExhausted) separates "the same request may succeed in a moment"
+// (injected backend fault, tripped breaker, momentary overload) from
+// permanent outcomes (bad input, unreachable target ratio) that would fail
+// identically forever. The backoff schedule is a pure function of
+// (options, request_id, attempt): no global RNG, no wall clock, so a
+// replayed request storm backs off identically run over run. Jitter comes
+// from splitmix64(request_id * 2^32 + attempt), which decorrelates the
+// retry times of requests that failed together (avoiding the synchronized
+// retry stampede that plain exponential backoff produces) while staying
+// reproducible.
+
+#ifndef FXRZ_SERVE_RETRY_H_
+#define FXRZ_SERVE_RETRY_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace fxrz {
+
+struct RetryOptions {
+  // Total attempts (first try included). 1 disables retries.
+  int max_attempts = 3;
+  // Backoff before retry k (1-based) is
+  //   min(initial * multiplier^(k-1), max) * (1 - jitter * u)
+  // with u deterministic in [0, 1). Defaults are sized for an in-process
+  // backend: the first retry follows almost immediately.
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.250;
+  // Fraction of each backoff randomized away (0 = none, 1 = full). Must
+  // stay in [0, 1].
+  double jitter = 0.5;
+};
+
+// Seconds to wait before retry `attempt` (1-based: the wait after the
+// attempt'th failure) of request `request_id`. Pure and deterministic;
+// returns 0 for non-positive backoff options.
+double RetryBackoffSeconds(const RetryOptions& options, uint64_t request_id,
+                           int attempt);
+
+// Whether a failed attempt should be retried: the status is transient and
+// the attempt budget (attempts_made < max_attempts) is not exhausted.
+bool ShouldRetry(const RetryOptions& options, const Status& status,
+                 int attempts_made);
+
+}  // namespace fxrz
+
+#endif  // FXRZ_SERVE_RETRY_H_

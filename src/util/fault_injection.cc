@@ -14,6 +14,7 @@ const char* SiteName(Site site) {
     case Site::kArchiveDecode: return "archive-decode";
     case Site::kBitrot: return "bitrot";
     case Site::kTornWrite: return "torn-write";
+    case Site::kServeDispatch: return "serve-dispatch";
   }
   return "?";
 }
@@ -27,7 +28,23 @@ struct SiteState {
   uint64_t triggered = 0;  // hits that actually failed
   int skip = 0;
   int count = 0;  // remaining failures once skip reaches 0
+  // Probabilistic mode (FailWithProbability). When armed, `threshold` is
+  // p * 2^64 and hit k (numbered from arming) fails iff
+  // splitmix64(seed + k) < threshold.
+  bool probabilistic = false;
+  uint64_t threshold = 0;
+  uint64_t seed = 0;
+  uint64_t armed_at_hit = 0;  // hit index when the mode was (re)armed
 };
+
+// splitmix64 finalizer: the per-hit hash behind probabilistic mode. A pure
+// function of its input, so the fail/succeed sequence is reproducible.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 AnnotatedMutex g_mu;
 SiteState g_sites[kNumSites] FXRZ_GUARDED_BY(g_mu);
@@ -47,6 +64,23 @@ void Arm(Site site, int skip, int count) {
   SiteState& s = StateFor(site);
   s.skip = skip;
   s.count = count;
+  s.probabilistic = false;
+  s.armed_at_hit = s.hits;
+}
+
+void FailWithProbability(Site site, double p, uint64_t seed) {
+  FXRZ_CHECK(p >= 0.0 && p <= 1.0) << "fault probability " << p;
+  MutexLock lock(g_mu);
+  SiteState& s = StateFor(site);
+  s.skip = 0;
+  s.count = 0;
+  s.probabilistic = p > 0.0;
+  // p == 1 must always fail; 2^64 does not fit a uint64_t, so saturate and
+  // let the `>= 1.0` branch in Hit handle exactness.
+  s.threshold = p >= 1.0 ? ~0ULL
+                         : static_cast<uint64_t>(p * 18446744073709551616.0);
+  s.seed = seed;
+  s.armed_at_hit = s.hits;
 }
 
 void ResetAll() {
@@ -67,7 +101,14 @@ uint64_t TriggeredCount(Site site) {
 bool Hit(Site site) {
   MutexLock lock(g_mu);
   SiteState& s = StateFor(site);
+  const uint64_t index = s.hits - s.armed_at_hit;  // k-th hit since arming
   ++s.hits;
+  if (s.probabilistic) {
+    const bool fail = s.threshold == ~0ULL ||
+                      SplitMix64(s.seed + index) < s.threshold;
+    if (fail) ++s.triggered;
+    return fail;
+  }
   if (s.skip > 0) {
     --s.skip;
     return false;

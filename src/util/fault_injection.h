@@ -1,12 +1,28 @@
 // Deterministic fault injection for robustness testing.
 //
 // The serving layer routes every fallible external step (compressor runs,
-// model queries, archive decodes) through a named fault *site*. A test arms
-// a site with a (skip, count) schedule -- the next `skip` hits at that site
-// succeed, the following `count` hits fail -- and the instrumented code
-// observes the failure exactly where a real one would surface. Schedules
-// are consumed in call order under a lock, so single-threaded tests see
-// precisely the failures they armed.
+// model queries, archive decodes, request dispatch) through a named fault
+// *site*. A test arms a site in one of two modes:
+//
+//   Arm(site, skip, count)            deterministic nth-hit schedule: the
+//                                     next `skip` hits succeed, the
+//                                     following `count` hits fail.
+//   FailWithProbability(site, p, s)   seeded storm mode: every hit fails
+//                                     independently with probability p.
+//
+// and the instrumented code observes the failure exactly where a real one
+// would surface.
+//
+// Determinism contract. Hits at a site are serialized under a lock and
+// numbered 0, 1, 2, ... since the last ResetAll/(re)arm. In schedule mode
+// the outcome of hit k is a pure function of (skip, count, k). In
+// probabilistic mode the outcome of hit k is the pure function
+// `splitmix64(seed + k) < p * 2^64` -- no mutable RNG state -- so a given
+// (p, seed) always produces the same fail/succeed sequence along the hit
+// index. Single-threaded tests therefore see exactly the failures they
+// armed; multi-threaded storms see a fixed outcome *sequence* whose
+// assignment to requests follows arrival order at the site (the chaos test
+// asserts aggregate accounting, never which thread drew which outcome).
 //
 // The facility is compiled in only under -DFXRZ_FAULT_INJECT=ON (which
 // defines FXRZ_FAULT_INJECT); otherwise Hit() is a constant-false inline
@@ -28,8 +44,9 @@ enum class Site : int {
   kArchiveDecode,           // compressor_internal::ParseHeader
   kBitrot,                  // Crc32cMatches: checksum verification mismatch
   kTornWrite,               // AtomicWriteFile: crash before rename
+  kServeDispatch,           // FxrzServer: worker fails a request pre-backend
 };
-inline constexpr int kNumSites = 6;
+inline constexpr int kNumSites = 7;
 
 const char* SiteName(Site site);
 
@@ -44,8 +61,16 @@ constexpr bool Enabled() {
 
 #ifdef FXRZ_FAULT_INJECT
 // Arms `site`: after `skip` more successful hits, the next `count` hits
-// fail. Re-arming replaces any previous schedule. skip >= 0, count >= 0.
+// fail. Re-arming replaces any previous schedule (including a
+// probabilistic one) and restarts the site's hit numbering. skip >= 0,
+// count >= 0.
 void Arm(Site site, int skip, int count);
+
+// Arms `site` probabilistically: each hit fails independently with
+// probability `p` in [0, 1], decided by the deterministic per-hit hash
+// documented in the header comment. Replaces any previous schedule and
+// restarts the site's hit numbering; p <= 0 disarms the site.
+void FailWithProbability(Site site, double p, uint64_t seed);
 
 // Disarms every site and zeroes all hit counters.
 void ResetAll();
@@ -63,6 +88,8 @@ uint64_t TriggeredCount(Site site);
 bool Hit(Site site);
 #else
 inline void Arm(Site /*site*/, int /*skip*/, int /*count*/) {}
+inline void FailWithProbability(Site /*site*/, double /*p*/,
+                                uint64_t /*seed*/) {}
 inline void ResetAll() {}
 inline uint64_t HitCount(Site /*site*/) { return 0; }
 inline uint64_t TriggeredCount(Site /*site*/) { return 0; }

@@ -23,6 +23,13 @@ enum class StatusCode {
   kCorruption,
   kNotFound,
   kInternal,
+  // Serving-path categories (src/serve/, core/guard.*). The first three are
+  // how the server tells overload, slowness, and backend failure apart --
+  // each drives a different client policy (shed, give up, retry/fail over).
+  kResourceExhausted,  // load shed: queue full, tenant quota exceeded
+  kDeadlineExceeded,   // the request's deadline expired before completion
+  kUnavailable,        // transient backend failure / circuit breaker open
+  kCancelled,          // cooperative cancellation (e.g. graceful drain)
 };
 
 // Value-semantic result of a fallible operation. [[nodiscard]]: silently
@@ -46,6 +53,18 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -61,6 +80,10 @@ class [[nodiscard]] Status {
       case StatusCode::kCorruption: name = "Corruption"; break;
       case StatusCode::kNotFound: name = "NotFound"; break;
       case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kResourceExhausted: name = "ResourceExhausted"; break;
+      case StatusCode::kDeadlineExceeded: name = "DeadlineExceeded"; break;
+      case StatusCode::kUnavailable: name = "Unavailable"; break;
+      case StatusCode::kCancelled: name = "Cancelled"; break;
     }
     return std::string(name) + ": " + message_;
   }
@@ -114,6 +137,29 @@ class [[nodiscard]] StatusOr {
   Status status_;  // OK iff value_ holds a value
   std::optional<T> value_;
 };
+
+// Transient-vs-permanent classification for the serving layer's
+// retry-with-backoff loop. Retrying is worthwhile exactly when the same
+// request could succeed a moment later without anything else changing:
+//
+//   kUnavailable        a backend hiccuped or a circuit breaker is open;
+//                       the breaker's half-open probe window or the fault
+//                       clearing makes a later attempt meaningful.
+//   kResourceExhausted  a queue or quota was momentarily full; backoff is
+//                       precisely the remedy.
+//
+// Everything else is permanent for this request: the input is bad
+// (kInvalidArgument), the bytes are bad (kCorruption, kNotFound), the
+// request's own time budget is spent (kDeadlineExceeded, kCancelled), or
+// the failure is deterministic (kInternal -- e.g. a target ratio no ladder
+// tier can reach; retrying recomputes the same answer).
+inline bool StatusIsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
+inline bool StatusIsRetryable(const Status& status) {
+  return StatusIsRetryable(status.code());
+}
 
 // Propagates a non-OK status to the caller.
 #define FXRZ_RETURN_IF_ERROR(expr)            \

@@ -27,6 +27,7 @@
 #ifndef FXRZ_UTIL_THREAD_ANNOTATIONS_H_
 #define FXRZ_UTIL_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -127,6 +128,20 @@ class CondVar {
     std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
     cv_.wait(relock, std::move(pred));
     relock.release();
+  }
+
+  // Waits until pred() is true or `when` passes; returns pred()'s value at
+  // exit (false means the wait timed out with the predicate still false).
+  // steady_clock only: wall-clock jumps must not shorten or extend waits
+  // (same rule as util/deadline.h).
+  template <typename Pred>
+  [[nodiscard]] bool WaitUntil(AnnotatedMutex& mu,
+                               std::chrono::steady_clock::time_point when,
+                               Pred pred) FXRZ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_until(relock, when, std::move(pred));
+    relock.release();
+    return satisfied;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -5,9 +5,34 @@
 #include <memory>
 
 #include "src/util/check.h"
+#include "src/util/metrics.h"
 #include "src/util/thread_annotations.h"
 
 namespace fxrz {
+
+namespace {
+
+// Saturation gauges for `fxrz_verify stats` and the serve bench: when the
+// serving layer sheds load, the first question is whether the pool (not
+// the submission queue) was the bottleneck. Every ThreadPool instance
+// writes the same two gauges (last writer wins); in practice the process
+// has one shared pool, and a transient mixed reading still flags
+// saturation, which is all a gauge promises.
+struct PoolMetrics {
+  metrics::Gauge& queue_depth = metrics::GetGauge(
+      "fxrz_threadpool_queue_depth",
+      "Tasks waiting in the ThreadPool queue (not yet picked up)");
+  metrics::Gauge& inflight = metrics::GetGauge(
+      "fxrz_threadpool_inflight",
+      "Submitted ThreadPool tasks not yet finished (queued + running)");
+};
+
+PoolMetrics& PMetrics() {
+  static PoolMetrics* m = new PoolMetrics();  // never destroyed
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -32,6 +57,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     FXRZ_CHECK(!shutdown_);
     queue_.push(std::move(task));
     ++in_flight_;
+    PMetrics().queue_depth.Set(static_cast<double>(queue_.size()));
+    PMetrics().inflight.Set(static_cast<double>(in_flight_));
   }
   task_available_.NotifyOne();
 }
@@ -62,6 +89,7 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      PMetrics().queue_depth.Set(static_cast<double>(queue_.size()));
     }
     std::exception_ptr error;
     try {
@@ -73,6 +101,7 @@ void ThreadPool::WorkerLoop() {
       MutexLock lock(mu_);
       if (error && !first_error_) first_error_ = error;
       --in_flight_;
+      PMetrics().inflight.Set(static_cast<double>(in_flight_));
       if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }

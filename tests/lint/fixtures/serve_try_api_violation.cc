@@ -1,0 +1,23 @@
+// Negative fixture for the fxrz-try-api-in-serving check, scoped to the
+// serving layer proper. Linted (never compiled) as if it lived at
+// src/serve/fixture.cc. The server dispatch path must go through the
+// Status-returning guard/Try* wrappers -- a raw ->Decompress() on a worker
+// thread would dodge fault injection, the breaker's health accounting, and
+// the per-codec metrics, so the check must flag it here.
+
+#include <cstdint>
+#include <vector>
+
+namespace fxrz {
+
+class Compressor;
+struct Tensor;
+
+void VerifyArchiveOnWorker(Compressor* codec,
+                           const std::vector<uint8_t>& archive,
+                           Tensor* round_trip) {
+  // Violation: raw virtual call on the serving path.
+  codec->Decompress(archive.data(), archive.size(), round_trip);
+}
+
+}  // namespace fxrz

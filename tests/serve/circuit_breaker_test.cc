@@ -1,0 +1,140 @@
+// Circuit-breaker state machine: consecutive transient failures trip it
+// open, fast-fails while open, half-open probing after cooldown, one
+// healthy probe closes / one failing probe reopens. Deterministic via
+// open_seconds = 0 (the next Allow() after a trip is already a probe).
+
+#include <gtest/gtest.h>
+
+#include "src/serve/circuit_breaker.h"
+
+namespace fxrz {
+namespace {
+
+CircuitBreakerOptions FastOptions(int threshold = 3, int probes = 1) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = threshold;
+  options.open_seconds = 0.0;  // open -> half-open on the next Allow()
+  options.half_open_probes = probes;
+  return options;
+}
+
+TEST(CircuitBreakerTest, ClosedUntilConsecutiveFailureThreshold) {
+  CircuitBreaker breaker("sz", FastOptions(/*threshold=*/3));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  // A healthy outcome resets the consecutive count: CONSECUTIVE, not
+  // cumulative.
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordSuccess();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();  // third consecutive: trip
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenFailsFastWithUnavailable) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_seconds = 3600.0;  // no cooldown within this test
+  CircuitBreaker breaker("zfp", options);
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  const Status rejected = breaker.Allow();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.ToString().find("circuit breaker open"),
+            std::string::npos);
+  EXPECT_TRUE(StatusIsRetryable(rejected));  // fail-fast is retryable
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  CircuitBreaker breaker("sz", FastOptions(/*threshold=*/1));
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  // Cooldown 0: this Allow transitions to half-open and admits the probe.
+  ASSERT_TRUE(breaker.Allow().ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow().ok());
+  breaker.RecordSuccess();
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  CircuitBreaker breaker("sz", FastOptions(/*threshold=*/1));
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+  ASSERT_TRUE(breaker.Allow().ok());  // half-open probe
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // And it can recover again on the next probe cycle.
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenLimitsConcurrentProbes) {
+  CircuitBreaker breaker("sz", FastOptions(/*threshold=*/1, /*probes=*/2));
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+
+  ASSERT_TRUE(breaker.Allow().ok());  // probe slot 1 (trips half-open)
+  ASSERT_TRUE(breaker.Allow().ok());  // probe slot 2
+  const Status third = breaker.Allow();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  EXPECT_NE(third.ToString().find("probe slots taken"), std::string::npos);
+
+  breaker.RecordSuccess();  // first probe reports healthy -> closed
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // The second probe reports after the close; stale but harmless.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, PermanentFailuresCountAsHealthy) {
+  CircuitBreaker breaker("sz", FastOptions(/*threshold=*/1));
+  // The caller maps permanent failures to RecordResult(true): the backend
+  // responded, so the breaker must not trip.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(breaker.Allow().ok());
+    breaker.RecordResult(/*healthy=*/true);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, StaleResultWhileOpenIsDropped) {
+  CircuitBreaker breaker("sz", FastOptions(/*threshold=*/1, /*probes=*/2));
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();            // open
+  ASSERT_TRUE(breaker.Allow().ok());  // half-open, probe 1
+  ASSERT_TRUE(breaker.Allow().ok());  // probe 2
+  breaker.RecordFailure();            // probe 1 fails -> reopen
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  breaker.RecordSuccess();  // probe 2's stale report must not close it
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace fxrz

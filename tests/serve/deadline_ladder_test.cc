@@ -1,0 +1,206 @@
+// Deadline/cancel checkpoints through the guard escalation ladder: expiry
+// between compressions ends the ladder early, degrading to the best
+// archive in hand (GuardOptions::degrade_on_expiry) or returning
+// DeadlineExceeded/Cancelled when there is nothing to serve. All tests are
+// deterministic: they flip the cancel token from inside the ladder (via
+// the FRaZ should_stop hook) instead of racing wall-clock deadlines.
+
+#include <gtest/gtest.h>
+
+#include "src/core/guard.h"
+#include "src/core/pipeline.h"
+#include "src/data/generators/grf.h"
+#include "src/util/deadline.h"
+#include "src/util/metrics.h"
+#include "src/util/status.h"
+
+namespace fxrz {
+namespace {
+
+class DeadlineLadderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      fields_.push_back(GaussianRandomField3D(16, 16, 16, 3.0, seed));
+    }
+    fxrz_ = std::make_unique<Fxrz>(MakeCompressor("sz"));
+    std::vector<const Tensor*> train;
+    for (const Tensor& f : fields_) train.push_back(&f);
+    fxrz_->Train(train);
+    target_ = fxrz_->model().ValidTargetRatios(3)[1];
+  }
+
+  std::vector<Tensor> fields_;
+  std::unique_ptr<Fxrz> fxrz_;
+  double target_ = 0.0;
+};
+
+TEST(DeadlineTest, Basics) {
+  EXPECT_TRUE(Deadline().infinite());
+  EXPECT_FALSE(Deadline().expired());
+  EXPECT_TRUE(Deadline::After(0.0).expired());
+  EXPECT_TRUE(Deadline::After(-1.0).expired());
+  EXPECT_FALSE(Deadline::After(60.0).expired());
+  EXPECT_GT(Deadline::After(60.0).remaining_seconds(), 1.0);
+
+  const Deadline finite = Deadline::After(1.0);
+  EXPECT_TRUE(Deadline::Earlier(Deadline(), finite).expired() ==
+              finite.expired());
+  EXPECT_FALSE(Deadline::Earlier(finite, Deadline()).infinite());
+  EXPECT_TRUE(Deadline::Earlier(Deadline(), Deadline()).infinite());
+}
+
+TEST(DeadlineTest, CheckCancelPrecedence) {
+  CancelToken cancel;
+  EXPECT_TRUE(CheckCancel(Deadline(), nullptr, "t").ok());
+  EXPECT_TRUE(CheckCancel(Deadline(), &cancel, "t").ok());
+
+  EXPECT_EQ(CheckCancel(Deadline::After(0.0), &cancel, "t").code(),
+            StatusCode::kDeadlineExceeded);
+  cancel.Cancel();
+  // Cancellation wins even when the deadline is also expired.
+  EXPECT_EQ(CheckCancel(Deadline::After(0.0), &cancel, "t").code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(CheckCancel(Deadline(), &cancel, "t").code(),
+            StatusCode::kCancelled);
+}
+
+TEST(DeadlineTest, CancelTokenChains) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(parent.cancelled());
+
+  CancelToken solo;
+  CancelToken leaf(&solo);
+  leaf.Cancel();
+  EXPECT_TRUE(leaf.cancelled());
+  EXPECT_FALSE(solo.cancelled());
+}
+
+TEST(DeadlineTest, RetryableTaxonomy) {
+  EXPECT_TRUE(StatusIsRetryable(Status::Unavailable("x")));
+  EXPECT_TRUE(StatusIsRetryable(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(StatusIsRetryable(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(StatusIsRetryable(Status::Cancelled("x")));
+  EXPECT_FALSE(StatusIsRetryable(Status::InvalidArgument("x")));
+  EXPECT_FALSE(StatusIsRetryable(Status::Internal("x")));
+  EXPECT_FALSE(StatusIsRetryable(Status::Ok()));
+}
+
+TEST_F(DeadlineLadderTest, ExpiredDeadlineFailsBeforeAnyCompression) {
+  GuardOptions options;
+  options.deadline = Deadline::After(0.0);
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio(fields_[0], target_, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(DeadlineLadderTest, CancelledTokenFailsBeforeAnyCompression) {
+  CancelToken cancel;
+  cancel.Cancel();
+  GuardOptions options;
+  options.cancel = &cancel;
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio(fields_[0], target_, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+// Mid-ladder expiry with an archive in hand: the model tier compresses but
+// misses the (absurdly tight) accept_error, the ladder escalates to FRaZ,
+// and the cancel token flips from inside the search. The post-search
+// checkpoint fires and the request degrades to the model-tier archive.
+TEST_F(DeadlineLadderTest, MidLadderExpiryDegradesToBestArchive) {
+  const uint64_t degraded_before =
+      metrics::GetCounter("fxrz_guard_deadline_degraded_total").Value();
+
+  CancelToken cancel;
+  GuardOptions options;
+  options.cancel = &cancel;
+  options.accept_error = 1e-9;  // unmeetable: every tier "misses"
+  options.max_refine_compressions = 0;
+  options.fraz.should_stop = [&cancel] {
+    cancel.Cancel();  // flips during the FRaZ search, like a drain would
+    return false;
+  };
+
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio(fields_[0], target_, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const GuardedResult& result = r.value();
+  EXPECT_TRUE(result.deadline_degraded);
+  EXPECT_EQ(result.tier, ServingTier::kModelEstimate);
+  EXPECT_FALSE(result.compressed.empty());
+  EXPECT_GT(result.measured_ratio, 1.0);
+  if (metrics::Enabled()) {
+    EXPECT_EQ(
+        metrics::GetCounter("fxrz_guard_deadline_degraded_total").Value(),
+        degraded_before + 1);
+  }
+}
+
+// Same expiry, degrade disabled: the archive in hand is discarded and the
+// caller sees the cancellation.
+TEST_F(DeadlineLadderTest, MidLadderExpiryWithoutDegradeReturnsCancelled) {
+  CancelToken cancel;
+  GuardOptions options;
+  options.cancel = &cancel;
+  options.accept_error = 1e-9;
+  options.max_refine_compressions = 0;
+  options.degrade_on_expiry = false;
+  options.fraz.should_stop = [&cancel] {
+    cancel.Cancel();
+    return false;
+  };
+
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio(fields_[0], target_, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+// An untrained pipeline has no model tier, so a cancel during FRaZ leaves
+// nothing to degrade to: the Status propagates even with degrade enabled.
+TEST_F(DeadlineLadderTest, ExpiryWithNoArchiveReturnsStatusDespiteDegrade) {
+  Fxrz untrained(MakeCompressor("sz"));
+  CancelToken cancel;
+  GuardOptions options;
+  options.cancel = &cancel;
+  options.degrade_on_expiry = true;
+  options.fraz.should_stop = [&cancel] {
+    cancel.Cancel();
+    return false;
+  };
+  const StatusOr<GuardedResult> r =
+      untrained.GuardedCompressToRatio(fields_[0], target_, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+// A caller-set should_stop hook still works alongside the ladder's
+// deadline overlay: stopping the search through the caller hook (without
+// cancelling anything) just makes FRaZ report its best-so-far, and the
+// ladder finishes normally.
+TEST_F(DeadlineLadderTest, CallerShouldStopHookStillHonored) {
+  GuardOptions options;
+  options.accept_error = 1e-9;  // force the ladder into the FRaZ tier
+  options.max_refine_compressions = 0;
+  int polls = 0;
+  options.fraz.should_stop = [&polls] { return ++polls > 2; };
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio(fields_[0], target_, options);
+  // Either a tier served within accept_error or the ladder exhausted with
+  // a Status; the hook must not corrupt anything either way.
+  if (r.ok()) {
+    EXPECT_FALSE(r.value().compressed.empty());
+    EXPECT_FALSE(r.value().deadline_degraded);
+  }
+  EXPECT_GT(polls, 0);
+}
+
+}  // namespace
+}  // namespace fxrz

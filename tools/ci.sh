@@ -5,7 +5,8 @@
 # their own, ThreadSanitizer build + tests, ASan+UBSan build + tests
 # (including the fuzz-corpus replay harnesses), an ASan+UBSan
 # FXRZ_FAULT_INJECT build running the fault-injection/escalation-ladder
-# suite, then the static-analysis passes: fxrz_lint + clang-tidy via the
+# suite and the serving-layer retry/breaker/chaos tests, then the
+# static-analysis passes: fxrz_lint + clang-tidy via the
 # lint target, and a clang -Werror=thread-safety compile of the library
 # (skipped with a message on gcc-only boxes).
 # Mirrors what the acceptance gates for the decode-hardening and guarded
@@ -44,6 +45,14 @@ run_config() {
 run_config release build-ci-release \
   -DCMAKE_BUILD_TYPE=Release
 
+# Serving-layer load smoke: the closed-loop harness under its acceptance
+# gate (p99 budget + zero dropped-without-status), on top of the
+# serve_load_gate ctest entry that already ran serially above. This direct
+# invocation keeps the harness exercised even if someone runs ci.sh with a
+# filtered ctest.
+echo "=== serve_load smoke ==="
+(cd build-ci-release && ./bench/serve_load --requests 400 --clients 4 --gate 1.0)
+
 # Observability-off configuration: FXRZ_METRICS=OFF compiles the metrics
 # registry and trace spans down to no-ops. The suite must pass unchanged
 # (metrics-dependent tests GTEST_SKIP), proving production can strip the
@@ -62,6 +71,14 @@ run_config simd-off build-ci-scalar \
   -DFXRZ_SIMD=OFF \
   -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
 
+# Sanitizer stages run the chaos storm at a reduced (still multi-thousand)
+# request count: TSan/ASan overhead makes the full 100k gate needlessly
+# slow there, and the full count already ran in the release stage above.
+export FXRZ_CHAOS_REQUESTS=20000
+
+# The TSan stage is the lock-discipline gate for the serving layer: the
+# serve stress and chaos storm tests (tests/serve/) run here with every
+# queue/slot/breaker/drain interaction under the race detector.
 run_config thread build-ci-tsan \
   -DFXRZ_SANITIZE=thread \
   -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
@@ -83,9 +100,14 @@ run_config asan-ubsan build-ci-asan \
 # ladder suites use them to prove corrupt files are detected, a torn
 # write never damages the committed file, and checksum failures escalate
 # the serving ladder.
+# The serve retry/breaker tests and the probabilistic chaos storm arm
+# their sites here too: injected dispatch/compressor faults must drive the
+# retry ladder and breakers without ever losing a request's Status.
 run_config fault-inject build-ci-fault \
   -DFXRZ_SANITIZE=address,undefined -DFXRZ_FAULT_INJECT=ON \
   -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
+
+unset FXRZ_CHAOS_REQUESTS
 
 echo "=== lint ==="
 cmake --build build-ci-release --target lint
