@@ -8,12 +8,21 @@
 // engaged, so the run also exercises the shed path; every shed is a
 // synchronous ResourceExhausted counted here, never a silent drop.
 //
-// Reports per-request latency percentiles and throughput, writes
-// BENCH_serve.json, and with --gate enforces the serving-layer acceptance
-// criteria: p99 latency under budget and zero requests dropped without a
-// terminal Status.
+// With --tenants T the clients are spread across T tenant identities, so
+// the run doubles as a multi-tenant fairness sweep: the server's per-tenant
+// round-robin scheduler should hand equal-demand tenants equal service, and
+// the harness quantifies that with Jain's fairness index over per-tenant
+// served counts plus the per-tenant p99 spread.
 //
-// Usage: serve_load [--requests N] [--clients C] [--gate [P99_BUDGET_S]]
+// Reports per-request latency percentiles and throughput, writes
+// BENCH_serve.json (including the per-tenant fairness fields), and with
+// --gate enforces the serving-layer acceptance criteria: p99 latency under
+// budget, zero requests dropped without a terminal Status, and -- when
+// more than one tenant is in play -- a fairness-index floor
+// (--fairness-gate, default 0.8).
+//
+// Usage: serve_load [--requests N] [--clients C] [--tenants T]
+//                   [--gate [P99_BUDGET_S]] [--fairness-gate [MIN_INDEX]]
 
 #include <algorithm>
 #include <atomic>
@@ -44,21 +53,31 @@ double Percentile(std::vector<double>& sorted, double p) {
 int main(int argc, char** argv) {
   size_t total_requests = 2000;
   int clients = 8;
+  int tenants = 0;  // 0: one tenant per client (the PR 8 behavior)
   bool gate = false;
   double p99_budget = 0.5;
+  double fairness_floor = 0.8;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       total_requests = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--gate") == 0) {
       gate = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         p99_budget = std::atof(argv[++i]);
       }
+    } else if (std::strcmp(argv[i], "--fairness-gate") == 0) {
+      gate = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        fairness_floor = std::atof(argv[++i]);
+      }
     }
   }
   if (clients < 1) clients = 1;
+  if (tenants < 1 || tenants > clients) tenants = clients;
   if (total_requests < static_cast<size_t>(clients)) {
     total_requests = static_cast<size_t>(clients);
   }
@@ -94,12 +113,18 @@ int main(int argc, char** argv) {
   std::atomic<size_t> shed{0};
   std::atomic<size_t> failed{0};
   std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  // Per-tenant served counts for the fairness sweep; each slot is written
+  // only by the client threads mapped to that tenant, via fetch_add.
+  std::vector<std::atomic<size_t>> tenant_served(static_cast<size_t>(tenants));
+  for (auto& s : tenant_served) s.store(0);
   const auto run_start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       auto& mine = latencies[static_cast<size_t>(c)];
+      const int tenant_id = c % tenants;
+      const std::string tenant = "tenant-" + std::to_string(tenant_id);
       for (size_t i = next.fetch_add(1); i < total_requests;
            i = next.fetch_add(1)) {
         // A shed is a synchronous terminal Status; the closed-loop client
@@ -110,7 +135,7 @@ int main(int argc, char** argv) {
         const auto start = std::chrono::steady_clock::now();
         for (;;) {
           ServeRequest request;
-          request.tenant = "client-" + std::to_string(c);
+          request.tenant = tenant;
           request.data = &fields[i % fields.size()];
           request.target_ratio = target;
           const StatusOr<GuardedResult> r =
@@ -126,6 +151,7 @@ int main(int argc, char** argv) {
                                      .count();
           if (r.ok()) {
             ok.fetch_add(1);
+            tenant_served[static_cast<size_t>(tenant_id)].fetch_add(1);
             mine.push_back(seconds);
           } else {
             failed.fetch_add(1);
@@ -157,6 +183,42 @@ int main(int argc, char** argv) {
   const size_t dropped_without_status =
       total_requests > resolved ? total_requests - resolved : 0;
 
+  // Fairness over the per-tenant served counts: Jain's index is 1.0 when
+  // every tenant got the same service and 1/T when one tenant got it all,
+  // so it is scale-free across request counts. Per-tenant p99 comes from
+  // re-bucketing the per-client samples by tenant.
+  std::vector<size_t> served_by_tenant(static_cast<size_t>(tenants), 0);
+  std::vector<std::vector<double>> tenant_latency(
+      static_cast<size_t>(tenants));
+  for (int c = 0; c < clients; ++c) {
+    const size_t tid = static_cast<size_t>(c % tenants);
+    const auto& v = latencies[static_cast<size_t>(c)];
+    tenant_latency[tid].insert(tenant_latency[tid].end(), v.begin(), v.end());
+  }
+  for (int t = 0; t < tenants; ++t) {
+    served_by_tenant[static_cast<size_t>(t)] =
+        tenant_served[static_cast<size_t>(t)].load();
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t served_min = total_requests;
+  size_t served_max = 0;
+  double tenant_p99_max = 0.0;
+  for (int t = 0; t < tenants; ++t) {
+    const double s =
+        static_cast<double>(served_by_tenant[static_cast<size_t>(t)]);
+    sum += s;
+    sum_sq += s * s;
+    served_min = std::min(served_min, served_by_tenant[static_cast<size_t>(t)]);
+    served_max = std::max(served_max, served_by_tenant[static_cast<size_t>(t)]);
+    auto& tl = tenant_latency[static_cast<size_t>(t)];
+    std::sort(tl.begin(), tl.end());
+    tenant_p99_max = std::max(tenant_p99_max, Percentile(tl, 0.99));
+  }
+  const double fairness_index =
+      sum_sq > 0.0 ? (sum * sum) / (static_cast<double>(tenants) * sum_sq)
+                   : 0.0;
+
   std::printf("closed-loop serve load: %zu requests, %d clients, queue %zu\n",
               total_requests, clients, options.max_queue_depth);
   std::printf("  served %zu  failed %zu  shed-and-resubmitted %zu  "
@@ -167,6 +229,10 @@ int main(int argc, char** argv) {
               mean * 1e3, p50 * 1e3, p90 * 1e3, p99 * 1e3);
   std::printf("  throughput: %.0f served/s\n",
               wall > 0 ? static_cast<double>(ok.load()) / wall : 0.0);
+  std::printf("  fairness: %d tenants, Jain index %.4f, served min/max "
+              "%zu/%zu, worst tenant p99 %.3f ms\n",
+              tenants, fairness_index, served_min, served_max,
+              tenant_p99_max * 1e3);
 
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f != nullptr) {
@@ -183,8 +249,19 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"latency_p50_ms\": %.4f,\n", p50 * 1e3);
     std::fprintf(f, "  \"latency_p90_ms\": %.4f,\n", p90 * 1e3);
     std::fprintf(f, "  \"latency_p99_ms\": %.4f,\n", p99 * 1e3);
-    std::fprintf(f, "  \"served_per_second\": %.1f\n",
+    std::fprintf(f, "  \"served_per_second\": %.1f,\n",
                  wall > 0 ? static_cast<double>(ok.load()) / wall : 0.0);
+    std::fprintf(f, "  \"tenants\": %d,\n", tenants);
+    std::fprintf(f, "  \"fairness_jain_index\": %.4f,\n", fairness_index);
+    std::fprintf(f, "  \"tenant_served_min\": %zu,\n", served_min);
+    std::fprintf(f, "  \"tenant_served_max\": %zu,\n", served_max);
+    std::fprintf(f, "  \"tenant_p99_ms_max\": %.4f,\n", tenant_p99_max * 1e3);
+    std::fprintf(f, "  \"tenant_served\": [");
+    for (int t = 0; t < tenants; ++t) {
+      std::fprintf(f, "%s%zu", t == 0 ? "" : ", ",
+                   served_by_tenant[static_cast<size_t>(t)]);
+    }
+    std::fprintf(f, "]\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote BENCH_serve.json\n");
@@ -211,9 +288,24 @@ int main(int argc, char** argv) {
       std::printf("GATE FAIL: drain was not clean\n");
       pass = false;
     }
-    std::printf("serve_load gate: %s (p99 %.3f s <= %.3f s, dropped %zu)\n",
+    // The fairness floor only binds with real tenant contention: every
+    // tenant must be served at all, and equal-demand tenants must get
+    // near-equal service from the round-robin scheduler.
+    if (tenants > 1) {
+      if (served_min == 0) {
+        std::printf("GATE FAIL: a tenant was fully starved (served 0)\n");
+        pass = false;
+      }
+      if (fairness_index < fairness_floor) {
+        std::printf("GATE FAIL: Jain fairness index %.4f below floor %.4f\n",
+                    fairness_index, fairness_floor);
+        pass = false;
+      }
+    }
+    std::printf("serve_load gate: %s (p99 %.3f s <= %.3f s, dropped %zu, "
+                "fairness %.4f)\n",
                 pass ? "PASS" : "FAIL", p99, p99_budget,
-                dropped_without_status);
+                dropped_without_status, fairness_index);
     return pass ? 0 : 1;
   }
   return 0;

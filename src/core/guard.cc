@@ -44,6 +44,14 @@ struct GuardMetrics {
       "fxrz_guard_deadline_degraded_total",
       "Requests served a lower-tier archive because the deadline/cancel "
       "checkpoint fired mid-ladder");
+  metrics::Counter& memory_rejected = metrics::GetCounter(
+      "fxrz_guard_memory_rejected_total",
+      "Requests refused because the memory budget could not cover the "
+      "codec's base reservation (retryable: reservations free over time)");
+  metrics::Counter& memory_degraded = metrics::GetCounter(
+      "fxrz_guard_memory_degraded_total",
+      "Requests that skipped a memory-heavy tier (FRaZ search or "
+      "decode-verify) because the memory budget was tight");
   metrics::Counter& compressions = metrics::GetCounter(
       "fxrz_guard_compressions_total",
       "Compressor invocations spent by guarded requests (all tiers)");
@@ -94,6 +102,29 @@ const char* ServingTierName(ServingTier tier) {
     case ServingTier::kFrazFallback: return "fraz-fallback";
   }
   return "?";
+}
+
+Status ValidateGuardOptions(const GuardOptions& options) {
+  if (!std::isfinite(options.accept_error) || options.accept_error < 0.0) {
+    return Status::InvalidArgument(
+        "guard options: accept_error must be finite and >= 0");
+  }
+  if (!std::isfinite(options.max_knob_spread) ||
+      !std::isfinite(options.envelope_slack)) {
+    return Status::InvalidArgument(
+        "guard options: confidence-gate thresholds must be finite");
+  }
+  if (options.max_refine_compressions < 0 ||
+      options.max_polish_compressions < 0) {
+    return Status::InvalidArgument(
+        "guard options: tier compression budgets must be >= 0");
+  }
+  if (!std::isfinite(options.fraz.tolerance) ||
+      options.fraz.tolerance < 0.0) {
+    return Status::InvalidArgument(
+        "guard options: fraz.tolerance must be finite and >= 0");
+  }
+  return Status::Ok();
 }
 
 AdmissionReport AdmitTensor(const Tensor& data, double target_ratio) {
@@ -220,16 +251,64 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
     const GuardOptions& options) const {
   FXRZ_TRACE_SPAN("guard.request");
   GMetrics().requests.Increment();
+  if (Status valid = ValidateGuardOptions(options); !valid.ok()) {
+    GMetrics().rejected.Increment();
+    return valid;
+  }
   const AdmissionReport admission = AdmitTensor(data, target_ratio);
   if (!admission.admitted) {
     GMetrics().rejected.Increment();
     return admission.status;
+  }
+
+  // Memory admission: reserve the codec's estimated peak working set up
+  // front, release it (RAII) when the request resolves. Denial is
+  // retryable -- other requests' reservations free as they resolve -- so
+  // the serving layer's backoff loop, not an OOM killer, absorbs memory
+  // pressure.
+  const uint64_t tensor_bytes = data.size_bytes();
+  MemReservation memory;
+  if (options.memory != nullptr) {
+    const uint64_t need = EstimatePeakBytes(compressor_->name(), tensor_bytes);
+    memory = options.memory->TryReserve(need);
+    if (!memory.held()) {
+      GMetrics().memory_rejected.Increment();
+      return Status::ResourceExhausted(
+          "guard: memory budget exhausted (need " + std::to_string(need) +
+          " bytes, " +
+          std::to_string(options.memory->capacity_bytes() -
+                         std::min(options.memory->capacity_bytes(),
+                                  options.memory->reserved_bytes())) +
+          " free)");
+    }
   }
   GMetrics().target_ratio.Observe(target_ratio);
 
   const ConfigSpace space = compressor_->config_space(data);
   const double accept_error = std::max(options.accept_error, 0.0);
   GuardedResult result;
+  // First skip of a memory-heavy tier marks the request degraded (once).
+  auto memory_degrade = [&result] {
+    if (!result.memory_degraded) {
+      result.memory_degraded = true;
+      GMetrics().memory_degraded.Increment();
+    }
+  };
+  // Extra headroom for the decode half of verification: the decoded tensor
+  // is live alongside the archive and the input. Checked at most once per
+  // request; on denial every verification this request runs stays
+  // checksum-only.
+  bool decode_mem_checked = false;
+  bool decode_mem_granted = true;
+  auto decode_verify_allowed = [&]() {
+    if (options.memory == nullptr) return true;
+    if (!decode_mem_checked) {
+      decode_mem_checked = true;
+      decode_mem_granted = memory.TryGrow(tensor_bytes);
+      if (!decode_mem_granted) memory_degrade();
+    }
+    return decode_mem_granted;
+  };
   // Cooperative deadline/cancel checkpoint, evaluated between compressions
   // (see GuardOptions::deadline). Cancel wins over an expired deadline.
   auto checkpoint = [&](const char* where) {
@@ -276,7 +355,11 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
     Status status =
         compressor_->VerifyIntegrity(attempt.bytes.data(),
                                      attempt.bytes.size());
-    if (status.ok() && !options.verify_checksum_only) {
+    // The decode half needs budget headroom for the decoded tensor; when
+    // the budget is tight the verification degrades to checksum-only
+    // rather than risking the very OOM the budget exists to prevent.
+    if (status.ok() && !options.verify_checksum_only &&
+        decode_verify_allowed()) {
       Tensor decoded;
       status = compressor_->TryDecompress(attempt.bytes.data(),
                                           attempt.bytes.size(), &decoded);
@@ -435,8 +518,16 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   }
 
   // Tier 3: bounded FRaZ trial-and-error fallback.
+  bool fraz_memory_skipped = false;
   if (!options.allow_fraz_fallback) {
     note("fraz tier: fallback disabled");
+  } else if (options.memory != nullptr && !memory.TryGrow(tensor_bytes)) {
+    // The search keeps its best-so-far archive live alongside each probe's;
+    // without headroom for that the tier is skipped (memory_degraded)
+    // rather than allowed to breach the peak the budget promises.
+    fraz_memory_skipped = true;
+    memory_degrade();
+    note("fraz tier: skipped (memory budget exhausted)");
   } else {
     if (Status cp = checkpoint("guard: fraz tier"); !cp.ok()) {
       return expire(std::move(cp));
@@ -507,8 +598,11 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   msg << " [" << trail << "]";
   // Exhaustion caused (at least partly) by a transient backend fault is
   // itself transient: report it retryably so the serving layer's backoff
-  // loop gets another shot at the same request.
+  // loop gets another shot at the same request. Likewise exhaustion after
+  // a memory-skipped tier: reservations free as other requests resolve,
+  // so the skipped tier may run on a later attempt.
   if (transient_failure) return Status::Unavailable(msg.str());
+  if (fraz_memory_skipped) return Status::ResourceExhausted(msg.str());
   return Status::Internal(msg.str());
 }
 

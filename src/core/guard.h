@@ -36,6 +36,7 @@
 #include "src/data/tensor.h"
 #include "src/fraz/fraz.h"
 #include "src/util/deadline.h"
+#include "src/util/mem_budget.h"
 #include "src/util/status.h"
 
 namespace fxrz {
@@ -119,6 +120,16 @@ struct GuardOptions {
   // deadline, no cancel.
   Deadline deadline;
   const CancelToken* cancel = nullptr;
+  // Memory admission control (see util/mem_budget.h). When set, the ladder
+  // reserves the codec's estimated peak working set before compressing
+  // anything -- a request the budget cannot cover returns ResourceExhausted
+  // (retryable: reservations free as other requests resolve) instead of
+  // risking an OOM. The memory-heavy extras -- the decode half of archive
+  // verification and the FRaZ fallback tier -- each need additional
+  // headroom; when the budget cannot grant it they are skipped and the
+  // request is served anyway, flagged GuardedResult::memory_degraded.
+  // nullptr (default) disables memory accounting entirely.
+  MemoryBudget* memory = nullptr;
   // What expiry means when a lower tier already produced an archive: with
   // degrade_on_expiry set (default) the request is served that archive --
   // possibly outside accept_error, flagged via
@@ -148,8 +159,19 @@ struct GuardedResult {
   // request was served the best archive found so far (which may miss
   // accept_error); see GuardOptions::degrade_on_expiry.
   bool deadline_degraded = false;
+  // True when a memory-heavy tier (FRaZ search, decode-verify) was skipped
+  // because GuardOptions::memory could not grant the extra headroom; the
+  // served archive is valid but had fewer quality/verification tiers
+  // applied than the policy asked for.
+  bool memory_degraded = false;
   std::vector<uint8_t> compressed;
 };
+
+// Rejects GuardOptions carrying values no ladder tier can act on (NaN
+// thresholds, negative tier budgets) with InvalidArgument instead of
+// relying on each tier's comparison semantics to fail shut. Called by
+// GuardedCompressToRatio on every request; cheap (pure field checks).
+Status ValidateGuardOptions(const GuardOptions& options);
 
 }  // namespace fxrz
 

@@ -1,0 +1,154 @@
+#include "src/serve/quota.h"
+
+#include <algorithm>
+
+#include "src/util/metrics.h"
+
+namespace fxrz {
+
+namespace {
+
+// Quota observability: how often each limit fires, and how many tenants
+// the manager is tracking. Denial counters are labeled by the exhausted
+// quota so an operator can tell a rate-limited tenant from a byte-hogging
+// one at a glance.
+struct QuotaMetrics {
+  metrics::Counter& admitted = metrics::GetCounter(
+      "fxrz_quota_admitted_total", "Submissions that passed tenant quotas");
+  metrics::Gauge& tenants = metrics::GetGauge(
+      "fxrz_quota_tenants", "Tenants with tracked quota state");
+};
+
+QuotaMetrics& QMetrics() {
+  static QuotaMetrics* m = new QuotaMetrics();  // never destroyed
+  return *m;
+}
+
+metrics::Counter& ThrottledCounter(const char* reason) {
+  auto make = [](const char* r) -> metrics::Counter* {
+    return &metrics::GetCounter(
+        std::string("fxrz_quota_throttled_total{reason=\"") + r + "\"}",
+        "Submissions refused with ResourceExhausted, by exhausted quota");
+  };
+  static metrics::Counter* rate = make("rate");
+  static metrics::Counter* bytes = make("queued-bytes");
+  if (reason[0] == 'r') return *rate;
+  return *bytes;
+}
+
+}  // namespace
+
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kLow: return "low";
+    case RequestPriority::kNormal: return "normal";
+    case RequestPriority::kHigh: return "high";
+  }
+  return "?";
+}
+
+QuotaManager::QuotaManager(QuotaOptions options)
+    : options_(std::move(options)) {}
+
+QuotaManager::TenantState& QuotaManager::StateLocked(
+    const std::string& tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) {
+    const auto override_it = options_.per_tenant.find(tenant);
+    it->second.limits = override_it != options_.per_tenant.end()
+                            ? override_it->second
+                            : options_.default_tenant;
+    QMetrics().tenants.Set(static_cast<double>(tenants_.size()));
+  }
+  return it->second;
+}
+
+Status QuotaManager::Admit(const std::string& tenant, size_t bytes,
+                           Clock::time_point now) {
+  MutexLock lock(mu_);
+  TenantState& state = StateLocked(tenant);
+  const TenantQuotaOptions& limits = state.limits;
+
+  // Byte quota first: it is charged on admit and returned on shed/dispatch,
+  // so checking it before spending a rate token keeps the charges paired.
+  if (limits.max_queued_bytes != 0 &&
+      bytes > limits.max_queued_bytes - std::min(limits.max_queued_bytes,
+                                                 state.queued_bytes)) {
+    ThrottledCounter("queued-bytes").Increment();
+    return Status::ResourceExhausted(
+        "quota: tenant \"" + tenant + "\" queued-bytes limit (" +
+        std::to_string(limits.max_queued_bytes) + " bytes) exhausted");
+  }
+
+  if (limits.requests_per_second > 0.0) {
+    const double burst = limits.burst > 0.0
+                             ? limits.burst
+                             : std::max(1.0, limits.requests_per_second);
+    if (!state.bucket_started) {
+      // A new tenant starts with a full bucket: its burst allowance, not a
+      // cold start that would throttle the very first request.
+      state.tokens = burst;
+      state.last_refill = now;
+      state.bucket_started = true;
+    } else if (now > state.last_refill) {
+      const double elapsed =
+          std::chrono::duration<double>(now - state.last_refill).count();
+      state.tokens = std::min(
+          burst, state.tokens + elapsed * limits.requests_per_second);
+      state.last_refill = now;
+    }
+    if (state.tokens < 1.0) {
+      ThrottledCounter("rate").Increment();
+      return Status::ResourceExhausted(
+          "quota: tenant \"" + tenant + "\" rate limit (" +
+          std::to_string(limits.requests_per_second) + " req/s) exhausted");
+    }
+    state.tokens -= 1.0;
+  }
+
+  state.queued_bytes += bytes;
+  QMetrics().admitted.Increment();
+  return Status::Ok();
+}
+
+void QuotaManager::OnShed(const std::string& tenant, size_t bytes) {
+  MutexLock lock(mu_);
+  TenantState& state = StateLocked(tenant);
+  state.queued_bytes -= std::min(state.queued_bytes, bytes);
+}
+
+bool QuotaManager::CanDispatch(const std::string& tenant) const {
+  MutexLock lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return true;  // never admitted: nothing queued
+  const TenantState& state = it->second;
+  return state.limits.max_inflight_requests == 0 ||
+         state.inflight < state.limits.max_inflight_requests;
+}
+
+void QuotaManager::OnDispatch(const std::string& tenant, size_t bytes) {
+  MutexLock lock(mu_);
+  TenantState& state = StateLocked(tenant);
+  state.queued_bytes -= std::min(state.queued_bytes, bytes);
+  ++state.inflight;
+}
+
+void QuotaManager::OnComplete(const std::string& tenant) {
+  MutexLock lock(mu_);
+  TenantState& state = StateLocked(tenant);
+  if (state.inflight > 0) --state.inflight;
+}
+
+size_t QuotaManager::inflight(const std::string& tenant) const {
+  MutexLock lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.inflight;
+}
+
+size_t QuotaManager::queued_bytes(const std::string& tenant) const {
+  MutexLock lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.queued_bytes;
+}
+
+}  // namespace fxrz

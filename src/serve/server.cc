@@ -1,5 +1,7 @@
 #include "src/serve/server.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/util/check.h"
@@ -71,6 +73,21 @@ metrics::Counter& OutcomeCounter(const Status& status, bool degraded) {
   }
 }
 
+// Early-shed counter, labeled by the refused priority class. High priority
+// never early-sheds (it only sees the hard queue bound, counted by
+// fxrz_serve_shed_total), so only low/normal labels exist.
+metrics::Counter& OverloadShedCounter(RequestPriority priority) {
+  auto make = [](const char* p) -> metrics::Counter* {
+    return &metrics::GetCounter(
+        std::string("fxrz_serve_overload_shed_total{priority=\"") + p +
+            "\"}",
+        "Submissions refused by the adaptive overload shed, by priority");
+  };
+  static metrics::Counter* low = make("low");
+  static metrics::Counter* normal = make("normal");
+  return priority == RequestPriority::kLow ? *low : *normal;
+}
+
 }  // namespace
 
 FxrzServer::FxrzServer(const Fxrz& fxrz, ServeOptions options)
@@ -81,7 +98,10 @@ FxrzServer::FxrzServer(const Fxrz& fxrz, ServeOptions options)
 FxrzServer::FxrzServer(std::map<std::string, const Fxrz*> backends,
                        ServeOptions options)
     : options_(std::move(options)),
-      pool_(options_.pool != nullptr ? options_.pool : SharedThreadPool()) {
+      pool_(options_.pool != nullptr ? options_.pool : SharedThreadPool()),
+      memory_(options_.memory != nullptr ? options_.memory
+                                         : ProcessMemoryBudget()),
+      quota_(options_.quota) {
   FXRZ_CHECK(!backends.empty()) << "FxrzServer needs at least one backend";
   FXRZ_CHECK_GE(options_.max_queue_depth, 1u);
   max_concurrency_ = options_.max_concurrency != 0 ? options_.max_concurrency
@@ -113,6 +133,23 @@ StatusOr<uint64_t> FxrzServer::Submit(ServeRequest request) {
   if (!request.callback) {
     return Status::InvalidArgument("serve: request has no callback");
   }
+  // Submit-time parameter validation: refuse the abuse shapes immediately
+  // instead of letting them reach the quota/shed accounting. A zero-byte
+  // tensor would dodge the byte quota entirely, and an out-of-range
+  // priority would dodge the shed policy.
+  if (request.data->size_bytes() == 0) {
+    return Status::InvalidArgument("serve: request tensor is empty");
+  }
+  if (!std::isfinite(request.target_ratio) || request.target_ratio <= 0.0) {
+    return Status::InvalidArgument(
+        "serve: target ratio must be finite and positive");
+  }
+  if (static_cast<int>(request.priority) <
+          static_cast<int>(RequestPriority::kLow) ||
+      static_cast<int>(request.priority) >
+          static_cast<int>(RequestPriority::kHigh)) {
+    return Status::InvalidArgument("serve: request priority out of range");
+  }
   if (request.backend.empty()) {
     if (backends_.size() != 1) {
       return Status::InvalidArgument(
@@ -135,6 +172,7 @@ StatusOr<uint64_t> FxrzServer::Submit(ServeRequest request) {
                             Deadline::After(options_.default_deadline_seconds))
                       : item.request.deadline;
   item.enqueued = Clock::now();
+  item.bytes = item.request.data->size_bytes();
 
   bool spawn_slot = false;
   uint64_t id = 0;
@@ -143,12 +181,14 @@ StatusOr<uint64_t> FxrzServer::Submit(ServeRequest request) {
     if (draining_ || shut_down_) {
       return Status::Unavailable("serve: server draining, intake stopped");
     }
-    if (queued_ >= options_.max_queue_depth) {
-      SMetrics().shed.Increment();
-      return Status::ResourceExhausted(
-          "serve: submission queue full (" +
-          std::to_string(options_.max_queue_depth) + " requests)");
-    }
+    // Intake checks in cost order: overload shed (hard queue bound plus
+    // the adaptive priority policy), then tenant quotas. Quotas run last so
+    // a successful Admit is always followed by the enqueue below -- no
+    // rollback path.
+    Status admit = ShedDecisionLocked(item.request.priority);
+    if (!admit.ok()) return admit;
+    admit = quota_.Admit(item.request.tenant, item.bytes);
+    if (!admit.ok()) return admit;
     id = ++next_id_;
     item.id = id;
     auto [tenant_it, inserted] =
@@ -173,6 +213,42 @@ StatusOr<uint64_t> FxrzServer::Submit(ServeRequest request) {
   return id;
 }
 
+Status FxrzServer::ShedDecisionLocked(RequestPriority priority) {
+  // Hard backpressure bound: applies to every class, highest included.
+  if (queued_ >= options_.max_queue_depth) {
+    SMetrics().shed.Increment();
+    return Status::ResourceExhausted(
+        "serve: submission queue full (" +
+        std::to_string(options_.max_queue_depth) + " requests)");
+  }
+  if (priority == RequestPriority::kHigh) return Status::Ok();
+  const ShedOptions& shed = options_.shed;
+  const bool low = priority == RequestPriority::kLow;
+  const double depth_threshold = low ? shed.low_priority_depth_fraction
+                                     : shed.normal_priority_depth_fraction;
+  const double latency_threshold = low ? shed.low_priority_latency_seconds
+                                       : shed.normal_priority_latency_seconds;
+  // Both signals count this submission itself, so a threshold of 1.0 on
+  // depth is exactly the hard bound (i.e. disabled as an EARLY shed).
+  const char* signal = nullptr;
+  const double depth_fraction =
+      static_cast<double>(queued_ + 1) /
+      static_cast<double>(options_.max_queue_depth);
+  if (depth_threshold < 1.0 && depth_fraction >= depth_threshold) {
+    signal = "queue depth";
+  } else if (latency_threshold > 0.0 && max_concurrency_ > 0) {
+    const double estimated = static_cast<double>(queued_ + 1) *
+                             ewma_service_seconds_ /
+                             static_cast<double>(max_concurrency_);
+    if (estimated >= latency_threshold) signal = "queue latency";
+  }
+  if (signal == nullptr) return Status::Ok();
+  OverloadShedCounter(priority).Increment();
+  return Status::ResourceExhausted(std::string("serve: overload shed (") +
+                                   signal + ", priority " +
+                                   RequestPriorityName(priority) + ")");
+}
+
 bool FxrzServer::PopNextLocked(Pending* out) {
   if (queued_ == 0) return false;
   const size_t n = rr_ring_.size();
@@ -180,8 +256,13 @@ bool FxrzServer::PopNextLocked(Pending* out) {
     const std::string& tenant = rr_ring_[(rr_cursor_ + i) % n];
     std::deque<Pending>& queue = tenants_[tenant];
     if (queue.empty()) continue;
+    // Concurrency quota: a tenant at its in-flight cap keeps its queue.
+    // Its work WAITS (the worker that completes one of its requests
+    // re-loops and pops here after OnComplete) while other tenants run.
+    if (!quota_.CanDispatch(tenant)) continue;
     *out = std::move(queue.front());
     queue.pop_front();
+    quota_.OnDispatch(tenant, out->bytes);
     // Advance past the tenant just served: strict round-robin, so a tenant
     // with a deep backlog yields to every other tenant with queued work
     // between its own requests.
@@ -248,6 +329,7 @@ void FxrzServer::Process(Pending item) {
 
   const bool cancelled_terminal =
       reply.status.code() == StatusCode::kCancelled;
+  const double serve_seconds = reply.serve_seconds;
   // The callback is the contract's "resolved exactly once" moment; it must
   // fire before the drain accounting below lets Shutdown return.
   item.request.callback(std::move(reply));
@@ -256,6 +338,16 @@ void FxrzServer::Process(Pending item) {
     MutexLock lock(mu_);
     inflight_.erase(item.id);
     --processing_;
+    // Free the tenant's worker slot BEFORE this worker re-loops into
+    // PopNextLocked, so its own completion unblocks its queued work.
+    quota_.OnComplete(item.request.tenant);
+    // Service-time EWMA feeding the shed policy's queue-latency estimate.
+    const double alpha = std::clamp(options_.shed.ewma_alpha, 1e-3, 1.0);
+    ewma_service_seconds_ =
+        ewma_service_seconds_ == 0.0
+            ? serve_seconds
+            : alpha * serve_seconds +
+                  (1.0 - alpha) * ewma_service_seconds_;
     SMetrics().inflight.Set(static_cast<double>(processing_));
     if (draining_) {
       if (cancelled_terminal) {
@@ -273,6 +365,11 @@ Status FxrzServer::RunAttempts(const Pending& item, const CancelToken& cancel,
   GuardOptions guard = options_.guard;
   guard.deadline = item.deadline;
   guard.cancel = &cancel;
+  // Memory admission: every attempt reserves the codec's estimated peak
+  // working set against the server's budget (ResourceExhausted when it
+  // cannot -- retryable, so the backoff loop below paces re-admission as
+  // other requests free their reservations).
+  guard.memory = memory_;
   Backend& backend = *item.backend;
 
   Status last;
@@ -295,8 +392,13 @@ Status FxrzServer::RunAttempts(const Pending& item, const CancelToken& cancel,
         last = served.status();
         // Only transient failures are breaker-unhealthy: a permanent error
         // (bad input, unreachable ratio, expired deadline) means the
-        // backend responded and says nothing about its health.
-        backend.breaker->RecordResult(!StatusIsRetryable(last));
+        // backend responded and says nothing about its health. Resource
+        // exhaustion is exempt too -- a memory-budget denial is governance
+        // working as intended, and counting it would trip the breaker and
+        // cascade Unavailable onto tenants the budget never touched.
+        if (last.code() != StatusCode::kResourceExhausted) {
+          backend.breaker->RecordResult(!StatusIsRetryable(last));
+        }
       }
     }
     if (!ShouldRetry(options_.retry, last, reply->attempts)) return last;

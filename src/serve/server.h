@@ -57,14 +57,45 @@
 #include "src/core/pipeline.h"
 #include "src/data/tensor.h"
 #include "src/serve/circuit_breaker.h"
+#include "src/serve/quota.h"
 #include "src/serve/retry.h"
 #include "src/util/deadline.h"
+#include "src/util/mem_budget.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace fxrz {
+
+// Adaptive overload shedding policy: refuse work at Submit BEFORE the hard
+// queue bound is hit, lowest priority class first, so that when congestion
+// builds the queue capacity left is spent on the traffic that matters. Two
+// congestion signals, either sheds:
+//
+//   depth    -- queued requests as a fraction of max_queue_depth;
+//   latency  -- estimated queueing delay (queued x EWMA service seconds /
+//               worker slots), which adapts to how expensive the current
+//               request mix actually is.
+//
+// High-priority requests never early-shed; they only see the hard
+// backpressure bound. A shed is an immediate ResourceExhausted at Submit,
+// identical in contract to queue-full backpressure.
+struct ShedOptions {
+  // Depth fraction at/above which the class sheds; >= 1.0 disables the
+  // early shed for that class (the hard bound still applies). The default
+  // policy sheds only low priority early, so normal-priority traffic sees
+  // exactly the PR 8 backpressure contract unless the operator opts in.
+  double low_priority_depth_fraction = 0.5;
+  double normal_priority_depth_fraction = 1.0;
+  // Estimated queue latency (seconds) at/above which the class sheds;
+  // 0 disables latency-based shedding for that class.
+  double low_priority_latency_seconds = 0.0;
+  double normal_priority_latency_seconds = 0.0;
+  // Smoothing for the per-request service-time EWMA feeding the latency
+  // estimate (0 < alpha <= 1; clamped).
+  double ewma_alpha = 0.2;
+};
 
 struct ServeOptions {
   // Bound on requests queued but not yet dispatched (all tenants
@@ -81,6 +112,17 @@ struct ServeOptions {
   GuardOptions guard;
   RetryOptions retry;
   CircuitBreakerOptions breaker;  // one breaker per backend, same policy
+  // Per-tenant quotas (rate, queued bytes, in-flight slots); the defaults
+  // are unlimited. Enforced at Submit (immediate ResourceExhausted) and at
+  // dispatch (capped tenants wait, others run).
+  QuotaOptions quota;
+  // Priority-aware overload shedding on top of the hard queue bound.
+  ShedOptions shed;
+  // Memory budget for admission control in the guard ladder (reservations
+  // sized by per-codec peak estimates; see util/mem_budget.h). nullptr
+  // uses ProcessMemoryBudget(), whose capacity comes from FXRZ_MEM_BUDGET
+  // and is unlimited when unset. Must outlive the server.
+  MemoryBudget* memory = nullptr;
   // Execution pool; nullptr uses SharedThreadPool(). Must outlive the
   // server.
   ThreadPool* pool = nullptr;
@@ -111,6 +153,10 @@ using ServeCallback = std::function<void(ServeReply)>;
 struct ServeRequest {
   // Fairness key; "" is a valid (shared) tenant.
   std::string tenant;
+  // Shed class under overload (see ShedOptions). Priority orders SHEDDING
+  // only -- dispatch among queued requests stays round-robin-fair, so a
+  // flood of high-priority requests cannot starve admitted work.
+  RequestPriority priority = RequestPriority::kNormal;
   // Backend name from the map the server was built with; "" selects the
   // sole backend (error when the server has several).
   std::string backend;
@@ -195,7 +241,11 @@ class FxrzServer {
     Backend* backend = nullptr;
     Deadline deadline;  // request deadline combined with the server default
     Clock::time_point enqueued{};
+    size_t bytes = 0;  // tensor bytes, the unit the byte quota charges in
   };
+
+  // Overload-shed decision for one submission, made under mu_. OK admits.
+  Status ShedDecisionLocked(RequestPriority priority) FXRZ_REQUIRES(mu_);
 
   void WorkerSlot();
   bool PopNextLocked(Pending* out) FXRZ_REQUIRES(mu_);
@@ -206,8 +256,10 @@ class FxrzServer {
 
   const ServeOptions options_;
   ThreadPool* const pool_;
+  MemoryBudget* const memory_;  // options_.memory or ProcessMemoryBudget()
   size_t max_concurrency_;
   std::map<std::string, Backend> backends_;  // immutable after construction
+  QuotaManager quota_;  // own lock; acquired after mu_ (server -> quota)
 
   mutable AnnotatedMutex mu_;
   CondVar work_cv_;    // workers: queue state / pause / drain changed
@@ -220,6 +272,8 @@ class FxrzServer {
   size_t rr_cursor_ FXRZ_GUARDED_BY(mu_) = 0;
   size_t queued_ FXRZ_GUARDED_BY(mu_) = 0;
   size_t processing_ FXRZ_GUARDED_BY(mu_) = 0;
+  // Smoothed per-request service time feeding the shed latency estimate.
+  double ewma_service_seconds_ FXRZ_GUARDED_BY(mu_) = 0.0;
   size_t active_slots_ FXRZ_GUARDED_BY(mu_) = 0;
   // Effective cancel token of every dispatched request, for force-cancel.
   std::map<uint64_t, CancelToken*> inflight_ FXRZ_GUARDED_BY(mu_);

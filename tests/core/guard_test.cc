@@ -278,6 +278,101 @@ TEST(GuardedUntrainedTest, UnreachableTargetIdentifiesFrazTier) {
       << r.status().message();
 }
 
+TEST(ValidateGuardOptionsTest, RejectsUnactionableKnobs) {
+  EXPECT_TRUE(ValidateGuardOptions(GuardOptions{}).ok());
+
+  GuardOptions nan_accept;
+  nan_accept.accept_error = kNan;
+  EXPECT_EQ(ValidateGuardOptions(nan_accept).code(),
+            StatusCode::kInvalidArgument);
+
+  GuardOptions negative_accept;
+  negative_accept.accept_error = -0.1;
+  EXPECT_EQ(ValidateGuardOptions(negative_accept).code(),
+            StatusCode::kInvalidArgument);
+
+  GuardOptions nan_gate;
+  nan_gate.max_knob_spread = kNan;
+  EXPECT_EQ(ValidateGuardOptions(nan_gate).code(),
+            StatusCode::kInvalidArgument);
+
+  GuardOptions negative_budget;
+  negative_budget.max_refine_compressions = -1;
+  EXPECT_EQ(ValidateGuardOptions(negative_budget).code(),
+            StatusCode::kInvalidArgument);
+
+  GuardOptions bad_fraz;
+  bad_fraz.fraz.tolerance = kNan;
+  EXPECT_EQ(ValidateGuardOptions(bad_fraz).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GuardedServingTest, InvalidOptionsRejectedBeforeCompressing) {
+  GuardOptions options;
+  options.accept_error = kNan;
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], 20.0, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GuardedServingTest, MemoryBudgetDeniesAdmissionRetryably) {
+  MemoryBudget tiny(16);  // far below any request's estimated peak
+  GuardOptions options;
+  options.memory = &tiny;
+  const double target = fxrz_->model().ValidTargetRatios(3)[1];
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio((*fields_)[3], target, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(StatusIsRetryable(r.status()));
+  EXPECT_EQ(tiny.reserved_bytes(), 0u);  // denial holds nothing
+}
+
+TEST_F(GuardedServingTest, TightBudgetDegradesDecodeVerifyToChecksum) {
+  const Tensor& test = (*fields_)[3];
+  // Exactly the base reservation: admission fits, but the decode-verify
+  // headroom (one more tensor) does not.
+  MemoryBudget budget(
+      EstimatePeakBytes(fxrz_->compressor().name(), test.size_bytes()));
+  GuardOptions options;
+  options.memory = &budget;
+  options.verify_archive = true;
+  // Generous acceptance keeps the ladder off the FRaZ tier (which the
+  // tight budget would skip): this test is about the decode-verify gate.
+  options.accept_error = 0.9;
+  const double target = fxrz_->model().ValidTargetRatios(3)[1];
+  const StatusOr<GuardedResult> r =
+      fxrz_->GuardedCompressToRatio(test, target, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Served (checksum verification still ran) but flagged: the policy asked
+  // for more verification than memory allowed.
+  EXPECT_TRUE(r.value().memory_degraded);
+  EXPECT_FALSE(r.value().compressed.empty());
+  EXPECT_EQ(budget.reserved_bytes(), 0u);  // reservation released
+}
+
+TEST(GuardedUntrainedTest, TightBudgetSkipsFrazAndExhaustsRetryably) {
+  // Untrained pipeline: only the FRaZ tier could serve, but the budget has
+  // no headroom for its probes -- the ladder skips it (memory_degraded
+  // path) and exhausts with ResourceExhausted, which the serving layer's
+  // retry loop treats as "try again once reservations free".
+  const Tensor field = SmallField(31);
+  const Fxrz fxrz(MakeCompressor("sz"));
+  MemoryBudget budget(
+      EstimatePeakBytes(fxrz.compressor().name(), field.size_bytes()));
+  GuardOptions options;
+  options.memory = &budget;
+  const StatusOr<GuardedResult> r =
+      fxrz.GuardedCompressToRatio(field, 20.0, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("memory budget exhausted"),
+            std::string::npos)
+      << r.status().message();
+  EXPECT_EQ(budget.reserved_bytes(), 0u);
+}
+
 TEST(ServingTierTest, NamesAreStable) {
   EXPECT_STREQ(ServingTierName(ServingTier::kRejected), "rejected");
   EXPECT_STREQ(ServingTierName(ServingTier::kConstantField),

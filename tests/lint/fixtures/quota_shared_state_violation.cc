@@ -1,0 +1,42 @@
+// Negative fixture for fxrz-no-unguarded-shared-state, shaped like the
+// resource-governance module (quota/budget state): a naive port of
+// QuotaManager/MemoryBudget to raw standard-library primitives. Linted
+// (never compiled) as if it lived at src/serve/quota_fixture.cc. Every
+// declaration below must be flagged -- this is exactly the code PR 9 is
+// NOT allowed to contain.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fxrz {
+
+class UnsafeQuotaManager {
+ public:
+  bool Admit(const std::string& tenant, uint64_t bytes) {
+    // Violation: std::lock_guard over a raw mutex -- invisible to clang's
+    // thread-safety analysis, so FXRZ_GUARDED_BY cannot protect the maps.
+    std::lock_guard<std::mutex> lock(mu_);
+    queued_bytes_[tenant] += bytes;
+    return true;
+  }
+
+  uint64_t ReservedBytes() const {
+    // Violation: std::unique_lock, same problem.
+    std::unique_lock<std::mutex> lock(mu_);
+    return reserved_;
+  }
+
+ private:
+  mutable std::mutex mu_;  // violation: raw mutex member
+  std::map<std::string, uint64_t> queued_bytes_;
+  uint64_t reserved_ = 0;
+
+  // Violation: atomic with no documented protocol. (The required guard
+  // annotation or lock-freedom note is deliberately absent here.)
+  std::atomic<uint64_t> denied_count{0};
+};
+
+}  // namespace fxrz

@@ -1,0 +1,153 @@
+// QuotaManager: deterministic token-bucket rate limiting (injected
+// time_points, no sleeps), byte quotas, in-flight caps, per-tenant
+// overrides, and the charge/return pairing across the request lifecycle.
+
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/quota.h"
+
+namespace fxrz {
+namespace {
+
+using Clock = QuotaManager::Clock;
+
+Clock::time_point At(double seconds) {
+  return Clock::time_point(std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds)));
+}
+
+TEST(QuotaTest, UnlimitedByDefault) {
+  QuotaManager quota;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(quota.Admit("t", 1 << 20, At(0.0)).ok());
+  }
+  EXPECT_TRUE(quota.CanDispatch("t"));
+}
+
+TEST(QuotaTest, TokenBucketStartsFullAndRefills) {
+  QuotaOptions options;
+  options.default_tenant.requests_per_second = 10.0;
+  options.default_tenant.burst = 3.0;
+  QuotaManager quota(options);
+
+  // A new tenant gets its full burst, then throttles.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(quota.Admit("t", 0, At(0.0)).ok()) << i;
+  }
+  const Status throttled = quota.Admit("t", 0, At(0.0));
+  ASSERT_FALSE(throttled.ok());
+  EXPECT_EQ(throttled.code(), StatusCode::kResourceExhausted);
+
+  // 10 req/s: 0.1 s buys exactly one token (deterministic, injected time).
+  EXPECT_TRUE(quota.Admit("t", 0, At(0.1)).ok());
+  EXPECT_FALSE(quota.Admit("t", 0, At(0.1)).ok());
+
+  // A long idle period refills to burst, never beyond it.
+  EXPECT_TRUE(quota.Admit("t", 0, At(100.0)).ok());
+  EXPECT_TRUE(quota.Admit("t", 0, At(100.0)).ok());
+  EXPECT_TRUE(quota.Admit("t", 0, At(100.0)).ok());
+  EXPECT_FALSE(quota.Admit("t", 0, At(100.0)).ok());
+}
+
+TEST(QuotaTest, BurstDefaultsToRateFloorOne) {
+  QuotaOptions options;
+  options.default_tenant.requests_per_second = 0.5;  // burst floor: 1
+  QuotaManager quota(options);
+  EXPECT_TRUE(quota.Admit("t", 0, At(0.0)).ok());
+  EXPECT_FALSE(quota.Admit("t", 0, At(0.0)).ok());
+  EXPECT_TRUE(quota.Admit("t", 0, At(2.0)).ok());
+}
+
+TEST(QuotaTest, QueuedBytesChargeAndReturn) {
+  QuotaOptions options;
+  options.default_tenant.max_queued_bytes = 100;
+  QuotaManager quota(options);
+
+  EXPECT_TRUE(quota.Admit("t", 60, At(0.0)).ok());
+  EXPECT_EQ(quota.queued_bytes("t"), 60u);
+  const Status over = quota.Admit("t", 50, At(0.0));
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(quota.queued_bytes("t"), 60u);  // denial charges nothing
+
+  // Dispatch returns the queued-bytes charge.
+  quota.OnDispatch("t", 60);
+  EXPECT_EQ(quota.queued_bytes("t"), 0u);
+  EXPECT_TRUE(quota.Admit("t", 100, At(0.0)).ok());
+
+  // A shed after admission returns the charge too.
+  quota.OnShed("t", 100);
+  EXPECT_EQ(quota.queued_bytes("t"), 0u);
+  EXPECT_TRUE(quota.Admit("t", 100, At(0.0)).ok());
+}
+
+TEST(QuotaTest, ByteQuotaCheckedBeforeRateTokenSpent) {
+  QuotaOptions options;
+  options.default_tenant.requests_per_second = 1000.0;
+  options.default_tenant.burst = 1.0;
+  options.default_tenant.max_queued_bytes = 10;
+  QuotaManager quota(options);
+
+  // Byte-rejected submission must not burn the single rate token.
+  EXPECT_FALSE(quota.Admit("t", 11, At(0.0)).ok());
+  EXPECT_TRUE(quota.Admit("t", 10, At(0.0)).ok());
+}
+
+TEST(QuotaTest, InflightCapGatesDispatchNotIntake) {
+  QuotaOptions options;
+  options.default_tenant.max_inflight_requests = 2;
+  QuotaManager quota(options);
+
+  // Intake is unaffected by the concurrency cap.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(quota.Admit("t", 1, At(0.0)).ok());
+  }
+
+  EXPECT_TRUE(quota.CanDispatch("t"));
+  quota.OnDispatch("t", 1);
+  EXPECT_TRUE(quota.CanDispatch("t"));
+  quota.OnDispatch("t", 1);
+  EXPECT_FALSE(quota.CanDispatch("t"));  // at cap: queued work waits
+  EXPECT_EQ(quota.inflight("t"), 2u);
+
+  quota.OnComplete("t");
+  EXPECT_TRUE(quota.CanDispatch("t"));
+  EXPECT_EQ(quota.inflight("t"), 1u);
+}
+
+TEST(QuotaTest, PerTenantOverridesAndIsolation) {
+  QuotaOptions options;
+  options.default_tenant.requests_per_second = 1.0;
+  options.default_tenant.burst = 1.0;
+  TenantQuotaOptions paid;
+  paid.requests_per_second = 100.0;
+  paid.burst = 3.0;
+  options.per_tenant["paid"] = paid;
+  QuotaManager quota(options);
+
+  // Default tenant: one token. Paid tenant: three, independent bucket.
+  EXPECT_TRUE(quota.Admit("free", 0, At(0.0)).ok());
+  EXPECT_FALSE(quota.Admit("free", 0, At(0.0)).ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(quota.Admit("paid", 0, At(0.0)).ok()) << i;
+  }
+  EXPECT_FALSE(quota.Admit("paid", 0, At(0.0)).ok());
+
+  // One tenant exhausting its bucket never touches another's.
+  EXPECT_FALSE(quota.Admit("free", 0, At(0.0)).ok());
+}
+
+TEST(QuotaTest, NeverAdmittedTenantCanDispatch) {
+  QuotaOptions options;
+  options.default_tenant.max_inflight_requests = 1;
+  QuotaManager quota(options);
+  EXPECT_TRUE(quota.CanDispatch("unseen"));
+  EXPECT_EQ(quota.inflight("unseen"), 0u);
+  EXPECT_EQ(quota.queued_bytes("unseen"), 0u);
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -3,7 +3,9 @@
 // a silent drop), and per-tenant round-robin fairness.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -206,6 +208,151 @@ TEST_F(ServerTest, RoundRobinFairnessAcrossTenants) {
   // A's whole backlog.
   const std::vector<std::string> expected = {"A1", "B1", "A2", "B2", "A3"};
   EXPECT_EQ(order, expected);
+}
+
+TEST_F(ServerTest, RejectsInvalidSubmitParameters) {
+  FxrzServer server(*fxrz_);
+  const auto expect_invalid = [&server](ServeRequest request) {
+    request.callback = [](ServeReply) {};
+    EXPECT_EQ(server.Submit(std::move(request)).status().code(),
+              StatusCode::kInvalidArgument);
+  };
+
+  // Zero-byte tensor: would dodge the byte quota entirely.
+  Tensor empty;
+  ServeRequest zero = Request(empty);
+  expect_invalid(std::move(zero));
+
+  // Non-finite / non-positive target ratios.
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(), -2.0, 0.0}) {
+    ServeRequest request = Request(fields_[0]);
+    request.target_ratio = bad;
+    expect_invalid(std::move(request));
+  }
+
+  // Out-of-range priority (e.g. a corrupted or hostile enum value).
+  ServeRequest bad_priority = Request(fields_[0]);
+  bad_priority.priority = static_cast<RequestPriority>(42);
+  expect_invalid(std::move(bad_priority));
+}
+
+TEST_F(ServerTest, SubmitAfterShutdownReturnsUnavailable) {
+  FxrzServer server(*fxrz_);
+
+  // Race Submit against Shutdown from another thread: every submission
+  // must resolve cleanly -- accepted (callback fires exactly once) or
+  // refused with Unavailable/ResourceExhausted -- and never crash or hang.
+  std::mutex mu;
+  size_t fired = 0;
+  std::atomic<bool> stop{false};
+  size_t accepted = 0;
+  std::thread submitter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ServeRequest request = Request(fields_[0]);
+      request.callback = [&mu, &fired](ServeReply) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++fired;
+      };
+      const StatusOr<uint64_t> id = server.Submit(std::move(request));
+      if (id.ok()) {
+        ++accepted;
+      } else {
+        EXPECT_TRUE(id.status().code() == StatusCode::kUnavailable ||
+                    id.status().code() == StatusCode::kResourceExhausted)
+            << id.status().ToString();
+        if (id.status().code() == StatusCode::kUnavailable) break;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.Shutdown();
+  stop.store(true, std::memory_order_relaxed);
+  submitter.join();
+
+  // After Shutdown returned, intake is deterministically Unavailable.
+  ServeRequest late = Request(fields_[0]);
+  late.callback = [](ServeReply) {};
+  EXPECT_EQ(server.Submit(std::move(late)).status().code(),
+            StatusCode::kUnavailable);
+  // Exactly-once: every accepted request fired its callback by the time
+  // Shutdown returned.
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(fired, accepted);
+}
+
+TEST_F(ServerTest, LowPriorityShedsEarlyHighNeverEarly) {
+  ServeOptions options;
+  options.max_queue_depth = 4;
+  // Default shed policy: low sheds at 50% depth, normal only at the bound.
+  FxrzServer server(*fxrz_, options);
+  server.Pause();
+
+  auto submit = [&](RequestPriority priority) {
+    ServeRequest request = Request(fields_[0]);
+    request.priority = priority;
+    request.callback = [](ServeReply) {};
+    return server.Submit(std::move(request));
+  };
+
+  ASSERT_TRUE(submit(RequestPriority::kLow).ok());  // (0+1)/4 < 0.5
+  ASSERT_TRUE(submit(RequestPriority::kNormal).ok());
+  // Depth 2: a low submission would land at (2+1)/4 >= 0.5 -- shed.
+  const StatusOr<uint64_t> low = submit(RequestPriority::kLow);
+  ASSERT_FALSE(low.ok());
+  EXPECT_EQ(low.status().code(), StatusCode::kResourceExhausted);
+  // Normal still fits until the hard bound; high never early-sheds.
+  ASSERT_TRUE(submit(RequestPriority::kNormal).ok());
+  ASSERT_TRUE(submit(RequestPriority::kHigh).ok());
+  // Hard bound applies to every class, high included.
+  EXPECT_EQ(submit(RequestPriority::kHigh).status().code(),
+            StatusCode::kResourceExhausted);
+
+  server.Resume();
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, TenantRateQuotaThrottlesAtSubmit) {
+  ServeOptions options;
+  options.quota.default_tenant.requests_per_second = 1e-6;
+  options.quota.default_tenant.burst = 2.0;
+  FxrzServer server(*fxrz_, options);
+  server.Pause();
+
+  auto submit = [&](const std::string& tenant) {
+    ServeRequest request = Request(fields_[0]);
+    request.tenant = tenant;
+    request.callback = [](ServeReply) {};
+    return server.Submit(std::move(request));
+  };
+
+  ASSERT_TRUE(submit("a").ok());
+  ASSERT_TRUE(submit("a").ok());
+  const StatusOr<uint64_t> throttled = submit("a");
+  ASSERT_FALSE(throttled.ok());
+  EXPECT_EQ(throttled.status().code(), StatusCode::kResourceExhausted);
+  // Quotas are per tenant: "b" has its own untouched bucket.
+  ASSERT_TRUE(submit("b").ok());
+
+  server.Resume();
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, MemoryBudgetExhaustionIsRetryableResourceExhausted) {
+  // A budget far smaller than one request's estimated peak: admission in
+  // the guard ladder denies every attempt.
+  MemoryBudget tiny(16);
+  ServeOptions options;
+  options.memory = &tiny;
+  FxrzServer server(*fxrz_, options);
+
+  const StatusOr<GuardedResult> r = server.ServeSync(Request(fields_[0]));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(tiny.denied_count(), 0u);
+  EXPECT_EQ(tiny.reserved_bytes(), 0u);  // nothing leaked
+  server.Shutdown();
 }
 
 TEST_F(ServerTest, ServerDeadlineAppliesToQueuedRequests) {

@@ -3,10 +3,11 @@
 # tests, an FXRZ_METRICS=OFF build proving the observability layer strips
 # cleanly, an FXRZ_SIMD=OFF build proving the scalar kernel paths stand on
 # their own, ThreadSanitizer build + tests, ASan+UBSan build + tests
-# (including the fuzz-corpus replay harnesses), an ASan+UBSan
-# FXRZ_FAULT_INJECT build running the fault-injection/escalation-ladder
-# suite and the serving-layer retry/breaker/chaos tests, then the
-# static-analysis passes: fxrz_lint + clang-tidy via the
+# (including the fuzz-corpus replay harnesses), an overload-chaos re-run
+# of the resource-governance suite under ASan with a finite
+# FXRZ_MEM_BUDGET, an ASan+UBSan FXRZ_FAULT_INJECT build running the
+# fault-injection/escalation-ladder suite and the serving-layer
+# retry/breaker/chaos tests, then the static-analysis passes: fxrz_lint + clang-tidy via the
 # lint target, and a clang -Werror=thread-safety compile of the library
 # (skipped with a message on gcc-only boxes).
 # Mirrors what the acceptance gates for the decode-hardening and guarded
@@ -86,6 +87,21 @@ run_config thread build-ci-tsan \
 run_config asan-ubsan build-ci-asan \
   -DFXRZ_SANITIZE=address,undefined -DFXRZ_FUZZ=ON \
   -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
+
+# Overload-chaos stage: re-run the resource-governance suite in the ASan
+# build with a small-but-finite process memory budget injected through the
+# environment. The chaos storm itself constructs its own budget, but the
+# rest of the serve/guard suite normally runs against the unlimited
+# ProcessMemoryBudget() -- this pass forces the FXRZ_MEM_BUDGET parse +
+# default-injection path and real reserve/release accounting under every
+# one of those tests, with ASan watching the RAII lifetimes. 64m is finite
+# enough that the accounting is live on every request, large enough that
+# no well-formed test request is denied. Storm size stays scaled by the
+# FXRZ_CHAOS_REQUESTS export above.
+echo "=== overload chaos (ASan, FXRZ_MEM_BUDGET=64m) ==="
+FXRZ_MEM_BUDGET=64m ctest --test-dir build-ci-asan --output-on-failure \
+  -R 'OverloadChaos|NoisyNeighbor|Quota|ServeStress|ServerTest|GuardedServing' \
+  -j "$JOBS"
 
 # Fault-injection configuration: compiles the deterministic fault points
 # in (FXRZ_FAULT_INJECT) and runs the whole suite -- including the

@@ -42,9 +42,11 @@
 #include "src/core/model.h"
 #include "src/core/pipeline.h"
 #include "src/data/generators/grf.h"
+#include "src/serve/quota.h"
 #include "src/store/container.h"
 #include "src/store/field_store.h"
 #include "src/util/file_io.h"
+#include "src/util/mem_budget.h"
 #include "src/util/metrics.h"
 
 namespace {
@@ -304,6 +306,40 @@ int Stats(const std::string& dir, const std::string& golden_dir) {
           &reread);
       !st.ok()) {
     return Fail(st);
+  }
+
+  // Resource-governance surface: a scripted quota/budget exercise so the
+  // fxrz_quota_* and fxrz_mem_* series appear in the stats surface with
+  // fixed values. The token bucket gets explicit time_points (never the
+  // wall clock) and the budget a fixed capacity, so every counter and
+  // gauge below is a pure function of the code.
+  {
+    QuotaOptions quota_options;
+    quota_options.default_tenant.requests_per_second = 2.0;
+    quota_options.default_tenant.burst = 2.0;
+    quota_options.default_tenant.max_queued_bytes = 1024;
+    quota_options.default_tenant.max_inflight_requests = 1;
+    QuotaManager quota(quota_options);
+    const QuotaManager::Clock::time_point t0{};
+    if (!quota.Admit("alpha", 256, t0).ok() ||
+        !quota.Admit("alpha", 256, t0).ok()) {
+      return Fail(Status::Internal("stats: quota burst admission failed"));
+    }
+    if (quota.Admit("alpha", 256, t0).ok()) {
+      return Fail(Status::Internal("stats: quota rate limit missed"));
+    }
+    if (quota.Admit("beta", 2048, t0).ok()) {
+      return Fail(Status::Internal("stats: quota byte limit missed"));
+    }
+    quota.OnDispatch("alpha", 256);
+    quota.OnComplete("alpha");
+    quota.OnShed("alpha", 256);
+
+    MemoryBudget budget(4096);
+    const MemReservation held = budget.TryReserve(4096);
+    if (!held.held() || budget.TryReserve(1).held()) {
+      return Fail(Status::Internal("stats: memory budget accounting broken"));
+    }
   }
 
   const metrics::MetricsSnapshot raw_delta = metrics::MetricsSnapshot::Delta(
