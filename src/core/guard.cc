@@ -270,16 +270,16 @@ StatusOr<GuardedResult> Fxrz::GuardedCompressToRatio(
   MemReservation memory;
   if (options.memory != nullptr) {
     const uint64_t need = EstimatePeakBytes(compressor_->name(), tensor_bytes);
-    memory = options.memory->TryReserve(need);
+    uint64_t free_bytes = 0;
+    memory = options.memory->TryReserve(need, &free_bytes);
     if (!memory.held()) {
       GMetrics().memory_rejected.Increment();
+      // free_bytes is the value the denial was decided against, observed
+      // under the budget's admission lock -- never torn by concurrent
+      // reservations.
       return Status::ResourceExhausted(
           "guard: memory budget exhausted (need " + std::to_string(need) +
-          " bytes, " +
-          std::to_string(options.memory->capacity_bytes() -
-                         std::min(options.memory->capacity_bytes(),
-                                  options.memory->reserved_bytes())) +
-          " free)");
+          " bytes, " + std::to_string(free_bytes) + " free)");
     }
   }
   GMetrics().target_ratio.Observe(target_ratio);

@@ -24,7 +24,9 @@ QuotaMetrics& QMetrics() {
   return *m;
 }
 
-metrics::Counter& ThrottledCounter(const char* reason) {
+enum class ThrottleReason { kRate, kQueuedBytes };
+
+metrics::Counter& ThrottledCounter(ThrottleReason reason) {
   auto make = [](const char* r) -> metrics::Counter* {
     return &metrics::GetCounter(
         std::string("fxrz_quota_throttled_total{reason=\"") + r + "\"}",
@@ -32,7 +34,10 @@ metrics::Counter& ThrottledCounter(const char* reason) {
   };
   static metrics::Counter* rate = make("rate");
   static metrics::Counter* bytes = make("queued-bytes");
-  if (reason[0] == 'r') return *rate;
+  switch (reason) {
+    case ThrottleReason::kRate: return *rate;
+    case ThrottleReason::kQueuedBytes: return *bytes;
+  }
   return *bytes;
 }
 
@@ -74,7 +79,7 @@ Status QuotaManager::Admit(const std::string& tenant, size_t bytes,
   if (limits.max_queued_bytes != 0 &&
       bytes > limits.max_queued_bytes - std::min(limits.max_queued_bytes,
                                                  state.queued_bytes)) {
-    ThrottledCounter("queued-bytes").Increment();
+    ThrottledCounter(ThrottleReason::kQueuedBytes).Increment();
     return Status::ResourceExhausted(
         "quota: tenant \"" + tenant + "\" queued-bytes limit (" +
         std::to_string(limits.max_queued_bytes) + " bytes) exhausted");
@@ -98,7 +103,7 @@ Status QuotaManager::Admit(const std::string& tenant, size_t bytes,
       state.last_refill = now;
     }
     if (state.tokens < 1.0) {
-      ThrottledCounter("rate").Increment();
+      ThrottledCounter(ThrottleReason::kRate).Increment();
       return Status::ResourceExhausted(
           "quota: tenant \"" + tenant + "\" rate limit (" +
           std::to_string(limits.requests_per_second) + " req/s) exhausted");

@@ -322,14 +322,15 @@ void FxrzServer::Process(Pending item) {
     inflight_[item.id] = &effective;
   }
 
-  reply.status = RunAttempts(item, effective, &reply);
+  double compute_seconds = 0.0;
+  reply.status = RunAttempts(item, effective, &reply, &compute_seconds);
   reply.serve_seconds = SecondsBetween(dispatched, Clock::now());
   SMetrics().latency_seconds.Observe(reply.serve_seconds);
   OutcomeCounter(reply.status, reply.result.deadline_degraded).Increment();
 
   const bool cancelled_terminal =
       reply.status.code() == StatusCode::kCancelled;
-  const double serve_seconds = reply.serve_seconds;
+  const bool sample_service = reply.status.ok();
   // The callback is the contract's "resolved exactly once" moment; it must
   // fire before the drain accounting below lets Shutdown return.
   item.request.callback(std::move(reply));
@@ -342,12 +343,17 @@ void FxrzServer::Process(Pending item) {
     // PopNextLocked, so its own completion unblocks its queued work.
     quota_.OnComplete(item.request.tenant);
     // Service-time EWMA feeding the shed policy's queue-latency estimate.
-    const double alpha = std::clamp(options_.shed.ewma_alpha, 1e-3, 1.0);
-    ewma_service_seconds_ =
-        ewma_service_seconds_ == 0.0
-            ? serve_seconds
-            : alpha * serve_seconds +
-                  (1.0 - alpha) * ewma_service_seconds_;
+    // Only successful requests' backend-compute time is sampled: backoff
+    // sleeps would inflate the estimate, and drain-cancelled or fast-
+    // failed requests' near-zero times would deflate it.
+    if (sample_service) {
+      const double alpha = std::clamp(options_.shed.ewma_alpha, 1e-3, 1.0);
+      ewma_service_seconds_ =
+          ewma_service_seconds_ == 0.0
+              ? compute_seconds
+              : alpha * compute_seconds +
+                    (1.0 - alpha) * ewma_service_seconds_;
+    }
     SMetrics().inflight.Set(static_cast<double>(processing_));
     if (draining_) {
       if (cancelled_terminal) {
@@ -361,7 +367,7 @@ void FxrzServer::Process(Pending item) {
 }
 
 Status FxrzServer::RunAttempts(const Pending& item, const CancelToken& cancel,
-                               ServeReply* reply) {
+                               ServeReply* reply, double* compute_seconds) {
   GuardOptions guard = options_.guard;
   guard.deadline = item.deadline;
   guard.cancel = &cancel;
@@ -382,23 +388,28 @@ Status FxrzServer::RunAttempts(const Pending& item, const CancelToken& cancel,
     if (last.ok()) {
       last = backend.breaker->Allow();
       if (last.ok()) {
+        const Clock::time_point compute_start = Clock::now();
         StatusOr<GuardedResult> served = backend.fxrz->GuardedCompressToRatio(
             *item.request.data, item.request.target_ratio, guard);
+        *compute_seconds += SecondsBetween(compute_start, Clock::now());
         if (served.ok()) {
           backend.breaker->RecordSuccess();
           reply->result = std::move(served).value();
           return Status::Ok();
         }
         last = served.status();
-        // Only transient failures are breaker-unhealthy: a permanent error
-        // (bad input, unreachable ratio, expired deadline) means the
-        // backend responded and says nothing about its health. Resource
-        // exhaustion is exempt too -- a memory-budget denial is governance
-        // working as intended, and counting it would trip the breaker and
-        // cascade Unavailable onto tenants the budget never touched.
-        if (last.code() != StatusCode::kResourceExhausted) {
-          backend.breaker->RecordResult(!StatusIsRetryable(last));
-        }
+        // Every successful Allow() pairs with exactly one RecordResult();
+        // skipping it would leak a half-open probe slot and wedge the
+        // breaker. Only transient failures are breaker-unhealthy: a
+        // permanent error (bad input, unreachable ratio, expired deadline)
+        // means the backend responded and says nothing about its health.
+        // Resource exhaustion counts as healthy too -- a memory-budget
+        // denial is governance working as intended, and counting it as a
+        // failure would trip the breaker and cascade Unavailable onto
+        // tenants the budget never touched.
+        backend.breaker->RecordResult(
+            last.code() == StatusCode::kResourceExhausted ||
+            !StatusIsRetryable(last));
       }
     }
     if (!ShouldRetry(options_.retry, last, reply->attempts)) return last;

@@ -251,8 +251,10 @@ class FxrzServer {
   bool PopNextLocked(Pending* out) FXRZ_REQUIRES(mu_);
   void Process(Pending item);
   // Attempt loop (breaker -> guard -> retry/backoff) for one request.
+  // *compute_seconds accumulates the time spent inside the guard ladder
+  // (backend compute only -- no backoff sleeps, no breaker fast-fails).
   Status RunAttempts(const Pending& item, const CancelToken& cancel,
-                     ServeReply* reply);
+                     ServeReply* reply, double* compute_seconds);
 
   const ServeOptions options_;
   ThreadPool* const pool_;

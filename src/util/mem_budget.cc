@@ -74,15 +74,21 @@ MemoryBudget::MemoryBudget(uint64_t capacity_bytes)
   MMetrics().budget.Set(static_cast<double>(capacity_));
 }
 
-MemReservation MemoryBudget::TryReserve(uint64_t bytes) {
-  if (!TryAcquire(bytes)) return MemReservation();
+MemReservation MemoryBudget::TryReserve(uint64_t bytes,
+                                        uint64_t* observed_free_bytes) {
+  if (!TryAcquire(bytes, observed_free_bytes)) return MemReservation();
   return MemReservation(this, bytes);
 }
 
-bool MemoryBudget::TryAcquire(uint64_t bytes) {
+bool MemoryBudget::TryAcquire(uint64_t bytes, uint64_t* observed_free_bytes) {
   MutexLock lock(mu_);
   // Overflow-safe: reserved_ <= capacity_ always holds here, so the
   // subtraction cannot wrap.
+  if (observed_free_bytes != nullptr) {
+    *observed_free_bytes = capacity_ == 0
+                               ? std::numeric_limits<uint64_t>::max()
+                               : capacity_ - reserved_;
+  }
   if (capacity_ != 0 && bytes > capacity_ - reserved_) {
     ++denied_;
     MMetrics().denied.Increment();

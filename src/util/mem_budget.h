@@ -89,7 +89,13 @@ class MemoryBudget {
 
   // Non-blocking admission: an empty reservation (held() == false) means
   // the bytes would exceed capacity. Reserving 0 bytes always succeeds.
-  [[nodiscard]] MemReservation TryReserve(uint64_t bytes);
+  // When observed_free_bytes is non-null it receives the free capacity
+  // seen under the admission lock -- the value the decision was actually
+  // made against (UINT64_MAX when the budget is unlimited) -- so denial
+  // messages cannot tear against concurrent reservations.
+  [[nodiscard]] MemReservation TryReserve(uint64_t bytes,
+                                          uint64_t* observed_free_bytes =
+                                              nullptr);
 
   bool unlimited() const { return capacity_ == 0; }
   uint64_t capacity_bytes() const { return capacity_; }
@@ -103,7 +109,7 @@ class MemoryBudget {
  private:
   friend class MemReservation;
 
-  bool TryAcquire(uint64_t bytes);
+  bool TryAcquire(uint64_t bytes, uint64_t* observed_free_bytes = nullptr);
   void ReleaseBytes(uint64_t bytes);
   void PublishLocked() FXRZ_REQUIRES(mu_);
 

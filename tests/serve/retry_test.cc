@@ -11,6 +11,7 @@
 #include "src/serve/retry.h"
 #include "src/serve/server.h"
 #include "src/util/fault_injection.h"
+#include "src/util/mem_budget.h"
 
 namespace fxrz {
 namespace {
@@ -185,6 +186,61 @@ TEST_F(ServeRetryTest, PersistentFaultsTripTheBreaker) {
             std::string::npos);
   // Fail-fast means the compressor was never consulted.
   EXPECT_EQ(fault::HitCount(fault::Site::kCompressorCompress), hits_before);
+}
+
+// A half-open probe whose guard attempt is denied by the memory budget
+// must still release its probe slot (Allow/RecordResult pairing): the
+// denial counts as a HEALTHY probe -- the backend responded; governance
+// said no -- so it closes the breaker instead of wedging it half-open,
+// and the backend recovers as soon as budget frees.
+TEST_F(ServeRetryTest, MemoryDenialDuringHalfOpenProbeReleasesTheSlot) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "needs -DFXRZ_FAULT_INJECT=ON";
+  }
+  MemoryBudget budget(
+      2 * EstimatePeakBytes(fxrz_->compressor().name(),
+                            fields_[0].size_bytes()));
+  ServeOptions options;
+  options.guard.allow_fraz_fallback = false;
+  options.retry.max_attempts = 1;  // isolate the breaker from retries
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_seconds = 0.0;  // next Allow() after a trip probes
+  options.memory = &budget;
+  FxrzServer server(*fxrz_, options);
+
+  // Trip the breaker with two injected transient failures.
+  fault::Arm(fault::Site::kCompressorCompress, /*skip=*/0, /*count=*/2);
+  for (int i = 0; i < 2; ++i) {
+    ServeRequest request;
+    request.data = &fields_[0];
+    request.target_ratio = target_;
+    ASSERT_FALSE(server.ServeSync(std::move(request)).ok());
+  }
+  ASSERT_EQ(server.breaker(fxrz_->compressor().name())->state(),
+            BreakerState::kOpen);
+
+  // The backend is healthy again, but the budget is fully occupied: the
+  // probe request reaches the guard and is denied admission.
+  MemReservation blocker = budget.TryReserve(budget.capacity_bytes());
+  ASSERT_TRUE(blocker.held());
+  ServeRequest probe;
+  probe.data = &fields_[0];
+  probe.target_ratio = target_;
+  const StatusOr<GuardedResult> denied = server.ServeSync(std::move(probe));
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kResourceExhausted);
+  // The probe slot was released and the healthy probe closed the breaker;
+  // the leaked-slot bug left it wedged in kHalfOpen forever.
+  EXPECT_EQ(server.breaker(fxrz_->compressor().name())->state(),
+            BreakerState::kClosed);
+
+  // Budget frees -> the next request serves normally.
+  blocker.Release();
+  ServeRequest request;
+  request.data = &fields_[0];
+  request.target_ratio = target_;
+  const StatusOr<GuardedResult> served = server.ServeSync(std::move(request));
+  EXPECT_TRUE(served.ok()) << served.status().ToString();
 }
 
 // The seeded probabilistic mode is deterministic: the same (p, seed)
