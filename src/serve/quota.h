@@ -64,7 +64,11 @@ struct TenantQuotaOptions {
   // dispatched). 0 = unlimited.
   size_t max_queued_bytes = 0;
   // Max requests a tenant may have executing in worker slots at once.
-  // 0 = unlimited.
+  // 0 = unlimited. Batched dispatch (ServeOptions::batch) counts every
+  // batch MEMBER individually against this cap -- co-batching is a
+  // dispatch optimization, not a way to fold N requests into one in-flight
+  // charge -- so a capped tenant's surplus requests wait in its queue
+  // rather than riding along inside a batch.
   size_t max_inflight_requests = 0;
 };
 

@@ -1,0 +1,317 @@
+// Differential equivalence suite for batched serving: every request served
+// through a batch must produce a BYTE-IDENTICAL archive and identical
+// GuardedResult tier/flags/diagnostics to the same request served
+// unbatched. Batching may only change when analysis and inference run --
+// never what is served. Covered here:
+//
+//   - the batched guard entry point vs the unbatched one, across all six
+//     codec backends (the four paper codecs, sz3, and the chunked
+//     container decorator) with mixed batch compositions (distinct
+//     tensors, distinct targets, a constant field, invalid members);
+//   - FxrzModel::EstimateBatch vs EstimateWithConfidence, row by row;
+//   - end-to-end batched FxrzServer serving vs a direct unbatched oracle,
+//     including batch-key partitioning (shape, target band) and the
+//     linger/lone-request path.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/data/generators/grf.h"
+#include "src/serve/server.h"
+#include "src/util/mem_budget.h"
+
+namespace fxrz {
+namespace {
+
+// The six serving backends the equivalence sweep covers.
+const char* const kCodecs[] = {"sz", "sz3", "zfp", "fpzip", "mgard",
+                               "sz-chunked"};
+
+void ExpectSameResult(const GuardedResult& batched,
+                      const GuardedResult& unbatched, const std::string& ctx) {
+  EXPECT_EQ(batched.tier, unbatched.tier) << ctx;
+  EXPECT_EQ(batched.config, unbatched.config) << ctx;
+  EXPECT_EQ(batched.measured_ratio, unbatched.measured_ratio) << ctx;
+  EXPECT_EQ(batched.relative_error, unbatched.relative_error) << ctx;
+  EXPECT_EQ(batched.compressions, unbatched.compressions) << ctx;
+  EXPECT_EQ(batched.low_confidence, unbatched.low_confidence) << ctx;
+  EXPECT_EQ(batched.out_of_distribution, unbatched.out_of_distribution)
+      << ctx;
+  EXPECT_EQ(batched.knob_spread, unbatched.knob_spread) << ctx;
+  EXPECT_EQ(batched.archive_verified, unbatched.archive_verified) << ctx;
+  EXPECT_EQ(batched.deadline_degraded, unbatched.deadline_degraded) << ctx;
+  EXPECT_EQ(batched.memory_degraded, unbatched.memory_degraded) << ctx;
+  // The headline property: the archive bytes are identical.
+  EXPECT_EQ(batched.compressed, unbatched.compressed) << ctx;
+}
+
+// One trained pipeline + a mixed request population for a codec.
+struct CodecHarness {
+  std::unique_ptr<Fxrz> fxrz;
+  std::vector<Tensor> fields;
+  std::vector<double> targets;
+};
+
+CodecHarness MakeHarness(const std::string& codec, size_t extent = 8) {
+  CodecHarness h;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    h.fields.push_back(
+        GaussianRandomField3D(extent, extent, extent, 3.0, seed));
+  }
+  auto compressor = MakeArchiveCompressorOrNull(codec);
+  EXPECT_NE(compressor, nullptr) << codec;
+  h.fxrz = std::make_unique<Fxrz>(std::move(compressor));
+  std::vector<const Tensor*> train;
+  for (const Tensor& f : h.fields) train.push_back(&f);
+  h.fxrz->Train(train);
+  h.targets = h.fxrz->model().ValidTargetRatios(3);
+  return h;
+}
+
+// Batched guard calls vs per-request guard calls: same pipeline object,
+// same options, mixed composition -- distinct tensors and targets, a
+// constant field (dedicated fast path), a NaN member and an out-of-range
+// target (both rejected at admission). Failure members must resolve with
+// the same Status codes, and must not perturb their co-members.
+TEST(BatchEquivalenceTest, GuardBatchMatchesUnbatchedAcrossCodecs) {
+  for (const char* codec : kCodecs) {
+    SCOPED_TRACE(codec);
+    CodecHarness h = MakeHarness(codec);
+
+    Tensor constant(h.fields[0].dims());
+    for (size_t i = 0; i < constant.size(); ++i) constant[i] = 4.25f;
+    Tensor poisoned = h.fields[1];
+    poisoned[poisoned.size() / 2] = std::numeric_limits<float>::quiet_NaN();
+
+    std::vector<GuardedBatchItem> items;
+    for (size_t i = 0; i < h.fields.size(); ++i) {
+      GuardedBatchItem item;
+      item.data = &h.fields[i];
+      item.target_ratio = h.targets[i % h.targets.size()];
+      items.push_back(item);
+    }
+    GuardedBatchItem constant_item;
+    constant_item.data = &constant;
+    constant_item.target_ratio = h.targets[1];
+    items.push_back(constant_item);
+    GuardedBatchItem poisoned_item;
+    poisoned_item.data = &poisoned;
+    poisoned_item.target_ratio = h.targets[1];
+    items.push_back(poisoned_item);
+    GuardedBatchItem bad_target;
+    bad_target.data = &h.fields[0];
+    bad_target.target_ratio = 0.5;  // below the admissible [1, 1e9]
+    items.push_back(bad_target);
+
+    // Unbatched oracle first; the shared analysis cache cannot change
+    // outcomes, only skip recomputation.
+    std::vector<StatusOr<GuardedResult>> oracle;
+    for (const GuardedBatchItem& item : items) {
+      oracle.push_back(h.fxrz->GuardedCompressToRatio(
+          *item.data, item.target_ratio, item.options));
+    }
+    const std::vector<StatusOr<GuardedResult>> batched =
+        h.fxrz->GuardedCompressBatchToRatio(items);
+
+    ASSERT_EQ(batched.size(), items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      const std::string ctx =
+          std::string(codec) + " member " + std::to_string(i);
+      ASSERT_EQ(batched[i].ok(), oracle[i].ok())
+          << ctx << ": " << (batched[i].ok() ? oracle[i].status().ToString()
+                                             : batched[i].status().ToString());
+      if (batched[i].ok()) {
+        ExpectSameResult(batched[i].value(), oracle[i].value(), ctx);
+      } else {
+        EXPECT_EQ(batched[i].status().code(), oracle[i].status().code())
+            << ctx;
+      }
+    }
+    // Composition sanity: the sweep really exercised distinct paths.
+    EXPECT_TRUE(batched[h.fields.size()].ok());  // constant field served
+    EXPECT_EQ(batched[h.fields.size()].value().tier,
+              ServingTier::kConstantField);
+    EXPECT_FALSE(batched[h.fields.size() + 1].ok());  // NaN rejected
+    EXPECT_FALSE(batched[h.fields.size() + 2].ok());  // bad target rejected
+  }
+}
+
+// The model layer underneath: EstimateBatch row i must equal the serial
+// EstimateWithConfidence call bit for bit (estimates, spread, envelope).
+TEST(BatchEquivalenceTest, ModelEstimateBatchMatchesSerial) {
+  CodecHarness h = MakeHarness("sz");
+  const FxrzModel& model = h.fxrz->model();
+
+  std::vector<const Tensor*> data;
+  std::vector<double> targets;
+  for (size_t i = 0; i < h.fields.size(); ++i) {
+    for (double t : h.targets) {
+      data.push_back(&h.fields[i]);
+      targets.push_back(t);
+    }
+  }
+  const std::vector<FxrzModel::ConfidentEstimate> batch =
+      model.EstimateBatch(data, targets);
+  ASSERT_EQ(batch.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const FxrzModel::ConfidentEstimate serial =
+        model.EstimateWithConfidence(*data[i], targets[i]);
+    EXPECT_EQ(batch[i].config, serial.config) << i;
+    EXPECT_EQ(batch[i].knob_spread, serial.knob_spread) << i;
+    EXPECT_EQ(batch[i].has_spread, serial.has_spread) << i;
+    EXPECT_EQ(batch[i].envelope_excess, serial.envelope_excess) << i;
+    EXPECT_EQ(batch[i].in_envelope, serial.in_envelope) << i;
+  }
+}
+
+// End-to-end: a server with batching enabled serves the same archives as
+// direct unbatched guard calls, and the requests really were co-batched.
+TEST(BatchEquivalenceTest, ServerBatchedServingMatchesUnbatchedOracle) {
+  CodecHarness h = MakeHarness("sz", /*extent=*/16);
+  MemoryBudget budget(0);  // unlimited, shared by server and oracle
+
+  ServeOptions options;
+  options.batch.max_batch = 8;
+  options.memory = &budget;
+  FxrzServer server(*h.fxrz, options);
+  server.Pause();
+
+  constexpr size_t kRequests = 8;
+  std::mutex mu;
+  std::map<uint64_t, ServeReply> replies;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < kRequests; ++i) {
+    ServeRequest request;
+    request.tenant = "tenant-" + std::to_string(i % 3);
+    request.data = &h.fields[i % h.fields.size()];
+    request.target_ratio = h.targets[1];  // equal targets: one batch key
+    request.callback = [&mu, &replies](ServeReply reply) {
+      std::lock_guard<std::mutex> lock(mu);
+      replies[reply.request_id] = std::move(reply);
+    };
+    const StatusOr<uint64_t> id = server.Submit(std::move(request));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+  server.Resume();
+  const DrainReport report = server.Shutdown();
+  EXPECT_TRUE(report.clean);
+
+  GuardOptions oracle_options;
+  oracle_options.memory = &budget;
+  ASSERT_EQ(replies.size(), kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    const auto it = replies.find(ids[i]);
+    ASSERT_NE(it, replies.end());
+    const ServeReply& reply = it->second;
+    ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+    // All eight were queued behind Pause with one batch key, so dispatch
+    // must have coalesced them into a single fused group.
+    EXPECT_EQ(reply.batch_members, kRequests) << i;
+    EXPECT_EQ(reply.attempts, 1) << i;
+    const StatusOr<GuardedResult> oracle = h.fxrz->GuardedCompressToRatio(
+        *(&h.fields[i % h.fields.size()]), h.targets[1], oracle_options);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    ExpectSameResult(reply.result, oracle.value(),
+                     "request " + std::to_string(i));
+  }
+}
+
+// Batch keys partition, never merge: different tensor shapes (and
+// different exact targets under band 0) must dispatch in separate groups,
+// each still serving oracle-identical archives.
+TEST(BatchEquivalenceTest, MixedShapesAndTargetsFormSeparateBatches) {
+  CodecHarness h = MakeHarness("sz", /*extent=*/16);
+  std::vector<Tensor> small_fields;
+  for (uint64_t seed = 11; seed <= 13; ++seed) {
+    small_fields.push_back(GaussianRandomField3D(8, 8, 8, 3.0, seed));
+  }
+
+  ServeOptions options;
+  options.batch.max_batch = 8;
+  options.batch.target_band_log10 = 0.0;  // exact-target co-batching only
+  FxrzServer server(*h.fxrz, options);
+  server.Pause();
+
+  std::mutex mu;
+  std::map<uint64_t, ServeReply> replies;
+  struct Expected {
+    const Tensor* data;
+    double target;
+    size_t group;  // expected co-batch group size
+  };
+  std::map<uint64_t, Expected> expected;
+  const double target = h.targets[1];
+  const double other_target = target * 1.5;
+  auto submit = [&](const Tensor& data, double t, size_t group) {
+    ServeRequest request;
+    request.data = &data;
+    request.target_ratio = t;
+    request.callback = [&mu, &replies](ServeReply reply) {
+      std::lock_guard<std::mutex> lock(mu);
+      replies[reply.request_id] = std::move(reply);
+    };
+    const StatusOr<uint64_t> id = server.Submit(std::move(request));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    expected[id.value()] = {&data, t, group};
+  };
+  // Interleaved: 3 large @ target, 3 small @ target, 2 large @ the other
+  // target -- three distinct batch keys.
+  for (size_t i = 0; i < 3; ++i) {
+    submit(h.fields[i], target, 3);
+    submit(small_fields[i], target, 3);
+  }
+  submit(h.fields[0], other_target, 2);
+  submit(h.fields[1], other_target, 2);
+
+  server.Resume();
+  const DrainReport report = server.Shutdown();
+  EXPECT_TRUE(report.clean);
+
+  ASSERT_EQ(replies.size(), expected.size());
+  for (const auto& [id, want] : expected) {
+    const auto it = replies.find(id);
+    ASSERT_NE(it, replies.end());
+    const ServeReply& reply = it->second;
+    ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+    EXPECT_EQ(reply.batch_members, want.group) << "request " << id;
+    const StatusOr<GuardedResult> oracle =
+        h.fxrz->GuardedCompressToRatio(*want.data, want.target);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    ExpectSameResult(reply.result, oracle.value(),
+                     "request " + std::to_string(id));
+  }
+}
+
+// A lone request with linger enabled still serves promptly (the micro-wait
+// expires, it dispatches alone) and identically to the unbatched oracle.
+TEST(BatchEquivalenceTest, LoneRequestNeverStallsUnderLinger) {
+  CodecHarness h = MakeHarness("sz", /*extent=*/16);
+  ServeOptions options;
+  options.batch.max_batch = 4;
+  options.batch.max_linger_seconds = 0.005;
+  FxrzServer server(*h.fxrz, options);
+
+  const StatusOr<GuardedResult> served = server.ServeSync([&] {
+    ServeRequest request;
+    request.data = &h.fields[0];
+    request.target_ratio = h.targets[1];
+    return request;
+  }());
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  const StatusOr<GuardedResult> oracle =
+      h.fxrz->GuardedCompressToRatio(h.fields[0], h.targets[1]);
+  ASSERT_TRUE(oracle.ok());
+  ExpectSameResult(served.value(), oracle.value(), "lone lingered request");
+}
+
+}  // namespace
+}  // namespace fxrz

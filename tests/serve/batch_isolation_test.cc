@@ -1,0 +1,196 @@
+// Member isolation inside a dispatch batch: co-batching shares the
+// analysis pass and the model inference, NOTHING else. A member that is
+// cancelled, past its deadline, or denied must resolve with its own
+// terminal Status while its co-members serve normally; the breaker sees
+// one outcome per member (not per batch); and force-drain resolves queued
+// batch members exactly once. These are the property-level guarantees the
+// differential suite (batch_equivalence_test.cc) assumes.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/data/generators/grf.h"
+#include "src/serve/server.h"
+#include "src/util/fault_injection.h"
+
+namespace fxrz {
+namespace {
+
+class BatchIsolationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      fields_.push_back(GaussianRandomField3D(16, 16, 16, 3.0, seed));
+    }
+    fxrz_ = std::make_unique<Fxrz>(MakeCompressor("sz"));
+    std::vector<const Tensor*> train;
+    for (const Tensor& f : fields_) train.push_back(&f);
+    fxrz_->Train(train);
+    target_ = fxrz_->model().ValidTargetRatios(3)[1];
+  }
+
+  void TearDown() override { fault::ResetAll(); }
+
+  // Queues `n` co-batchable requests behind Pause; replies land in
+  // `replies_` keyed by request id, in submission order in `ids_`.
+  void SubmitBatch(FxrzServer* server, size_t n,
+                   const std::vector<const CancelToken*>& cancels = {},
+                   const std::vector<Deadline>& deadlines = {}) {
+    for (size_t i = 0; i < n; ++i) {
+      ServeRequest request;
+      request.data = &fields_[i % fields_.size()];
+      request.target_ratio = target_;
+      if (i < cancels.size()) request.cancel = cancels[i];
+      if (i < deadlines.size()) request.deadline = deadlines[i];
+      request.callback = [this](ServeReply reply) {
+        std::lock_guard<std::mutex> lock(mu_);
+        fire_counts_[reply.request_id]++;
+        replies_[reply.request_id] = std::move(reply);
+      };
+      const StatusOr<uint64_t> id = server->Submit(std::move(request));
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ids_.push_back(id.value());
+    }
+  }
+
+  const ServeReply& ReplyFor(size_t submit_index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = replies_.find(ids_[submit_index]);
+    EXPECT_NE(it, replies_.end()) << "request " << submit_index
+                                  << " never resolved";
+    return it->second;
+  }
+
+  std::vector<Tensor> fields_;
+  std::unique_ptr<Fxrz> fxrz_;
+  double target_ = 0.0;
+  std::mutex mu_;
+  std::map<uint64_t, ServeReply> replies_;
+  std::map<uint64_t, int> fire_counts_;
+  std::vector<uint64_t> ids_;
+};
+
+// A member whose caller-held token is already cancelled at dispatch gets
+// Cancelled on the first (fused) attempt; the three co-members it was
+// batched with serve normally in the same group.
+TEST_F(BatchIsolationTest, CancelledMemberDoesNotPoisonCoMembers) {
+  ServeOptions options;
+  options.batch.max_batch = 4;
+  FxrzServer server(*fxrz_, options);
+  server.Pause();
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  SubmitBatch(&server, 4, {nullptr, &cancelled, nullptr, nullptr});
+  server.Resume();
+  EXPECT_TRUE(server.Shutdown().clean);
+
+  for (size_t i = 0; i < 4; ++i) {
+    const ServeReply& reply = ReplyFor(i);
+    // All four dispatched as one group: the doomed member is discovered at
+    // dispatch, inside the batch, not filtered out before it.
+    EXPECT_EQ(reply.batch_members, 4u) << i;
+    if (i == 1) {
+      EXPECT_EQ(reply.status.code(), StatusCode::kCancelled)
+          << reply.status.ToString();
+      EXPECT_EQ(reply.attempts, 1);  // cancellation is terminal, no retries
+    } else {
+      EXPECT_TRUE(reply.status.ok()) << i << ": " << reply.status.ToString();
+      EXPECT_FALSE(reply.result.compressed.empty()) << i;
+    }
+  }
+}
+
+// Same story for a member whose deadline expired while queued: it resolves
+// DeadlineExceeded (terminal, one attempt) and its co-members -- which
+// shared its queue wait and its dispatch group -- still serve.
+TEST_F(BatchIsolationTest, ExpiredMemberDoesNotPoisonCoMembers) {
+  ServeOptions options;
+  options.batch.max_batch = 4;
+  FxrzServer server(*fxrz_, options);
+  server.Pause();
+
+  SubmitBatch(&server, 4, /*cancels=*/{},
+              {Deadline(), Deadline(), Deadline::After(0.0), Deadline()});
+  server.Resume();
+  EXPECT_TRUE(server.Shutdown().clean);
+
+  for (size_t i = 0; i < 4; ++i) {
+    const ServeReply& reply = ReplyFor(i);
+    EXPECT_EQ(reply.batch_members, 4u) << i;
+    if (i == 2) {
+      EXPECT_EQ(reply.status.code(), StatusCode::kDeadlineExceeded)
+          << reply.status.ToString();
+      EXPECT_EQ(reply.attempts, 1);
+    } else {
+      EXPECT_TRUE(reply.status.ok()) << i << ": " << reply.status.ToString();
+    }
+  }
+}
+
+// The breaker sees one Allow/RecordResult pair PER MEMBER of a batch, not
+// one per fused guard call. Proof by threshold arithmetic: with
+// failure_threshold=3 and a single batch of 3 members all failing on
+// injected compressor faults, per-member accounting records 3 consecutive
+// failures and trips the breaker open -- once-per-batch accounting would
+// record 1 and leave it closed.
+TEST_F(BatchIsolationTest, BreakerRecordsPerMemberNotPerBatch) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "needs -DFXRZ_FAULT_INJECT=ON";
+  }
+  ServeOptions options;
+  options.batch.max_batch = 4;
+  options.guard.allow_fraz_fallback = false;
+  options.retry.max_attempts = 1;  // isolate the breaker from retries
+  options.breaker.failure_threshold = 3;
+  options.breaker.open_seconds = 3600.0;
+  FxrzServer server(*fxrz_, options);
+  server.Pause();
+
+  fault::Arm(fault::Site::kCompressorCompress, /*skip=*/0, /*count=*/1000);
+  SubmitBatch(&server, 3);
+  server.Resume();
+  server.Shutdown();
+
+  for (size_t i = 0; i < 3; ++i) {
+    const ServeReply& reply = ReplyFor(i);
+    EXPECT_EQ(reply.batch_members, 3u) << i;
+    EXPECT_FALSE(reply.status.ok()) << i;
+    EXPECT_TRUE(StatusIsRetryable(reply.status)) << reply.status.ToString();
+  }
+  EXPECT_EQ(server.breaker(fxrz_->compressor().name())->state(),
+            BreakerState::kOpen);
+}
+
+// Force-drain (Shutdown with an expired deadline) resolves every queued
+// would-be batch member Cancelled exactly once -- batching must not
+// change the drain contract for requests that never dispatched.
+TEST_F(BatchIsolationTest, ForceDrainCancelsQueuedBatchMembersExactlyOnce) {
+  ServeOptions options;
+  options.batch.max_batch = 4;
+  options.batch.max_linger_seconds = 0.01;
+  FxrzServer server(*fxrz_, options);
+  server.Pause();
+
+  SubmitBatch(&server, 6);
+  const DrainReport report = server.Shutdown(Deadline::After(0.0));
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.cancelled, 6u);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSERT_EQ(replies_.size(), 6u);
+  for (const uint64_t id : ids_) {
+    ASSERT_EQ(fire_counts_[id], 1) << "request " << id;
+    EXPECT_EQ(replies_[id].status.code(), StatusCode::kCancelled);
+  }
+}
+
+}  // namespace
+}  // namespace fxrz

@@ -7,9 +7,11 @@
 # of the resource-governance suite under ASan with a finite
 # FXRZ_MEM_BUDGET, an ASan+UBSan FXRZ_FAULT_INJECT build running the
 # fault-injection/escalation-ladder suite and the serving-layer
-# retry/breaker/chaos tests, then the static-analysis passes: fxrz_lint + clang-tidy via the
-# lint target, and a clang -Werror=thread-safety compile of the library
-# (skipped with a message on gcc-only boxes).
+# retry/breaker/chaos tests, a gcov coverage gate holding src/serve/ line
+# coverage above 85% (tools/coverage.sh), then the static-analysis passes:
+# fxrz_lint + clang-tidy via the lint target, and a clang
+# -Werror=thread-safety compile of the library (skipped with a message on
+# gcc-only boxes).
 # Mirrors what the acceptance gates for the decode-hardening and guarded
 # serving work require.
 #
@@ -124,6 +126,18 @@ run_config fault-inject build-ci-fault \
   -DFXRZ_BUILD_BENCHMARKS=OFF -DFXRZ_BUILD_EXAMPLES=OFF
 
 unset FXRZ_CHAOS_REQUESTS
+
+# Serving-layer coverage gate: an instrumented build runs the serve suites
+# (fault injection on, so the retry/breaker/batched-dispatch paths count)
+# and tools/coverage.sh fails the stage when src/serve/ line coverage
+# drops below 85%. Skips with a message where gcov is unavailable (e.g. a
+# clang-only box whose gcov does not match the compiler).
+echo "=== serving-layer coverage gate ==="
+if ! command -v gcov >/dev/null 2>&1; then
+  echo "ci.sh: gcov not found; skipping the src/serve/ coverage gate." >&2
+else
+  tools/coverage.sh "$JOBS"
+fi
 
 echo "=== lint ==="
 cmake --build build-ci-release --target lint
